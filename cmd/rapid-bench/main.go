@@ -1,0 +1,68 @@
+// rapid-bench regenerates every table and figure of the paper's evaluation
+// section (§7) and prints them as text tables. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Usage:
+//
+//	rapid-bench [-sf 0.01] [-reps 3] [-micro-rows 2097152] [-skip-tpch]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rapid/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the system benchmarks")
+	reps := flag.Int("reps", 3, "repetitions per query (best-of)")
+	microRows := flag.Int("micro-rows", 1<<21, "input rows for micro-benchmarks")
+	skipTPCH := flag.Bool("skip-tpch", false, "run only the micro-benchmarks")
+	ablations := flag.Bool("ablations", true, "run the design-choice ablation studies")
+	flag.Parse()
+
+	fmt.Println("RAPID reproduction benchmark suite")
+	fmt.Println()
+
+	for _, t := range []*bench.Table{
+		bench.RunFig4(),
+		bench.RunFig8(*microRows),
+		bench.RunFig9(),
+		bench.RunFilterMicro(*microRows),
+		bench.RunFig10(*microRows),
+		bench.RunFig11(*microRows / 16),
+		bench.RunFig12(*microRows / 16),
+		bench.RunFig13(*microRows / 16),
+	} {
+		fmt.Println(t)
+	}
+
+	if *ablations {
+		for _, t := range bench.RunAblations(*microRows) {
+			fmt.Println(t)
+		}
+	}
+
+	if *skipTPCH {
+		return
+	}
+	fmt.Printf("building TPC-H workload at SF %.3f...\n", *sf)
+	start := time.Now()
+	db, err := bench.SetupTPCH(*sf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded in %.1fs\n\n", time.Since(start).Seconds())
+	runs, err := bench.RunQueries(db, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queries:", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.RunFig16(runs))
+	fmt.Println(bench.RunFig15(runs))
+	fmt.Println(bench.RunFig14(runs))
+}

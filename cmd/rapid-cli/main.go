@@ -1,0 +1,153 @@
+// rapid-cli is an interactive SQL shell over the RAPID engine, preloaded
+// with the TPC-H-style workload.
+//
+// Usage:
+//
+//	rapid-cli [-sf 0.005] [-engine auto|host|dpu|x86]
+//
+// Shell commands: \q quit, \tables, \engine <mode>, \explain <sql>,
+// \queries (list TPC-H queries), \run <name> (run one by name).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rapid/internal/hostdb"
+	"rapid/internal/qef"
+	"rapid/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor to preload")
+	engine := flag.String("engine", "auto", "execution engine: auto|host|dpu|x86")
+	flag.Parse()
+
+	fmt.Printf("loading TPC-H at SF %.3f...\n", *sf)
+	db := hostdb.New()
+	if err := tpch.PopulateHostDB(db, tpch.Config{ScaleFactor: *sf, Seed: 2018}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("ready. tables:", strings.Join(tpch.TableNames(), ", "))
+	fmt.Println(`enter SQL terminated by ';', or \q to quit, \queries for samples`)
+
+	opts := optsFor(*engine)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("rapid> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch {
+			case trimmed == `\q`:
+				return
+			case trimmed == `\tables`:
+				for _, n := range tpch.TableNames() {
+					t, _ := db.Table(n)
+					fmt.Printf("  %-10s %8d rows\n", n, t.Rows())
+				}
+			case trimmed == `\queries`:
+				for _, q := range tpch.Queries() {
+					fmt.Println("  " + q.Name)
+				}
+			case strings.HasPrefix(trimmed, `\engine `):
+				opts = optsFor(strings.TrimPrefix(trimmed, `\engine `))
+				fmt.Println("engine set")
+			case strings.HasPrefix(trimmed, `\run `):
+				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\run `))
+				if q, ok := tpch.QueryByName(name); ok {
+					exec(db, q.SQL, opts, false)
+				} else {
+					fmt.Println("unknown query; try \\queries")
+				}
+			case strings.HasPrefix(trimmed, `\explain `):
+				exec(db, strings.TrimPrefix(trimmed, `\explain `), opts, true)
+			default:
+				fmt.Println(`unknown command; \q \tables \queries \engine \run \explain`)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			exec(db, buf.String(), opts, false)
+			buf.Reset()
+			prompt()
+		}
+	}
+}
+
+func optsFor(engine string) hostdb.QueryOptions {
+	switch engine {
+	case "host":
+		return hostdb.QueryOptions{Mode: hostdb.ForceHost}
+	case "dpu":
+		return hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU}
+	case "x86":
+		return hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86}
+	default:
+		return hostdb.QueryOptions{Mode: hostdb.CostBased, RapidMode: qef.ModeX86}
+	}
+}
+
+func exec(db *hostdb.Database, sql string, opts hostdb.QueryOptions, explainOnly bool) {
+	start := time.Now()
+	res, err := db.Query(sql, opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if explainOnly {
+		fmt.Print(res.Explain)
+		return
+	}
+	rel := res.Rel
+	const maxRows = 40
+	n := rel.Rows()
+	show := n
+	if show > maxRows {
+		show = maxRows
+	}
+	for c := range rel.Cols {
+		if c > 0 {
+			fmt.Print(" | ")
+		}
+		fmt.Print(rel.Cols[c].Name)
+	}
+	fmt.Println()
+	for i := 0; i < show; i++ {
+		for c := range rel.Cols {
+			if c > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(rel.Render(i, c))
+		}
+		fmt.Println()
+	}
+	if show < n {
+		fmt.Printf("... (%d more rows)\n", n-show)
+	}
+	where := "host engine"
+	if res.Offloaded {
+		where = "RAPID"
+		if res.FellBack {
+			where = "host (fell back)"
+		}
+	} else if res.FellBack {
+		where = "host (fell back)"
+	}
+	fmt.Printf("%d rows in %.1f ms via %s", n, float64(time.Since(start))/1e6, where)
+	if res.RapidSimSeconds > 0 {
+		fmt.Printf(" (simulated DPU time: %.3f ms)", res.RapidSimSeconds*1e3)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,75 @@
+// Analytics example: window functions and set operations through SQL —
+// the "other operators" of paper §5.4 (rank with PARTITION BY, analytic
+// aggregates, UNION/INTERSECT/MINUS).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rapid"
+)
+
+func main() {
+	db := rapid.Open()
+	must(db.CreateTable("scores",
+		rapid.IntCol("player"),
+		rapid.StringCol("season"),
+		rapid.IntCol("points"),
+	))
+	seasons := []string{"spring", "summer", "autumn"}
+	var rows [][]rapid.Value
+	for p := 0; p < 50; p++ {
+		for s, season := range seasons {
+			rows = append(rows, []rapid.Value{
+				rapid.Int(int64(p)),
+				rapid.String(season),
+				rapid.Int(int64((p*37+s*101)%500 + 10)),
+			})
+		}
+	}
+	must(db.Insert("scores", rows))
+	must(db.Load("scores"))
+
+	// Rank within each season.
+	res, err := db.Query(`
+		SELECT season, player, points,
+		       rank() OVER (PARTITION BY season ORDER BY points DESC) AS pos
+		FROM scores
+		ORDER BY season, pos
+		LIMIT 9`)
+	must(err)
+	fmt.Println("season leaderboard (first 9 ranked rows):")
+	fmt.Print(res.Table())
+
+	// Running total per player across an ordered dimension.
+	res, err = db.Query(`
+		SELECT player, season, SUM(points) OVER (PARTITION BY player ORDER BY season) AS running
+		FROM scores
+		WHERE player < 2
+		ORDER BY player, season`)
+	must(err)
+	fmt.Println("\nrunning totals:")
+	fmt.Print(res.Table())
+
+	// Set operations: players strong in spring vs summer.
+	res, err = db.Query(`
+		SELECT player FROM scores WHERE season = 'spring' AND points > 400
+		INTERSECT
+		SELECT player FROM scores WHERE season = 'summer' AND points > 400`)
+	must(err)
+	fmt.Printf("\nplayers above 400 in both spring and summer: %d\n", res.Rows())
+
+	res, err = db.Query(`
+		SELECT player FROM scores WHERE season = 'spring' AND points > 400
+		MINUS
+		SELECT player FROM scores WHERE season = 'summer' AND points > 400`)
+	must(err)
+	fmt.Printf("players above 400 only in spring: %d\n", res.Rows())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package ate models the Atomic Transaction Engine of the RAPID DPU (paper
+// §2.4): a 2-level crossbar connecting the 8 dpCores of a macro at the first
+// level and the 4 macros at the second, with hardware-managed message
+// delivery and guaranteed point-to-point ordering.
+//
+// The DPU is not cache coherent, so ALL inter-core communication in RAPID
+// goes through ATE messages (or DMS transfers). This package preserves that
+// structure: the QEF never shares mutable state between cores directly; it
+// sends messages. Functionally the crossbar is a set of per-core FIFO
+// channels (which gives point-to-point ordering for free); the cost model
+// charges the sender the crossbar traversal cycles.
+package ate
+
+import (
+	"fmt"
+	"sync"
+
+	"rapid/internal/dpu"
+)
+
+// Message is one ATE datagram: a small payload delivered to a core's inbox.
+// On hardware the payload is a DMEM pointer plus a few words; here it is an
+// arbitrary value, typically an operator control token or a buffer handle.
+type Message struct {
+	From    int
+	To      int
+	Payload any
+}
+
+// Router is the 2-level crossbar. It is safe for concurrent use by all
+// cores.
+type Router struct {
+	cfg     dpu.Config
+	inboxes []chan Message
+}
+
+// DefaultInboxDepth is the per-core hardware message queue depth.
+const DefaultInboxDepth = 64
+
+// NewRouter builds a crossbar for the given SoC configuration.
+func NewRouter(cfg dpu.Config) *Router {
+	r := &Router{cfg: cfg, inboxes: make([]chan Message, cfg.NumCores)}
+	for i := range r.inboxes {
+		r.inboxes[i] = make(chan Message, DefaultInboxDepth)
+	}
+	return r
+}
+
+func (r *Router) macroOf(core int) int { return core / r.cfg.CoresPerMacro }
+
+// Send delivers a message from core `from` to core `to`, blocking if the
+// destination inbox is full (hardware backpressure). The sender is charged
+// the descriptor-post plus crossbar-hop cycles.
+func (r *Router) Send(from *dpu.Core, to int, payload any) {
+	if to < 0 || to >= len(r.inboxes) {
+		panic(fmt.Sprintf("ate: destination core %d out of range", to))
+	}
+	from.Charge(dpu.ATEMessageCycles(from.Macro(), r.macroOf(to)))
+	r.inboxes[to] <- Message{From: from.ID(), To: to, Payload: payload}
+}
+
+// Recv blocks until a message arrives at the core's inbox. The hardware ATE
+// raises an interrupt and hands the dpCore a DMEM pointer; we charge one
+// descriptor-handling cost.
+func (r *Router) Recv(core *dpu.Core) Message {
+	m := <-r.inboxes[core.ID()]
+	core.Charge(dpu.ATESendCycles)
+	return m
+}
+
+// TryRecv returns a pending message without blocking.
+func (r *Router) TryRecv(core *dpu.Core) (Message, bool) {
+	select {
+	case m := <-r.inboxes[core.ID()]:
+		core.Charge(dpu.ATESendCycles)
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+// Pending returns the number of undelivered messages for a core.
+func (r *Router) Pending(core int) int { return len(r.inboxes[core]) }
+
+// Mutex is an ATE-backed mutual exclusion primitive (paper §2.4 lists mutex
+// among the synchronization primitives the ATE enables). Lock/Unlock charge
+// the acquiring core the round-trip message cost.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the mutex on behalf of core.
+func (m *Mutex) Lock(core *dpu.Core) {
+	core.Charge(2 * dpu.ATESendCycles)
+	m.mu.Lock()
+}
+
+// Unlock releases the mutex on behalf of core.
+func (m *Mutex) Unlock(core *dpu.Core) {
+	core.Charge(dpu.ATESendCycles)
+	m.mu.Unlock()
+}
+
+// Barrier is a reusable (cyclic) barrier across n participants, built the
+// way RAPID builds it on hardware: participants message a coordinator and
+// wait for a broadcast. The cost charged per participant is one send plus
+// one broadcast receive across the crossbar.
+type Barrier struct {
+	n       int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("ate: barrier size must be positive")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks core until all n participants have arrived, then releases the
+// whole generation.
+func (b *Barrier) Wait(core *dpu.Core) {
+	// Arrival message to coordinator + broadcast back (worst case two
+	// crossbar levels each way).
+	core.Charge(2 * (dpu.ATESendCycles + 2*dpu.ATEHopCycles))
+
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// N returns the participant count.
+func (b *Barrier) N() int { return b.n }

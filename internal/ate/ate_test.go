@@ -1,0 +1,173 @@
+package ate
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rapid/internal/dpu"
+)
+
+func newSoC(t testing.TB) *dpu.SoC {
+	t.Helper()
+	return dpu.MustNew(dpu.DefaultConfig())
+}
+
+func TestSendRecvOrdering(t *testing.T) {
+	soc := newSoC(t)
+	r := NewRouter(soc.Config())
+	from, to := soc.Core(0), soc.Core(9) // cross-macro
+	for i := 0; i < 10; i++ {
+		r.Send(from, 9, i)
+	}
+	for i := 0; i < 10; i++ {
+		m := r.Recv(to)
+		if m.Payload.(int) != i {
+			t.Fatalf("message %d out of order: got %v", i, m.Payload)
+		}
+		if m.From != 0 || m.To != 9 {
+			t.Fatalf("message routing wrong: %+v", m)
+		}
+	}
+	if _, ok := r.TryRecv(to); ok {
+		t.Fatal("inbox should be empty")
+	}
+}
+
+func TestSendChargesCrossbarCost(t *testing.T) {
+	soc := newSoC(t)
+	r := NewRouter(soc.Config())
+	intra := soc.Core(0)
+	r.Send(intra, 1, nil) // same macro
+	intraCost := intra.Cycles()
+	inter := soc.Core(1)
+	r.Send(inter, 31, nil) // macro 0 -> macro 3
+	interCost := inter.Cycles()
+	if interCost <= intraCost {
+		t.Fatalf("inter-macro send (%d) should cost more than intra (%d)", interCost, intraCost)
+	}
+}
+
+func TestPendingAndBounds(t *testing.T) {
+	soc := newSoC(t)
+	r := NewRouter(soc.Config())
+	r.Send(soc.Core(0), 5, "x")
+	if r.Pending(5) != 1 {
+		t.Fatalf("Pending = %d", r.Pending(5))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad destination")
+		}
+	}()
+	r.Send(soc.Core(0), 99, nil)
+}
+
+func TestConcurrentAllToAll(t *testing.T) {
+	soc := newSoC(t)
+	r := NewRouter(soc.Config())
+	const perPair = 8
+	n := soc.Config().NumCores
+	var wg sync.WaitGroup
+	var received atomic.Int64
+	for c := 0; c < n; c++ {
+		wg.Add(2)
+		go func(id int) { // sender: messages to every other core
+			defer wg.Done()
+			core := soc.Core(id)
+			for p := 0; p < perPair; p++ {
+				for dst := 0; dst < n; dst++ {
+					if dst != id {
+						r.Send(core, dst, p)
+					}
+				}
+			}
+		}(c)
+		go func(id int) { // receiver
+			defer wg.Done()
+			core := soc.Core(id)
+			want := perPair * (n - 1)
+			for i := 0; i < want; i++ {
+				r.Recv(core)
+				received.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := received.Load(); got != int64(perPair*n*(n-1)) {
+		t.Fatalf("received %d messages, want %d", got, perPair*n*(n-1))
+	}
+}
+
+func TestMutex(t *testing.T) {
+	soc := newSoC(t)
+	var mu Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			core := soc.Core(id)
+			for i := 0; i < 500; i++ {
+				mu.Lock(core)
+				counter++
+				mu.Unlock(core)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if counter != 4000 {
+		t.Fatalf("counter = %d, want 4000 (mutex broken)", counter)
+	}
+	if soc.Core(0).Cycles() == 0 {
+		t.Fatal("mutex should charge cycles")
+	}
+}
+
+func TestBarrierCyclic(t *testing.T) {
+	soc := newSoC(t)
+	const n = 8
+	const rounds = 50
+	b := NewBarrier(n)
+	if b.N() != n {
+		t.Fatalf("N = %d", b.N())
+	}
+	var phase atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			core := soc.Core(id)
+			for r := 0; r < rounds; r++ {
+				before := phase.Load()
+				if before < int64(r) {
+					violations.Add(1)
+				}
+				b.Wait(core)
+				if id == 0 {
+					phase.Add(1)
+				}
+				b.Wait(core)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d barrier ordering violations", violations.Load())
+	}
+	if phase.Load() != rounds {
+		t.Fatalf("phase = %d, want %d", phase.Load(), rounds)
+	}
+}
+
+func TestBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}

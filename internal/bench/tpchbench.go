@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rapid/internal/hostdb"
+	"rapid/internal/power"
+	"rapid/internal/qef"
+	"rapid/internal/tpch"
+)
+
+// SetupTPCH builds a host database with the TPC-H workload loaded into
+// RAPID replicas.
+func SetupTPCH(sf float64) (*hostdb.Database, error) {
+	db := hostdb.New()
+	if err := tpch.PopulateHostDB(db, tpch.Config{ScaleFactor: sf, Seed: 2018}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// QueryRun is the measured execution of one TPC-H query on every engine.
+type QueryRun struct {
+	Name      string
+	HostWall  time.Duration // System X Volcano engine, wall clock
+	RapidWall time.Duration // RAPID software on this machine, wall clock
+	SimDPUSec float64       // RAPID on the simulated DPU
+	// Model-currency figures (see EXPERIMENTS.md): the same RAPID software
+	// run modeled on a dual-socket x86, derived from the work counters.
+	X86ModelSec float64
+	RapidFrac   float64 // share of elapsed time inside RAPID (Fig 15)
+	Rows        int
+}
+
+// SWSpeedup is the Fig 16 metric: System X wall / RAPID software wall.
+func (q QueryRun) SWSpeedup() float64 {
+	if q.RapidWall <= 0 {
+		return 0
+	}
+	return float64(q.HostWall) / float64(q.RapidWall)
+}
+
+// ChipSpeedRatio is the per-chip speed of one DPU against the dual-socket
+// server running System X, in model currency: (System X time) / (DPU
+// time), where System X time = measured software speedup x the modeled
+// x86 execution of the same RAPID software. The paper's numbers imply
+// ~0.3x on average (one 5.8 W chip at a third of a 290 W server's speed).
+func (q QueryRun) ChipSpeedRatio() float64 {
+	if q.SimDPUSec <= 0 {
+		return 0
+	}
+	return q.SWSpeedup() * q.X86ModelSec / q.SimDPUSec
+}
+
+// PerfPerWatt is the Fig 14 metric: the per-chip speed ratio times the
+// provisioned chip power ratio (~50x). The paper's average: 0.3 x 50 ~ 15x.
+func (q QueryRun) PerfPerWatt() float64 {
+	return q.ChipSpeedRatio() * power.ChipPowerRatio()
+}
+
+// ClusterSpeedup is §7.4's "RAPID on RAPID hardware runs 8.5X faster than
+// System X": the 28-DPU node against one server.
+func (q QueryRun) ClusterSpeedup() float64 {
+	return q.ChipSpeedRatio() * power.RapidNodeDPUs
+}
+
+// RunQueries executes every benchmark query on all three engines.
+func RunQueries(db *hostdb.Database, reps int) ([]QueryRun, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var out []QueryRun
+	for _, q := range tpch.Queries() {
+		run := QueryRun{Name: q.Name}
+		// System X (Volcano row engine).
+		host, err := bestOf(reps, func() (*hostdb.QueryResult, error) {
+			return db.Query(q.SQL, hostdb.QueryOptions{Mode: hostdb.ForceHost})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s host: %w", q.Name, err)
+		}
+		run.HostWall = host.wall
+		run.Rows = host.res.Rel.Rows()
+		// RAPID software on this machine.
+		rapidSW, err := bestOf(reps, func() (*hostdb.QueryResult, error) {
+			return db.Query(q.SQL, hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s rapid-sw: %w", q.Name, err)
+		}
+		run.RapidWall = rapidSW.res.RapidWall
+		run.RapidFrac = rapidSW.res.RapidFraction()
+		// RAPID on the simulated DPU; the work counters also give the x86
+		// model figure.
+		dpuRes, err := db.Query(q.SQL, hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU})
+		if err != nil {
+			return nil, fmt.Errorf("%s rapid-dpu: %w", q.Name, err)
+		}
+		run.SimDPUSec = dpuRes.RapidSimSeconds
+		run.X86ModelSec = dpuRes.X86ModelSeconds
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+type timedResult struct {
+	res  *hostdb.QueryResult
+	wall time.Duration
+}
+
+func bestOf(reps int, fn func() (*hostdb.QueryResult, error)) (timedResult, error) {
+	best := timedResult{wall: time.Hour}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err := fn()
+		wall := time.Since(start)
+		if err != nil {
+			return timedResult{}, err
+		}
+		if wall < best.wall {
+			best = timedResult{res: res, wall: wall}
+		}
+	}
+	return best, nil
+}
+
+// RunFig16 regenerates Figure 16: RAPID software vs System X on x86.
+func RunFig16(runs []QueryRun) *Table {
+	t := &Table{
+		Title:   "Fig 16: RAPID software vs System X on x86 (wall clock, this machine)",
+		Headers: []string{"query", "SystemX ms", "RAPID-sw ms", "speedup"},
+	}
+	var sum float64
+	for _, r := range runs {
+		t.AddRow(r.Name, f2(float64(r.HostWall)/1e6), f2(float64(r.RapidWall)/1e6), f2(r.SWSpeedup()))
+		sum += r.SWSpeedup()
+	}
+	t.AddNote("average software speedup: %.2fx (paper: 1.2x-8.5x, avg 2.5x)", sum/float64(len(runs)))
+	return t
+}
+
+// RunFig15 regenerates Figure 15: elapsed-time share inside RAPID.
+func RunFig15(runs []QueryRun) *Table {
+	t := &Table{
+		Title:   "Fig 15: Elapsed time percentage in RAPID vs host database",
+		Headers: []string{"query", "RAPID %", "host %"},
+	}
+	var sum float64
+	for _, r := range runs {
+		t.AddRow(r.Name, f1(100*r.RapidFrac), f1(100*(1-r.RapidFrac)))
+		sum += r.RapidFrac
+	}
+	t.AddNote("average RAPID share: %.2f%% (paper: 97.57%%)", 100*sum/float64(len(runs)))
+	return t
+}
+
+// RunFig14 regenerates Figure 14: performance per watt, RAPID DPU vs
+// System X on x86.
+func RunFig14(runs []QueryRun) *Table {
+	t := &Table{
+		Title:   "Fig 14: Performance per watt, RAPID vs x86",
+		Headers: []string{"query", "sw speedup", "chip speed (DPU/server)", "perf/watt ratio", "node speedup (28 DPUs)"},
+	}
+	var sum, sumCluster float64
+	for _, r := range runs {
+		t.AddRow(r.Name, f2(r.SWSpeedup()), f3(r.ChipSpeedRatio()), f1(r.PerfPerWatt()), f1(r.ClusterSpeedup()))
+		sum += r.PerfPerWatt()
+		sumCluster += r.ClusterSpeedup()
+	}
+	n := float64(len(runs))
+	t.AddNote("average perf/watt ratio: %.1fx (paper: 10x-25x, avg ~15x); average node speedup: %.1fx (paper: 8.5x)", sum/n, sumCluster/n)
+	t.AddNote("method: perf/watt = measured software speedup (Fig 16) x modeled x86-vs-DPU execution x chip power ratio (%s %.0fW vs %s %.1fW)",
+		power.SystemXServer().Name, power.SystemXServer().Watts, power.DPU().Name, power.DPU().Watts)
+	return t
+}

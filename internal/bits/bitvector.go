@@ -1,0 +1,229 @@
+// Package bits provides the bit-level substrate of the RAPID engine:
+// qualification bit-vectors, row-identifier (RID) lists and the
+// ceil(log2 N)-bit packed integer arrays used by the compact hash-join
+// kernel (paper §5.4, §6.3).
+//
+// On the DPU these structures are manipulated with single-cycle BVLD and
+// FILT instructions; here the same operations are plain Go, while the DPU
+// cost model (internal/dpu) charges cycles for them.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length bit-vector marking qualifying rows of a tile or
+// vector. Bit i corresponds to row offset i.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+const wordBits = 64
+
+// NewVector returns a zeroed bit-vector of n bits.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		panic("bits: negative vector length")
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewVectorAllSet returns a bit-vector of n bits with every bit set.
+func NewVectorAllSet(n int) *Vector {
+	v := NewVector(n)
+	v.SetAll()
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the underlying word storage. The tail bits beyond Len are
+// always zero.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Set sets bit i.
+func (v *Vector) Set(i int) {
+	v.boundsCheck(i)
+	v.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (v *Vector) Clear(i int) {
+	v.boundsCheck(i)
+	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (v *Vector) Test(i int) bool {
+	v.boundsCheck(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (v *Vector) boundsCheck(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bits: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// SetAll sets every bit.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+}
+
+// ClearAll clears every bit.
+func (v *Vector) ClearAll() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// maskTail zeroes the unused bits of the last word so that Count and
+// iteration never see ghost rows.
+func (v *Vector) maskTail() {
+	if rem := v.n % wordBits; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of set bits (qualifying rows).
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And stores the bitwise AND of a and b into v. All three must have the
+// same length; v may alias a or b.
+func (v *Vector) And(a, b *Vector) {
+	v.checkSameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores the bitwise OR of a and b into v.
+func (v *Vector) Or(a, b *Vector) {
+	v.checkSameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// AndNot stores a AND NOT b into v.
+func (v *Vector) AndNot(a, b *Vector) {
+	v.checkSameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// Not stores the complement of a into v.
+func (v *Vector) Not(a *Vector) {
+	if v.n != a.n {
+		panic("bits: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.maskTail()
+}
+
+func (v *Vector) checkSameLen(a, b *Vector) {
+	if v.n != a.n || v.n != b.n {
+		panic("bits: length mismatch")
+	}
+}
+
+// CopyFrom copies a into v. Lengths must match.
+func (v *Vector) CopyFrom(a *Vector) {
+	if v.n != a.n {
+		panic("bits: length mismatch")
+	}
+	copy(v.words, a.words)
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := NewVector(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// ForEach calls fn for every set bit, in increasing order.
+func (v *Vector) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 when
+// there is none. This mirrors the BVLD gather scan of Listing 1.
+func (v *Vector) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := v.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if v.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(v.words[wi])
+		}
+	}
+	return -1
+}
+
+// ToRIDs appends the offsets of all set bits to dst and returns it.
+func (v *Vector) ToRIDs(dst []uint32) []uint32 {
+	v.ForEach(func(i int) { dst = append(dst, uint32(i)) })
+	return dst
+}
+
+// FromRIDs clears v and sets the bit for every RID in rids.
+func (v *Vector) FromRIDs(rids []uint32) {
+	v.ClearAll()
+	for _, r := range rids {
+		v.Set(int(r))
+	}
+}
+
+// String renders the vector as 0/1 characters, lowest index first. Intended
+// for tests and debugging of small vectors.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// SizeBytes returns the DMEM footprint of the vector in bytes.
+func (v *Vector) SizeBytes() int { return len(v.words) * 8 }
+
+// VectorSizeBytes returns the DMEM footprint of an n-bit vector without
+// allocating it. Used by operator DMEM sizing (op_dmem_size).
+func VectorSizeBytes(n int) int { return ((n + wordBits - 1) / wordBits) * 8 }

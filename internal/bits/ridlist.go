@@ -1,0 +1,57 @@
+package bits
+
+// RID is a 32-bit row-offset identifier. The filter operator emits RID lists
+// instead of bit-vectors when fewer than 1/32 of the input rows qualify
+// (paper §5.4): below that density a 32-bit RID per row is smaller than one
+// bit per input row.
+type RID = uint32
+
+// RIDList is an ordered list of qualifying row offsets.
+type RIDList struct {
+	rids []RID
+}
+
+// NewRIDList returns a RID list with the given capacity hint.
+func NewRIDList(capacity int) *RIDList {
+	return &RIDList{rids: make([]RID, 0, capacity)}
+}
+
+// RIDListFrom wraps an existing slice.
+func RIDListFrom(rids []RID) *RIDList { return &RIDList{rids: rids} }
+
+// Append adds a row offset.
+func (l *RIDList) Append(r RID) { l.rids = append(l.rids, r) }
+
+// Len returns the number of RIDs.
+func (l *RIDList) Len() int { return len(l.rids) }
+
+// At returns the i-th RID.
+func (l *RIDList) At(i int) RID { return l.rids[i] }
+
+// Slice exposes the underlying storage.
+func (l *RIDList) Slice() []RID { return l.rids }
+
+// Reset truncates the list, retaining capacity.
+func (l *RIDList) Reset() { l.rids = l.rids[:0] }
+
+// SizeBytes returns the DMEM footprint.
+func (l *RIDList) SizeBytes() int { return len(l.rids) * 4 }
+
+// ToVector materializes the list as a bit-vector of n bits.
+func (l *RIDList) ToVector(n int) *Vector {
+	v := NewVector(n)
+	for _, r := range l.rids {
+		v.Set(int(r))
+	}
+	return v
+}
+
+// ChooseRIDs implements the representation decision of paper §5.4: RID lists
+// win when the expected number of qualifying rows is below 1/32 of the input
+// (a RID costs 32 bits; a bit-vector costs 1 bit per input row).
+func ChooseRIDs(expectedHits, inputRows int) bool {
+	if inputRows <= 0 {
+		return false
+	}
+	return expectedHits*32 < inputRows
+}

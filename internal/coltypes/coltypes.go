@@ -1,0 +1,101 @@
+// Package coltypes defines RAPID's logical column types and the fixed-width
+// physical storage all of them compile to.
+//
+// The DPU has no floating point and strict alignment rules (paper §4.2), so
+// RAPID stores every type as 1/2/4/8-byte integers after encoding: decimals
+// as decimal-scaled binary (DSB), dates as day numbers, strings as dictionary
+// codes. This package holds the type descriptors and the typed flat arrays;
+// the encodings themselves live in internal/encoding.
+package coltypes
+
+import "fmt"
+
+// Width is the physical element width in bytes.
+type Width int8
+
+// Physical widths supported by the storage layer.
+const (
+	W1 Width = 1
+	W2 Width = 2
+	W4 Width = 4
+	W8 Width = 8
+)
+
+// Valid reports whether w is a supported physical width.
+func (w Width) Valid() bool { return w == W1 || w == W2 || w == W4 || w == W8 }
+
+// Bytes returns the width in bytes as an int.
+func (w Width) Bytes() int { return int(w) }
+
+// MinInt returns the smallest representable value at this width.
+func (w Width) MinInt() int64 {
+	return -(int64(1) << (uint(w)*8 - 1))
+}
+
+// MaxInt returns the largest representable value at this width.
+func (w Width) MaxInt() int64 {
+	return int64(1)<<(uint(w)*8-1) - 1
+}
+
+// WidthFor returns the narrowest width able to hold every value in
+// [lo, hi].
+func WidthFor(lo, hi int64) Width {
+	for _, w := range []Width{W1, W2, W4, W8} {
+		if lo >= w.MinInt() && hi <= w.MaxInt() {
+			return w
+		}
+	}
+	return W8
+}
+
+// Kind is the logical column kind.
+type Kind uint8
+
+const (
+	KindInt     Kind = iota // 64-bit integer
+	KindDecimal             // fixed-point decimal, DSB encoded with Scale
+	KindDate                // days since 1970-01-01
+	KindString              // dictionary encoded
+	KindBool                // 0/1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindDecimal:
+		return "DECIMAL"
+	case KindDate:
+		return "DATE"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Type is a logical column type descriptor.
+type Type struct {
+	Kind  Kind
+	Scale int8 // decimal digits after the point (KindDecimal only)
+}
+
+// Common type constructors.
+func Int() Type               { return Type{Kind: KindInt} }
+func Decimal(scale int8) Type { return Type{Kind: KindDecimal, Scale: scale} }
+func Date() Type              { return Type{Kind: KindDate} }
+func String() Type            { return Type{Kind: KindString} }
+func Bool() Type              { return Type{Kind: KindBool} }
+
+func (t Type) String() string {
+	if t.Kind == KindDecimal {
+		return fmt.Sprintf("DECIMAL(s=%d)", t.Scale)
+	}
+	return t.Kind.String()
+}
+
+// Numeric reports whether values of the type support arithmetic.
+func (t Type) Numeric() bool {
+	return t.Kind == KindInt || t.Kind == KindDecimal
+}

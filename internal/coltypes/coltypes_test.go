@@ -1,0 +1,189 @@
+package coltypes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthBounds(t *testing.T) {
+	cases := []struct {
+		w        Width
+		min, max int64
+	}{
+		{W1, -128, 127},
+		{W2, -32768, 32767},
+		{W4, -2147483648, 2147483647},
+		{W8, -9223372036854775808, 9223372036854775807},
+	}
+	for _, c := range cases {
+		if c.w.MinInt() != c.min || c.w.MaxInt() != c.max {
+			t.Errorf("width %d: bounds [%d,%d], want [%d,%d]",
+				c.w, c.w.MinInt(), c.w.MaxInt(), c.min, c.max)
+		}
+		if !c.w.Valid() {
+			t.Errorf("width %d should be valid", c.w)
+		}
+	}
+	if Width(3).Valid() {
+		t.Error("width 3 should be invalid")
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct {
+		lo, hi int64
+		want   Width
+	}{
+		{0, 100, W1},
+		{-128, 127, W1},
+		{0, 128, W2},
+		{-129, 0, W2},
+		{0, 1 << 20, W4},
+		{0, 1 << 40, W8},
+		{-(1 << 33), 0, W8},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.lo, c.hi); got != c.want {
+			t.Errorf("WidthFor(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Int().String() != "INT" || Date().String() != "DATE" ||
+		String().String() != "STRING" || Bool().String() != "BOOL" {
+		t.Fatal("type names wrong")
+	}
+	if Decimal(2).String() != "DECIMAL(s=2)" {
+		t.Fatalf("decimal name: %s", Decimal(2).String())
+	}
+	if !Int().Numeric() || !Decimal(2).Numeric() || Date().Numeric() || String().Numeric() {
+		t.Fatal("Numeric classification wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestDataRoundTripAllWidths(t *testing.T) {
+	for _, w := range []Width{W1, W2, W4, W8} {
+		d := New(w, 10)
+		if d.Len() != 10 || d.Width() != w {
+			t.Fatalf("width %d: Len/Width wrong", w)
+		}
+		// Store boundary values; they must survive exactly.
+		vals := []int64{0, 1, -1, w.MinInt(), w.MaxInt()}
+		for i, v := range vals {
+			d.Set(i, v)
+		}
+		for i, v := range vals {
+			if got := d.Get(i); got != v {
+				t.Fatalf("width %d: Get(%d) = %d, want %d", w, i, got, v)
+			}
+		}
+		if d.SizeBytes() != 10*w.Bytes() {
+			t.Fatalf("width %d: SizeBytes = %d", w, d.SizeBytes())
+		}
+		s := d.Slice(1, 4)
+		if s.Len() != 3 || s.Get(0) != vals[1] {
+			t.Fatalf("width %d: Slice wrong", w)
+		}
+		fresh := d.NewSame(5)
+		if fresh.Len() != 5 || fresh.Width() != w || fresh.Get(0) != 0 {
+			t.Fatalf("width %d: NewSame wrong", w)
+		}
+	}
+}
+
+func TestSetTruncates(t *testing.T) {
+	d := New(W1, 1)
+	d.Set(0, 300) // 300 mod 256 = 44
+	if d.Get(0) != 44 {
+		t.Fatalf("truncation: got %d", d.Get(0))
+	}
+}
+
+func TestFromToInt64s(t *testing.T) {
+	vals := []int64{5, -3, 127, 0}
+	d := FromInt64s(W2, vals)
+	got := ToInt64s(d)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("round trip [%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	for _, w := range []Width{W1, W2, W4, W8} {
+		src := FromInt64s(w, []int64{1, 2, 3})
+		dst := New(w, 5)
+		dst.CopyFrom(2, src)
+		want := []int64{0, 0, 1, 2, 3}
+		for i, v := range want {
+			if dst.Get(i) != v {
+				t.Fatalf("width %d: CopyFrom[%d] = %d, want %d", w, i, dst.Get(i), v)
+			}
+		}
+	}
+}
+
+func TestGatherScatterAllWidths(t *testing.T) {
+	for _, w := range []Width{W1, W2, W4, W8} {
+		src := FromInt64s(w, []int64{10, 20, 30, 40, 50})
+		rids := []uint32{4, 0, 2}
+		dst := New(w, 3)
+		Gather(dst, src, rids)
+		want := []int64{50, 10, 30}
+		for i, v := range want {
+			if dst.Get(i) != v {
+				t.Fatalf("width %d: Gather[%d] = %d, want %d", w, i, dst.Get(i), v)
+			}
+		}
+		back := New(w, 5)
+		Scatter(back, dst, rids)
+		if back.Get(4) != 50 || back.Get(0) != 10 || back.Get(2) != 30 || back.Get(1) != 0 {
+			t.Fatalf("width %d: Scatter wrong: %v", w, ToInt64s(back))
+		}
+	}
+}
+
+// Property: Gather(Scatter(x)) over a permutation is the identity.
+func TestGatherScatterPermutationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		rids := make([]uint32, n)
+		for i, p := range perm {
+			rids[i] = uint32(p)
+		}
+		src := New(W4, n)
+		for i := 0; i < n; i++ {
+			src.Set(i, int64(rng.Int31()))
+		}
+		scattered := New(W4, n)
+		Scatter(scattered, src, rids)
+		gathered := New(W4, n)
+		Gather(gathered, scattered, rids)
+		for i := 0; i < n; i++ {
+			if gathered.Get(i) != src.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Width(3), 1)
+}

@@ -1,0 +1,360 @@
+package dms
+
+import (
+	"math/rand"
+	"testing"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/mem"
+)
+
+func newEngine() (*Engine, *mem.DRAM) {
+	dram := mem.NewDRAM()
+	return NewEngine(DefaultModel(), dram), dram
+}
+
+func mkCols(n, cols int, gen func(row, col int) int64) []coltypes.Data {
+	out := make([]coltypes.Data, cols)
+	for c := range out {
+		d := coltypes.New(coltypes.W4, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, gen(i, c))
+		}
+		out[c] = d
+	}
+	return out
+}
+
+func TestReadMovesData(t *testing.T) {
+	e, dram := newEngine()
+	src := mkCols(100, 3, func(r, c int) int64 { return int64(r*10 + c) })
+	dst := []coltypes.Data{
+		coltypes.New(coltypes.W4, 20),
+		coltypes.New(coltypes.W4, 20),
+		coltypes.New(coltypes.W4, 20),
+	}
+	tm := e.Read(src, 40, 60, dst)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			if got := dst[c].Get(i); got != int64((40+i)*10+c) {
+				t.Fatalf("col %d row %d = %d", c, i, got)
+			}
+		}
+	}
+	if tm.Bytes != 3*20*4 {
+		t.Fatalf("Bytes = %d", tm.Bytes)
+	}
+	if tm.Descriptors != 3 {
+		t.Fatalf("Descriptors = %d", tm.Descriptors)
+	}
+	if dram.Traffic() != tm.Bytes {
+		t.Fatalf("DRAM traffic %d != %d", dram.Traffic(), tm.Bytes)
+	}
+	if e.Totals().Bytes != tm.Bytes {
+		t.Fatal("totals not accumulated")
+	}
+}
+
+func TestWriteMovesData(t *testing.T) {
+	e, _ := newEngine()
+	dst := mkCols(50, 2, func(r, c int) int64 { return 0 })
+	src := mkCols(10, 2, func(r, c int) int64 { return int64(100 + r + c) })
+	tm := e.Write(dst, 5, src, 10)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 10; i++ {
+			if dst[c].Get(5+i) != int64(100+i+c) {
+				t.Fatalf("write landed wrong at col %d row %d", c, i)
+			}
+		}
+	}
+	if dst[0].Get(4) != 0 || dst[0].Get(15) != 0 {
+		t.Fatal("write out of bounds")
+	}
+	// Write pays bus turnaround on top of read-shaped chunk cost.
+	rd := e.Model().readTime(10, 2, coltypes.W4)
+	if tm.Seconds <= rd.Seconds {
+		t.Fatal("write should cost more than read of same size")
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	e, _ := newEngine()
+	src := coltypes.FromInt64s(coltypes.W8, []int64{0, 10, 20, 30, 40, 50})
+	dst := coltypes.New(coltypes.W8, 3)
+	tm := e.GatherRead(src, []uint32{5, 1, 3}, dst)
+	if dst.Get(0) != 50 || dst.Get(1) != 10 || dst.Get(2) != 30 {
+		t.Fatalf("gather wrong: %v", coltypes.ToInt64s(dst))
+	}
+	if tm.Bytes != 24 {
+		t.Fatalf("gather Bytes = %d", tm.Bytes)
+	}
+	back := coltypes.New(coltypes.W8, 6)
+	e.ScatterWrite(back, []uint32{5, 1, 3}, dst)
+	if back.Get(5) != 50 || back.Get(1) != 10 || back.Get(3) != 30 || back.Get(0) != 0 {
+		t.Fatalf("scatter wrong: %v", coltypes.ToInt64s(back))
+	}
+}
+
+func TestBitVectorGatherRead(t *testing.T) {
+	e, _ := newEngine()
+	src := coltypes.FromInt64s(coltypes.W4, []int64{100, 101, 102, 103, 104, 105, 106, 107})
+	words := []uint64{0b10100101} // rows 0,2,5,7
+	dst := coltypes.New(coltypes.W4, 8)
+	n, _ := e.BitVectorGatherRead(src, words, 8, dst)
+	if n != 4 {
+		t.Fatalf("gathered %d rows", n)
+	}
+	want := []int64{100, 102, 105, 107}
+	for i, w := range want {
+		if dst.Get(i) != w {
+			t.Fatalf("row %d = %d, want %d", i, dst.Get(i), w)
+		}
+	}
+}
+
+func TestFig9ShapeBandwidth(t *testing.T) {
+	// The calibration targets of Fig 9: 128-row tiles of 4x4-byte columns
+	// read at >= 9 GiB/s; 64-row tiles are slower; more columns decay
+	// slightly.
+	m := DefaultModel()
+	const gib = 1 << 30
+	bw := func(rows, cols int) float64 {
+		tm := m.readTime(rows, cols, coltypes.W4)
+		return float64(tm.Bytes) / tm.Seconds / gib
+	}
+	if b := bw(128, 4); b < 9.0 {
+		t.Fatalf("128-row 4-col read = %.2f GiB/s, want >= 9", b)
+	}
+	if bw(64, 4) >= bw(128, 4) {
+		t.Fatal("64-row tiles should be slower than 128")
+	}
+	if bw(128, 32) >= bw(128, 2) {
+		t.Fatal("32 columns should be slower than 2")
+	}
+	// Decay must be slight (paper: "a slight performance decrease").
+	if bw(128, 32) < 0.8*bw(128, 2) {
+		t.Fatalf("column decay too steep: %.2f vs %.2f", bw(128, 32), bw(128, 2))
+	}
+}
+
+func TestFig8ShapePartitionBandwidth(t *testing.T) {
+	// 32-way HW partitioning of 4x4-byte columns lands around 9.3 GiB/s
+	// for every strategy.
+	e, _ := newEngine()
+	const n = 1 << 20
+	cols := mkCols(n, 4, func(r, c int) int64 { return int64(r) })
+	const gib = 1 << 30
+	specs := []PartitionSpec{
+		{Strategy: Radix, Fanout: 32, KeyCols: []int{0}},
+		{Strategy: Hash, Fanout: 32, KeyCols: []int{0}},
+		{Strategy: Hash, Fanout: 32, KeyCols: []int{0, 1}},
+		{Strategy: Hash, Fanout: 32, KeyCols: []int{0, 1, 2, 3}},
+		{Strategy: Range, Fanout: 32, KeyCols: []int{0}, Bounds: uniformBounds(32, n)},
+	}
+	for _, spec := range specs {
+		_, tm, err := e.PartitionIDs(cols, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Strategy, err)
+		}
+		bw := float64(tm.Bytes) / tm.Seconds / gib
+		if bw < 8.8 || bw > 10.0 {
+			t.Fatalf("%v %d keys: %.2f GiB/s, want ~9.3", spec.Strategy, len(spec.KeyCols), bw)
+		}
+	}
+}
+
+func uniformBounds(fanout int, card int) []int64 {
+	b := make([]int64, fanout-1)
+	for i := range b {
+		b[i] = int64((i + 1) * card / fanout)
+	}
+	return b
+}
+
+func TestRadixPartitioning(t *testing.T) {
+	e, _ := newEngine()
+	cols := mkCols(1000, 2, func(r, c int) int64 { return int64(r) })
+	parts, _, err := e.HWPartition(cols, PartitionSpec{Strategy: Radix, Fanout: 8, KeyCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < 8; p++ {
+		total += parts.Rows[p]
+		for i := 0; i < parts.Rows[p]; i++ {
+			key := parts.Cols[p][0].Get(i)
+			if key&7 != int64(p) {
+				t.Fatalf("row with key %d in partition %d", key, p)
+			}
+			// Row integrity: second column must travel with the first.
+			if parts.Cols[p][1].Get(i) != key {
+				t.Fatal("row torn across columns")
+			}
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("rows lost: %d", total)
+	}
+}
+
+func TestHashPartitioningCompleteAndDeterministic(t *testing.T) {
+	e, _ := newEngine()
+	rng := rand.New(rand.NewSource(3))
+	cols := mkCols(5000, 1, func(r, c int) int64 { return int64(rng.Intn(100000)) })
+	ids1, _, err := e.PartitionIDs(cols, PartitionSpec{Strategy: Hash, Fanout: 16, KeyCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, _ := e.PartitionIDs(cols, PartitionSpec{Strategy: Hash, Fanout: 16, KeyCols: []int{0}})
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatal("hash partitioning not deterministic")
+		}
+		if ids1[i] >= 16 {
+			t.Fatalf("partition id %d out of fan-out", ids1[i])
+		}
+	}
+	// Same key -> same partition.
+	seen := map[int64]uint8{}
+	for i := range ids1 {
+		k := cols[0].Get(i)
+		if p, ok := seen[k]; ok && p != ids1[i] {
+			t.Fatalf("key %d in two partitions", k)
+		}
+		seen[k] = ids1[i]
+	}
+}
+
+func TestHashPartitioningBalance(t *testing.T) {
+	e, _ := newEngine()
+	const n = 32000
+	cols := mkCols(n, 1, func(r, c int) int64 { return int64(r) })
+	parts, _, err := e.HWPartition(cols, PartitionSpec{Strategy: Hash, Fanout: 32, KeyCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n / 32
+	for p, rows := range parts.Rows {
+		if rows < want*7/10 || rows > want*13/10 {
+			t.Fatalf("partition %d has %d rows, want ~%d", p, rows, want)
+		}
+	}
+}
+
+func TestRangePartitioning(t *testing.T) {
+	e, _ := newEngine()
+	cols := mkCols(100, 1, func(r, c int) int64 { return int64(r) })
+	spec := PartitionSpec{Strategy: Range, Fanout: 4, KeyCols: []int{0}, Bounds: []int64{25, 50, 75}}
+	parts, _, err := e.HWPartition(cols, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []int{25, 25, 25, 25}
+	for p := range wantRows {
+		if parts.Rows[p] != wantRows[p] {
+			t.Fatalf("range partition %d has %d rows, want %d", p, parts.Rows[p], wantRows[p])
+		}
+	}
+	// Boundary value: key 25 goes to partition 1 (bounds are exclusive
+	// upper limits).
+	ids, _, _ := e.PartitionIDs(cols, spec)
+	if ids[25] != 1 || ids[24] != 0 || ids[99] != 3 {
+		t.Fatalf("boundary routing wrong: ids[24..25]=%d,%d ids[99]=%d", ids[24], ids[25], ids[99])
+	}
+}
+
+func TestRoundRobinSkewReplication(t *testing.T) {
+	e, _ := newEngine()
+	// Key 7 is a heavy hitter: replicate it over targets 0..3.
+	n := 1000
+	cols := mkCols(n, 1, func(r, c int) int64 {
+		if r%2 == 0 {
+			return 7
+		}
+		return int64(r + 1000) // disjoint from the heavy-hitter key
+	})
+	spec := PartitionSpec{
+		Strategy: RoundRobin,
+		Fanout:   8,
+		KeyCols:  []int{0},
+		SkewRanges: []SkewRange{
+			{Lo: 7, Hi: 7, Targets: []int{0, 1, 2, 3}},
+		},
+	}
+	ids, _, err := e.PartitionIDs(cols, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyCounts := make([]int, 8)
+	for i, id := range ids {
+		if cols[0].Get(i) == 7 {
+			if id > 3 {
+				t.Fatalf("heavy hitter routed to %d", id)
+			}
+			heavyCounts[id]++
+		}
+	}
+	// 500 heavy rows spread evenly across 4 targets.
+	for p := 0; p < 4; p++ {
+		if heavyCounts[p] != 125 {
+			t.Fatalf("heavy rows at target %d = %d, want 125", p, heavyCounts[p])
+		}
+	}
+}
+
+func TestHashVectorMatchesKernelHash(t *testing.T) {
+	e, _ := newEngine()
+	cols := mkCols(256, 2, func(r, c int) int64 { return int64(r * (c + 1)) })
+	hv, tm := e.HashVector(cols, []int{0, 1})
+	if len(hv) != 256 {
+		t.Fatalf("len = %d", len(hv))
+	}
+	if tm.Seconds <= 0 {
+		t.Fatal("hash vector must take time")
+	}
+	hv2, _ := e.HashVector(cols, []int{0, 1})
+	for i := range hv {
+		if hv[i] != hv2[i] {
+			t.Fatal("hash vector not deterministic")
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []PartitionSpec{
+		{Strategy: Radix, Fanout: 0, KeyCols: []int{0}},
+		{Strategy: Radix, Fanout: 64, KeyCols: []int{0}},                           // beyond hardware
+		{Strategy: Radix, Fanout: 12, KeyCols: []int{0}},                           // not power of 2
+		{Strategy: Radix, Fanout: 8, KeyCols: []int{0, 1}},                         // too many keys
+		{Strategy: Hash, Fanout: 8, KeyCols: nil},                                  // no keys
+		{Strategy: Hash, Fanout: 8, KeyCols: []int{0, 1, 2, 3, 0}},                 // >4 keys
+		{Strategy: Hash, Fanout: 8, KeyCols: []int{5}},                             // col out of range
+		{Strategy: Range, Fanout: 4, KeyCols: []int{0}, Bounds: []int64{1}},        // wrong bound count
+		{Strategy: Range, Fanout: 3, KeyCols: []int{0}, Bounds: []int64{5, 1}},     // unsorted
+		{Strategy: RoundRobin, Fanout: 4, SkewRanges: []SkewRange{{Targets: nil}}}, // empty targets
+		{Strategy: RoundRobin, Fanout: 4, SkewRanges: []SkewRange{{Targets: []int{9}}}},
+		{Strategy: Strategy(99), Fanout: 4},
+	}
+	for i, s := range bad {
+		if err := s.Validate(2); err == nil {
+			t.Errorf("case %d (%v) should fail validation", i, s.Strategy)
+		}
+	}
+}
+
+func TestRadixBitsFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 32: 5, 1024: 10}
+	for f, want := range cases {
+		if got := RadixBitsFor(f); got != want {
+			t.Errorf("RadixBitsFor(%d) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{Radix: "radix", Hash: "hash", Range: "range", RoundRobin: "round-robin"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

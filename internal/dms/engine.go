@@ -1,0 +1,189 @@
+package dms
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/mem"
+)
+
+// Engine is the DMS: it executes data-movement operations between the DRAM
+// arena and DMEM-resident buffers, accounting both the functional effect
+// (data really moves) and the modeled time. It is shared by all dpCores and
+// safe for concurrent use; per-operation Timing values are returned to the
+// caller so tasks can overlap transfer time with compute time, while the
+// engine also keeps global totals for reporting.
+type Engine struct {
+	model Model
+	dram  *mem.DRAM
+
+	mu     sync.Mutex
+	totals Timing
+}
+
+// NewEngine creates a DMS over the given DRAM arena.
+func NewEngine(model Model, dram *mem.DRAM) *Engine {
+	return &Engine{model: model, dram: dram}
+}
+
+// Model returns the engine's timing model.
+func (e *Engine) Model() Model { return e.model }
+
+// Totals returns the cumulative timing over all operations.
+func (e *Engine) Totals() Timing {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totals
+}
+
+// ResetTotals zeroes the cumulative counters.
+func (e *Engine) ResetTotals() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.totals = Timing{}
+}
+
+func (e *Engine) account(t Timing) {
+	if e.dram != nil {
+		e.dram.AddTraffic(int(t.Bytes))
+	}
+	e.mu.Lock()
+	e.totals.Add(t)
+	e.mu.Unlock()
+}
+
+// Read transfers rows [lo, hi) of each source column (DRAM) into the
+// corresponding destination buffer (DMEM). Destination buffers must be at
+// least hi-lo long; widths must match. This is the sequential access
+// pattern of the relation accessor.
+func (e *Engine) Read(src []coltypes.Data, lo, hi int, dst []coltypes.Data) Timing {
+	rows := hi - lo
+	if rows < 0 {
+		panic("dms: negative row range")
+	}
+	if len(src) != len(dst) {
+		panic("dms: column count mismatch")
+	}
+	var t Timing
+	for i, s := range src {
+		if s.Width() != dst[i].Width() {
+			panic(fmt.Sprintf("dms: width mismatch on column %d", i))
+		}
+		dst[i].CopyFrom(0, s.Slice(lo, hi))
+		bytes := rows * s.Width().Bytes()
+		t.Seconds += e.model.chunkTime(bytes, len(src))
+		t.Bytes += int64(bytes)
+		t.Descriptors++
+	}
+	e.account(t)
+	return t
+}
+
+// Write transfers `rows` rows from DMEM buffers back to DRAM columns at
+// offset `at`.
+func (e *Engine) Write(dst []coltypes.Data, at int, src []coltypes.Data, rows int) Timing {
+	if len(src) != len(dst) {
+		panic("dms: column count mismatch")
+	}
+	var t Timing
+	for i, s := range src {
+		dst[i].CopyFrom(at, s.Slice(0, rows))
+		bytes := rows * s.Width().Bytes()
+		t.Seconds += e.model.chunkTime(bytes, len(src))
+		t.Bytes += int64(bytes)
+		t.Descriptors++
+	}
+	t.Seconds += e.model.WriteTurnaroundNs * 1e-9
+	t.Write = true
+	e.account(t)
+	return t
+}
+
+// StreamWrite bills a contiguous DMEM->DRAM buffer flush: one chained
+// descriptor, a single page open, the bus turnaround and the byte time.
+// Used by the software partitioning operator's local-buffer flushes, where
+// each flush is one contiguous region per partition.
+func (e *Engine) StreamWrite(bytes int) Timing {
+	t := Timing{
+		Seconds: (e.model.DescriptorIssueNs+e.model.PageSwitchBaseNs+e.model.WriteTurnaroundNs)*1e-9 +
+			float64(bytes)/e.model.PeakBytesPerSec,
+		Bytes:       int64(bytes),
+		Descriptors: 1,
+		Write:       true,
+	}
+	e.account(t)
+	return t
+}
+
+// GatherRate is the DMS random-gather element rate (elements/s): the gather
+// engine issues one DRAM access per element and pipelines them.
+const GatherRate = 800e6
+
+// GatherRead transfers src[rids[i]] (DRAM) into dst[i] (DMEM) for each RID.
+// This is the gather pattern used by the filter operator for non-first
+// predicates (paper §5.4): only qualifying rows are moved.
+func (e *Engine) GatherRead(src coltypes.Data, rids []uint32, dst coltypes.Data) Timing {
+	coltypes.Gather(dst, src, rids)
+	bytes := len(rids) * src.Width().Bytes()
+	sec := float64(bytes) / e.model.PeakBytesPerSec
+	if pipe := float64(len(rids)) / GatherRate; pipe > sec {
+		sec = pipe
+	}
+	t := Timing{
+		Seconds:     sec + e.model.DescriptorIssueNs*1e-9,
+		Bytes:       int64(bytes),
+		Descriptors: 1,
+	}
+	e.account(t)
+	return t
+}
+
+// ScatterWrite transfers src[i] (DMEM) into dst[rids[i]] (DRAM).
+func (e *Engine) ScatterWrite(dst coltypes.Data, rids []uint32, src coltypes.Data) Timing {
+	coltypes.Scatter(dst, src, rids)
+	bytes := len(rids) * src.Width().Bytes()
+	sec := float64(bytes) / e.model.PeakBytesPerSec
+	if pipe := float64(len(rids)) / GatherRate; pipe > sec {
+		sec = pipe
+	}
+	t := Timing{
+		Seconds:     sec + (e.model.DescriptorIssueNs+e.model.WriteTurnaroundNs)*1e-9,
+		Bytes:       int64(bytes),
+		Descriptors: 1,
+		Write:       true,
+	}
+	e.account(t)
+	return t
+}
+
+// BitVectorGatherRead is the bit-vector driven variant of GatherRead used by
+// filter chains: the DMS walks the bit-vector and fetches only set rows.
+// Returns the gathered row count.
+func (e *Engine) BitVectorGatherRead(src coltypes.Data, words []uint64, nbits int, dst coltypes.Data) (int, Timing) {
+	n := 0
+	for wi, w := range words {
+		base := wi * 64
+		for w != 0 {
+			tz := mathbits.TrailingZeros64(w)
+			i := base + tz
+			if i >= nbits {
+				break
+			}
+			dst.Set(n, src.Get(i))
+			n++
+			w &= w - 1
+		}
+	}
+	bytes := n * src.Width().Bytes()
+	// The bit-vector itself is also streamed from DMEM (free) but the
+	// gathered elements hit DRAM.
+	sec := float64(bytes) / e.model.PeakBytesPerSec
+	if pipe := float64(n) / GatherRate; pipe > sec {
+		sec = pipe
+	}
+	t := Timing{Seconds: sec + e.model.DescriptorIssueNs*1e-9, Bytes: int64(bytes), Descriptors: 1}
+	e.account(t)
+	return n, t
+}

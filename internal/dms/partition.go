@@ -1,0 +1,297 @@
+package dms
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"sort"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/hashcrc"
+)
+
+// Strategy selects one of the DMS hardware partitioning modes (paper §5.4).
+type Strategy int
+
+const (
+	// Radix inspects the low bits of the key column directly.
+	Radix Strategy = iota
+	// Hash applies the CRC32 engine to 1..4 key columns and inspects the
+	// radix bits of the hash.
+	Hash
+	// Range matches each key against up to 32 pre-programmed range bounds.
+	Range
+	// RoundRobin cycles targets; with SkewTargets it replicates frequent
+	// ranges across multiple cores (the skew mitigation of §5.4).
+	RoundRobin
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Radix:
+		return "radix"
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// MaxFanout is the hardware fan-out limit: one target per dpCore.
+const MaxFanout = 32
+
+// PartitionSpec programs the DMS partitioning engines.
+type PartitionSpec struct {
+	Strategy Strategy
+	// Fanout is the number of target partitions (1..32). Radix and Hash
+	// require a power of two.
+	Fanout int
+	// KeyCols are indices of the key columns (1..4 for Hash; exactly 1 for
+	// Radix and Range; ignored by RoundRobin).
+	KeyCols []int
+	// Bounds are the Range strategy's pre-programmed upper bounds: row goes
+	// to partition p where p is the first bound with key < Bounds[p], and
+	// to the last partition otherwise. len(Bounds) == Fanout-1.
+	Bounds []int64
+	// SkewRanges optionally assigns a frequent key range [Lo, Hi] to a set
+	// of targets that receive its rows round-robin (RoundRobin strategy).
+	SkewRanges []SkewRange
+}
+
+// SkewRange replicates a frequent key range over multiple target cores.
+type SkewRange struct {
+	Lo, Hi  int64 // inclusive key range on KeyCols[0]
+	Targets []int // dpCore targets receiving the range round-robin
+}
+
+// Validate checks the spec against the hardware limits.
+func (s PartitionSpec) Validate(numCols int) error {
+	if s.Fanout < 1 || s.Fanout > MaxFanout {
+		return fmt.Errorf("dms: fan-out %d out of hardware range [1,%d]", s.Fanout, MaxFanout)
+	}
+	switch s.Strategy {
+	case Radix:
+		if len(s.KeyCols) != 1 {
+			return fmt.Errorf("dms: radix partitioning takes exactly 1 key column")
+		}
+		if s.Fanout&(s.Fanout-1) != 0 {
+			return fmt.Errorf("dms: radix fan-out %d must be a power of two", s.Fanout)
+		}
+	case Hash:
+		if len(s.KeyCols) < 1 || len(s.KeyCols) > 4 {
+			return fmt.Errorf("dms: hash partitioning takes 1..4 key columns, got %d", len(s.KeyCols))
+		}
+		if s.Fanout&(s.Fanout-1) != 0 {
+			return fmt.Errorf("dms: hash fan-out %d must be a power of two", s.Fanout)
+		}
+	case Range:
+		if len(s.KeyCols) != 1 {
+			return fmt.Errorf("dms: range partitioning takes exactly 1 key column")
+		}
+		if len(s.Bounds) != s.Fanout-1 {
+			return fmt.Errorf("dms: range partitioning needs %d bounds, got %d", s.Fanout-1, len(s.Bounds))
+		}
+		if !sort.SliceIsSorted(s.Bounds, func(i, j int) bool { return s.Bounds[i] < s.Bounds[j] }) {
+			return fmt.Errorf("dms: range bounds must be sorted")
+		}
+	case RoundRobin:
+		for _, r := range s.SkewRanges {
+			if len(r.Targets) == 0 {
+				return fmt.Errorf("dms: skew range with no targets")
+			}
+			for _, t := range r.Targets {
+				if t < 0 || t >= s.Fanout {
+					return fmt.Errorf("dms: skew target %d out of fan-out %d", t, s.Fanout)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("dms: unknown strategy %d", s.Strategy)
+	}
+	for _, k := range s.KeyCols {
+		if k < 0 || k >= numCols {
+			return fmt.Errorf("dms: key column %d out of range (have %d columns)", k, numCols)
+		}
+	}
+	return nil
+}
+
+// Partitions is the output of hardware partitioning: per-partition column
+// sets, conceptually placed directly into the target dpCores' DMEMs.
+type Partitions struct {
+	Cols [][]coltypes.Data // Cols[p][c]
+	Rows []int             // rows per partition
+}
+
+// NumPartitions returns the partition count.
+func (p *Partitions) NumPartitions() int { return len(p.Rows) }
+
+// PartitionIDs computes the target partition of every row (the CID vector
+// the hardware stages in CID memory) without moving data.
+func (e *Engine) PartitionIDs(cols []coltypes.Data, spec PartitionSpec) ([]uint8, Timing, error) {
+	if err := spec.Validate(len(cols)); err != nil {
+		return nil, Timing{}, err
+	}
+	if len(cols) == 0 {
+		return nil, Timing{}, nil
+	}
+	n := cols[0].Len()
+	ids := make([]uint8, n)
+	switch spec.Strategy {
+	case Radix:
+		key := cols[spec.KeyCols[0]]
+		mask := int64(spec.Fanout - 1)
+		for i := 0; i < n; i++ {
+			ids[i] = uint8(key.Get(i) & mask)
+		}
+	case Hash:
+		mask := uint32(spec.Fanout - 1)
+		hv := e.hashRows(cols, spec.KeyCols)
+		for i, h := range hv {
+			ids[i] = uint8(h & mask)
+		}
+	case Range:
+		key := cols[spec.KeyCols[0]]
+		for i := 0; i < n; i++ {
+			ids[i] = uint8(rangeBucket(spec.Bounds, key.Get(i)))
+		}
+	case RoundRobin:
+		rrCounters := make([]int, len(spec.SkewRanges))
+		var keyCol coltypes.Data
+		if len(spec.KeyCols) > 0 {
+			keyCol = cols[spec.KeyCols[0]]
+		}
+		next := 0
+		for i := 0; i < n; i++ {
+			assigned := false
+			if keyCol != nil {
+				v := keyCol.Get(i)
+				for ri, r := range spec.SkewRanges {
+					if v >= r.Lo && v <= r.Hi {
+						ids[i] = uint8(r.Targets[rrCounters[ri]%len(r.Targets)])
+						rrCounters[ri]++
+						assigned = true
+						break
+					}
+				}
+			}
+			if !assigned {
+				ids[i] = uint8(next % spec.Fanout)
+				next++
+			}
+		}
+	}
+	t := e.model.partitionTime(n, len(cols), widthOf(cols), spec.Strategy, len(spec.KeyCols))
+	e.account(t)
+	return ids, t, nil
+}
+
+// HWPartition partitions all columns by the spec, producing per-partition
+// column data. The DMS performs the whole operation in isolation from the
+// dpCores: no core cycles are charged.
+func (e *Engine) HWPartition(cols []coltypes.Data, spec PartitionSpec) (*Partitions, Timing, error) {
+	ids, t, err := e.PartitionIDs(cols, spec)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	counts := make([]int, spec.Fanout)
+	for _, id := range ids {
+		counts[id]++
+	}
+	// Per-partition RID lists via prefix offsets.
+	offsets := make([]int, spec.Fanout)
+	sum := 0
+	for p, c := range counts {
+		offsets[p] = sum
+		sum += c
+	}
+	rids := make([]uint32, n)
+	fill := append([]int(nil), offsets...)
+	for i, id := range ids {
+		rids[fill[id]] = uint32(i)
+		fill[id]++
+	}
+	out := &Partitions{
+		Cols: make([][]coltypes.Data, spec.Fanout),
+		Rows: counts,
+	}
+	for p := 0; p < spec.Fanout; p++ {
+		out.Cols[p] = make([]coltypes.Data, len(cols))
+		sel := rids[offsets[p] : offsets[p]+counts[p]]
+		for c, col := range cols {
+			dst := col.NewSame(len(sel))
+			coltypes.Gather(dst, col, sel)
+			out.Cols[p][c] = dst
+		}
+	}
+	return out, t, nil
+}
+
+// HashVector computes the CRC32 hash of the key columns for every row — the
+// "vector of CRC32 hash values computed in hardware" that feeds the software
+// partitioning pipeline of Listing 2.
+func (e *Engine) HashVector(cols []coltypes.Data, keyCols []int) ([]uint32, Timing) {
+	hv := e.hashRows(cols, keyCols)
+	n := len(hv)
+	var w coltypes.Width = coltypes.W4
+	if len(cols) > 0 {
+		w = widthOf(cols)
+	}
+	t := e.model.partitionTime(n, len(keyCols), w, Hash, len(keyCols))
+	e.account(t)
+	return hv, t
+}
+
+func (e *Engine) hashRows(cols []coltypes.Data, keyCols []int) []uint32 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := cols[0].Len()
+	hv := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		acc := hashcrc.Seed
+		for _, k := range keyCols {
+			acc = hashcrc.Hash64(acc, uint64(cols[k].Get(i)))
+		}
+		hv[i] = hashcrc.Finalize(acc)
+	}
+	return hv
+}
+
+// rangeBucket returns the index of the first bound greater than v, i.e. the
+// partition whose half-open range contains v; v beyond the last bound lands
+// in the final partition.
+func rangeBucket(bounds []int64, v int64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// widthOf returns the dominant (first) column width for the timing model.
+func widthOf(cols []coltypes.Data) coltypes.Width {
+	if len(cols) == 0 {
+		return coltypes.W4
+	}
+	return cols[0].Width()
+}
+
+// RadixBitsFor returns the number of radix bits for a fan-out (log2).
+func RadixBitsFor(fanout int) int {
+	if fanout <= 1 {
+		return 0
+	}
+	return mathbits.Len(uint(fanout - 1))
+}

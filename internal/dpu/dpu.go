@@ -1,0 +1,227 @@
+// Package dpu models the RAPID Data Processing Unit (paper §2): a 5.8 W SoC
+// with 32 simple in-order dpCores at 800 MHz, organized as 4 macros of 8
+// cores, each core owning a 32 KiB DMEM scratchpad.
+//
+// Go cannot execute the dpCore ISA, so the model is *functional plus
+// analytical*: operator primitives run as ordinary Go code producing correct
+// results, and simultaneously charge cycles to their core's counter using an
+// instruction-level cost model of the dpCore pipeline (dual issue of one ALU
+// and one load/store op per cycle, single-cycle database instructions such
+// as BVLD/FILT/CRC32, a stalling multiplier, and a static branch predictor
+// that predicts backward branches taken). Simulated execution time and power
+// figures are derived from these counters.
+package dpu
+
+import (
+	"fmt"
+
+	"rapid/internal/mem"
+)
+
+// Cycles counts dpCore clock cycles.
+type Cycles int64
+
+// Config describes a DPU SoC. The defaults match the paper.
+type Config struct {
+	NumCores      int     // total dpCores (32)
+	CoresPerMacro int     // dpCores per macro (8)
+	FreqHz        float64 // core clock (800 MHz)
+	DMEMBytes     int     // scratchpad per core (32 KiB)
+	L1DBytes      int     // L1 data cache per core (16 KiB)
+	L1IBytes      int     // L1 instruction cache per core (8 KiB)
+	L2Bytes       int     // shared L2 per macro (256 KiB)
+
+	// Power model (paper §2: 51 mW dynamic per core at 800 MHz, 5.8 W
+	// provisioned for the whole SoC including DMS, ATE and uncore).
+	CoreDynamicPowerW float64
+	ProvisionedPowerW float64
+}
+
+// DefaultConfig returns the paper's DPU configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumCores:          32,
+		CoresPerMacro:     8,
+		FreqHz:            800e6,
+		DMEMBytes:         32 * 1024,
+		L1DBytes:          16 * 1024,
+		L1IBytes:          8 * 1024,
+		L2Bytes:           256 * 1024,
+		CoreDynamicPowerW: 0.051,
+		ProvisionedPowerW: 5.8,
+	}
+}
+
+// Validate checks internal consistency of the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumCores <= 0:
+		return fmt.Errorf("dpu: NumCores must be positive, got %d", c.NumCores)
+	case c.CoresPerMacro <= 0 || c.NumCores%c.CoresPerMacro != 0:
+		return fmt.Errorf("dpu: %d cores not divisible into macros of %d", c.NumCores, c.CoresPerMacro)
+	case c.FreqHz <= 0:
+		return fmt.Errorf("dpu: FreqHz must be positive")
+	case c.DMEMBytes <= 0:
+		return fmt.Errorf("dpu: DMEMBytes must be positive")
+	}
+	return nil
+}
+
+// NumMacros returns the macro count.
+func (c Config) NumMacros() int { return c.NumCores / c.CoresPerMacro }
+
+// Seconds converts a cycle count to seconds at the configured clock.
+func (c Config) Seconds(cy Cycles) float64 { return float64(cy) / c.FreqHz }
+
+// CyclesPerSecond returns the clock rate as Cycles.
+func (c Config) CyclesPerSecond() float64 { return c.FreqHz }
+
+// Core is one dpCore: an ID, its macro, its private DMEM and a cycle
+// counter. A Core is owned by a single goroutine at a time (the actor model
+// of the QEF guarantees this), so it needs no internal locking.
+type Core struct {
+	id    int
+	macro int
+	dmem  *mem.DMEM
+
+	cycles Cycles
+	// Pipeline statistics for the vectorization experiments (Fig 13).
+	branchMisses int64
+	instructions int64
+}
+
+// ID returns the core index within the SoC.
+func (co *Core) ID() int { return co.id }
+
+// Macro returns the macro index the core belongs to.
+func (co *Core) Macro() int { return co.macro }
+
+// DMEM returns the core's scratchpad allocator.
+func (co *Core) DMEM() *mem.DMEM { return co.dmem }
+
+// Charge adds cy cycles to the core's counter.
+func (co *Core) Charge(cy Cycles) {
+	if cy < 0 {
+		panic("dpu: negative cycle charge")
+	}
+	co.cycles += cy
+}
+
+// ChargeBranchMiss records a mispredicted branch and its pipeline penalty.
+func (co *Core) ChargeBranchMiss(n int64) {
+	co.branchMisses += n
+	co.cycles += Cycles(n) * BranchMissPenalty
+}
+
+// CountInstructions adds to the retired-instruction counter (statistics
+// only; cycle cost is charged separately).
+func (co *Core) CountInstructions(n int64) { co.instructions += n }
+
+// Cycles returns the core's accumulated cycle count.
+func (co *Core) Cycles() Cycles { return co.cycles }
+
+// BranchMisses returns the core's accumulated branch misprediction count.
+func (co *Core) BranchMisses() int64 { return co.branchMisses }
+
+// Instructions returns the retired-instruction count.
+func (co *Core) Instructions() int64 { return co.instructions }
+
+// Reset zeroes the counters and the DMEM allocator.
+func (co *Core) Reset() {
+	co.cycles = 0
+	co.branchMisses = 0
+	co.instructions = 0
+	co.dmem.Reset()
+}
+
+// SoC is a full DPU: configuration, cores and the attached DRAM.
+type SoC struct {
+	cfg   Config
+	cores []*Core
+	dram  *mem.DRAM
+}
+
+// New builds a DPU SoC from cfg.
+func New(cfg Config) (*SoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SoC{cfg: cfg, dram: mem.NewDRAM()}
+	s.cores = make([]*Core, cfg.NumCores)
+	for i := range s.cores {
+		s.cores[i] = &Core{
+			id:    i,
+			macro: i / cfg.CoresPerMacro,
+			dmem:  mem.NewDMEMWithCapacity(cfg.DMEMBytes),
+		}
+	}
+	return s, nil
+}
+
+// MustNew builds a SoC and panics on config errors.
+func MustNew(cfg Config) *SoC {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the SoC configuration.
+func (s *SoC) Config() Config { return s.cfg }
+
+// Core returns core i.
+func (s *SoC) Core(i int) *Core { return s.cores[i] }
+
+// Cores returns all cores.
+func (s *SoC) Cores() []*Core { return s.cores }
+
+// DRAM returns the attached memory arena.
+func (s *SoC) DRAM() *mem.DRAM { return s.dram }
+
+// MaxCoreCycles returns the makespan across cores: with all cores running
+// in parallel, elapsed time is determined by the busiest core.
+func (s *SoC) MaxCoreCycles() Cycles {
+	var m Cycles
+	for _, co := range s.cores {
+		if co.cycles > m {
+			m = co.cycles
+		}
+	}
+	return m
+}
+
+// TotalCycles returns the sum of cycles over all cores (total work).
+func (s *SoC) TotalCycles() Cycles {
+	var t Cycles
+	for _, co := range s.cores {
+		t += co.cycles
+	}
+	return t
+}
+
+// TotalBranchMisses sums branch mispredictions over all cores.
+func (s *SoC) TotalBranchMisses() int64 {
+	var t int64
+	for _, co := range s.cores {
+		t += co.branchMisses
+	}
+	return t
+}
+
+// TotalInstructions sums retired instructions over all cores.
+func (s *SoC) TotalInstructions() int64 {
+	var t int64
+	for _, co := range s.cores {
+		t += co.instructions
+	}
+	return t
+}
+
+// Reset zeroes every core counter and DMEM.
+func (s *SoC) Reset() {
+	for _, co := range s.cores {
+		co.Reset()
+	}
+	s.dram.ResetTraffic()
+}

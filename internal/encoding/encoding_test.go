@@ -1,0 +1,322 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rapid/internal/coltypes"
+)
+
+func TestParseDecimal(t *testing.T) {
+	cases := []struct {
+		in       string
+		unscaled int64
+		scale    int8
+	}{
+		{"123", 123, 0},
+		{"-4.50", -45, 1}, // trailing zero trimmed
+		{".25", 25, 2},
+		{"0", 0, 0},
+		{"-0.001", -1, 3},
+		{"+7.1", 71, 1},
+		{"100.00", 100, 0},
+	}
+	for _, c := range cases {
+		d, err := ParseDecimal(c.in)
+		if err != nil {
+			t.Fatalf("ParseDecimal(%q): %v", c.in, err)
+		}
+		if d.Unscaled != c.unscaled || d.Scale != c.scale {
+			t.Fatalf("ParseDecimal(%q) = {%d,%d}, want {%d,%d}", c.in, d.Unscaled, d.Scale, c.unscaled, c.scale)
+		}
+	}
+	for _, bad := range []string{"", ".", "abc", "1.2.3", "1e5"} {
+		if _, err := ParseDecimal(bad); err == nil {
+			t.Fatalf("ParseDecimal(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDecimalString(t *testing.T) {
+	cases := map[string]Decimal{
+		"123":    {123, 0},
+		"1.23":   {123, 2},
+		"-0.05":  {-5, 2},
+		"0.001":  {1, 3},
+		"-12.40": {-1240, 2},
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("(%d,%d).String() = %q, want %q", d.Unscaled, d.Scale, got, want)
+		}
+	}
+}
+
+func TestRescale(t *testing.T) {
+	d := Decimal{12345, 2} // 123.45
+	if v, ok := d.Rescale(4); !ok || v != 1234500 {
+		t.Fatalf("up-rescale: %d %v", v, ok)
+	}
+	if v, ok := d.Rescale(2); !ok || v != 12345 {
+		t.Fatalf("same-scale: %d %v", v, ok)
+	}
+	if _, ok := d.Rescale(1); ok {
+		t.Fatal("down-rescale losing digits should fail")
+	}
+	if v, ok := (Decimal{12300, 2}).Rescale(0); !ok || v != 123 {
+		t.Fatalf("down-rescale of trailing zeros: %d %v", v, ok)
+	}
+	// Overflow on the way up.
+	big := Decimal{1 << 60, 0}
+	if _, ok := big.Rescale(5); ok {
+		t.Fatal("overflowing rescale should fail")
+	}
+}
+
+func TestChooseScale(t *testing.T) {
+	vals := []Decimal{{100, 0}, {5, 1}, {25, 2}, {1230, 3}} // 100, 0.5, 0.25, 1.230
+	if s := ChooseScale(vals); s != 2 {
+		t.Fatalf("ChooseScale = %d, want 2 (1.230 normalizes to scale 2)", s)
+	}
+	if s := ChooseScale(nil); s != 0 {
+		t.Fatalf("ChooseScale(nil) = %d", s)
+	}
+}
+
+func TestEncodeDSBRoundTrip(t *testing.T) {
+	vals := []Decimal{
+		MustParseDecimal("1.5"),
+		MustParseDecimal("-2.25"),
+		MustParseDecimal("100"),
+		MustParseDecimal("0.01"),
+	}
+	v := EncodeDSB(vals)
+	if v.Scale != 2 || v.HasExceptions() {
+		t.Fatalf("scale=%d exceptions=%v", v.Scale, v.Exceptions)
+	}
+	want := []int64{150, -225, 10000, 1}
+	for i, w := range want {
+		if v.Values[i] != w {
+			t.Fatalf("Values[%d] = %d, want %d", i, v.Values[i], w)
+		}
+		if got := v.Decode(i); got.Cmp(vals[i]) != 0 {
+			t.Fatalf("Decode(%d) = %s, want %s", i, got, vals[i])
+		}
+	}
+}
+
+func TestEncodeDSBExceptions(t *testing.T) {
+	// A 1/3-like value at a scale the common vector cannot hold: force the
+	// common scale low and check the exception path preserves exactness.
+	vals := []Decimal{
+		{15, 1},                  // 1.5
+		{333333333333333333, 18}, // 0.333... needs scale 18
+	}
+	v := EncodeDSBAt(vals, 1)
+	if !v.HasExceptions() {
+		t.Fatal("expected exception for scale-18 value")
+	}
+	if got := v.Decode(1); got != vals[1] {
+		t.Fatalf("exception Decode = %v, want %v", got, vals[1])
+	}
+	if got := v.Decode(0); got.Unscaled != 15 || got.Scale != 1 {
+		t.Fatalf("normal Decode = %v", got)
+	}
+	// The in-vector approximation must be the truncation (order-friendly).
+	if v.Values[1] != 3 { // 0.333.. at scale 1 -> 3
+		t.Fatalf("approximation = %d, want 3", v.Values[1])
+	}
+}
+
+func TestDSBQuickRoundTrip(t *testing.T) {
+	f := func(raw []int64, scaleRaw uint8) bool {
+		scale := int8(scaleRaw % 6)
+		vals := make([]Decimal, len(raw))
+		for i, r := range raw {
+			vals[i] = Decimal{Unscaled: r % 1_000_000, Scale: scale}
+		}
+		v := EncodeDSB(vals)
+		for i := range vals {
+			if v.Decode(i).Cmp(vals[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	a := d.Add("apple")
+	b := d.Add("banana")
+	if d.Add("apple") != a {
+		t.Fatal("re-Add must return existing code")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Code("banana") != b || d.Code("cherry") != -1 {
+		t.Fatal("Code lookup wrong")
+	}
+	if d.Value(a) != "apple" {
+		t.Fatal("Value lookup wrong")
+	}
+	if d.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+}
+
+func TestDictRangeAndPrefix(t *testing.T) {
+	d := NewDict()
+	words := []string{"delta", "alpha", "charlie", "bravo", "alphabet", "echo"}
+	for _, w := range words {
+		d.Add(w)
+	}
+	// Range [alpha, charlie] inclusive.
+	cs := d.RangeCodes("alpha", "charlie", true, true)
+	wantIn := []string{"alpha", "alphabet", "bravo", "charlie"}
+	if cs.Count() != len(wantIn) {
+		t.Fatalf("range count = %d, want %d", cs.Count(), len(wantIn))
+	}
+	for _, w := range wantIn {
+		if !cs.Contains(d.Code(w)) {
+			t.Fatalf("%q missing from range", w)
+		}
+	}
+	if cs.Contains(d.Code("delta")) {
+		t.Fatal("delta should be out of range")
+	}
+	// Exclusive bounds.
+	ex := d.RangeCodes("alpha", "charlie", false, false)
+	if ex.Contains(d.Code("alpha")) || ex.Contains(d.Code("charlie")) {
+		t.Fatal("exclusive bounds included endpoints")
+	}
+	if !ex.Contains(d.Code("bravo")) {
+		t.Fatal("bravo missing from exclusive range")
+	}
+	// Prefix.
+	p := d.PrefixCodes("alph")
+	if p.Count() != 2 || !p.Contains(d.Code("alpha")) || !p.Contains(d.Code("alphabet")) {
+		t.Fatal("prefix lookup wrong")
+	}
+	// Updates after a lookup must be visible to the next lookup.
+	d.Add("alphorn")
+	p2 := d.PrefixCodes("alph")
+	if p2.Count() != 3 {
+		t.Fatalf("prefix after update = %d, want 3", p2.Count())
+	}
+	// Contains (substring).
+	sub := d.ContainsCodes("lph")
+	if sub.Count() != 3 {
+		t.Fatalf("substring count = %d", sub.Count())
+	}
+}
+
+func TestDictCompareCodes(t *testing.T) {
+	d := NewDict()
+	for _, w := range []string{"a", "b", "c", "d"} {
+		d.Add(w)
+	}
+	if cs := d.CompareCodes("<", "c"); cs.Count() != 2 {
+		t.Fatalf("< c: %d", cs.Count())
+	}
+	if cs := d.CompareCodes("<=", "c"); cs.Count() != 3 {
+		t.Fatalf("<= c: %d", cs.Count())
+	}
+	if cs := d.CompareCodes(">", "a"); cs.Count() != 3 {
+		t.Fatalf("> a: %d", cs.Count())
+	}
+	if cs := d.CompareCodes(">=", "b"); cs.Count() != 3 {
+		t.Fatalf(">= b: %d", cs.Count())
+	}
+}
+
+func TestDictSortRank(t *testing.T) {
+	d := NewDict()
+	d.Add("zebra") // code 0
+	d.Add("ant")   // code 1
+	d.Add("mole")  // code 2
+	rank := d.SortRank()
+	if rank[1] != 0 || rank[2] != 1 || rank[0] != 2 {
+		t.Fatalf("ranks = %v", rank)
+	}
+}
+
+func TestDictCodeSetOutOfRange(t *testing.T) {
+	d := NewDict()
+	d.Add("x")
+	cs := d.PrefixCodes("x")
+	if cs.Contains(-1) || cs.Contains(99) {
+		t.Fatal("out-of-range codes must not be contained")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	d := coltypes.FromInt64s(coltypes.W4, []int64{5, 5, 5, 7, 7, 1, 1, 1, 1, 9})
+	r := EncodeRLE(d)
+	if r.Runs() != 4 {
+		t.Fatalf("Runs = %d, want 4", r.Runs())
+	}
+	dec := r.Decode()
+	if dec.Len() != d.Len() {
+		t.Fatalf("decoded len = %d", dec.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if dec.Get(i) != d.Get(i) {
+			t.Fatalf("row %d: %d != %d", i, dec.Get(i), d.Get(i))
+		}
+	}
+	if r.CompressionRatio() <= 1 {
+		t.Fatalf("ratio = %f, expected compression", r.CompressionRatio())
+	}
+}
+
+func TestRLEEmptyAndSingle(t *testing.T) {
+	empty := EncodeRLE(coltypes.New(coltypes.W8, 0))
+	if empty.Runs() != 0 || empty.Decode().Len() != 0 {
+		t.Fatal("empty RLE wrong")
+	}
+	one := EncodeRLE(coltypes.FromInt64s(coltypes.W1, []int64{42}))
+	if one.Runs() != 1 || one.Decode().Get(0) != 42 {
+		t.Fatal("single RLE wrong")
+	}
+}
+
+func TestWorthRLE(t *testing.T) {
+	constant := coltypes.New(coltypes.W8, 1000) // all zero: compresses
+	if _, ok := WorthRLE(constant); !ok {
+		t.Fatal("constant column should be worth RLE")
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := coltypes.New(coltypes.W4, 1000)
+	for i := 0; i < 1000; i++ {
+		random.Set(i, int64(rng.Int31()))
+	}
+	if _, ok := WorthRLE(random); ok {
+		t.Fatal("random column should not be worth RLE")
+	}
+}
+
+// Property: RLE round-trips arbitrary vectors.
+func TestRLEQuick(t *testing.T) {
+	f := func(vals []int16) bool {
+		d := coltypes.New(coltypes.W2, len(vals))
+		for i, v := range vals {
+			d.Set(i, int64(v%8)) // small domain creates runs
+		}
+		dec := EncodeRLE(d).Decode()
+		for i := range vals {
+			if dec.Get(i) != d.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Package hashcrc provides the CRC32 hash-value generation that the RAPID
+// DPU exposes as a single-cycle dpCore instruction and as the hash engine of
+// the DMS (paper §2.1, §5.4). Both the hardware-partitioning path and the
+// software join/group-by kernels hash with the same function, which is why
+// hardware-computed hash vectors can feed software partitioning directly.
+//
+// We use the Castagnoli polynomial: it is the CRC32 variant implemented in
+// hardware on commodity CPUs, so the Go standard library accelerates it,
+// matching the "hardware hash engine" role it plays here.
+package hashcrc
+
+import "hash/crc32"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seed is the initial CRC accumulator value for the first key column.
+const Seed uint32 = 0
+
+// Hash64 folds an 8-byte value into the accumulator.
+func Hash64(acc uint32, v uint64) uint32 {
+	var b [8]byte
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+	return crc32.Update(acc, castagnoli, b[:])
+}
+
+// Hash32 folds a 4-byte value into the accumulator.
+func Hash32(acc uint32, v uint32) uint32 {
+	var b [4]byte
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	return crc32.Update(acc, castagnoli, b[:])
+}
+
+// HashBytes folds arbitrary bytes into the accumulator (dictionary keys).
+func HashBytes(acc uint32, b []byte) uint32 {
+	return crc32.Update(acc, castagnoli, b)
+}
+
+// Finalize mixes the accumulator so that low bits depend on all input bits;
+// the DMS radix stage and the join kernel's bit-mask modulo both consume low
+// bits directly.
+func Finalize(acc uint32) uint32 {
+	// CRC32 already diffuses well; a single multiplicative mix guards the
+	// degenerate single-key case where inputs differ only in high bits.
+	acc ^= acc >> 16
+	acc *= 0x85ebca6b
+	acc ^= acc >> 13
+	return acc
+}

@@ -1,0 +1,78 @@
+package hashcrc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Hash64(Seed, 12345)
+	b := Hash64(Seed, 12345)
+	if a != b {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(Seed, 12345) == Hash64(Seed, 12346) {
+		t.Fatal("adjacent keys should differ (with overwhelming probability)")
+	}
+}
+
+func TestChaining(t *testing.T) {
+	// Multi-key hashing chains accumulators; order must matter.
+	ab := Hash64(Hash64(Seed, 1), 2)
+	ba := Hash64(Hash64(Seed, 2), 1)
+	if ab == ba {
+		t.Fatal("chained hash should be order sensitive")
+	}
+	if Hash32(Seed, 7) == Hash64(Seed, 7) {
+		t.Fatal("width should be part of the hash domain")
+	}
+}
+
+func TestHashBytes(t *testing.T) {
+	if HashBytes(Seed, []byte("alpha")) == HashBytes(Seed, []byte("alphb")) {
+		t.Fatal("byte hash collision on near keys")
+	}
+	if HashBytes(Seed, nil) != Seed {
+		t.Fatal("empty update should be identity")
+	}
+}
+
+// The radix partitioning stage uses the low bits of the finalized hash; a
+// heavily skewed low-bit distribution would break partition balance. Check
+// uniformity loosely over sequential keys (the common case for synthetic
+// join keys).
+func TestLowBitUniformity(t *testing.T) {
+	const parts = 32
+	const n = 32000
+	var counts [parts]int
+	for i := 0; i < n; i++ {
+		h := Finalize(Hash64(Seed, uint64(i)))
+		counts[h%parts]++
+	}
+	want := n / parts
+	for p, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Fatalf("partition %d has %d of %d keys (want ~%d): skewed low bits", p, c, n, want)
+		}
+	}
+}
+
+func TestFinalizeInjectiveOnSmallDomain(t *testing.T) {
+	seen := map[uint32]uint32{}
+	for i := uint32(0); i < 10000; i++ {
+		f := Finalize(i)
+		if prev, ok := seen[f]; ok {
+			t.Fatalf("Finalize collision: %d and %d -> %d", prev, i, f)
+		}
+		seen[f] = i
+	}
+}
+
+func TestQuickDeterminism(t *testing.T) {
+	f := func(acc uint32, v uint64) bool {
+		return Hash64(acc, v) == Hash64(acc, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

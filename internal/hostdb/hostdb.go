@@ -1,0 +1,408 @@
+// Package hostdb implements "System X": the operational host RDBMS that
+// RAPID plugs into (paper §3). It is the single source of truth: a row
+// store with SCN-stamped transactions and in-memory journals. Analytical
+// queries are offloaded to RAPID cost-based; changes propagate to the
+// loaded RAPID replicas through background query checkpointing; and when a
+// query is not admissible (or RAPID fails) execution falls back to the
+// host's own Volcano-style row engine — which doubles as the paper's
+// baseline system in the Fig 14/16 experiments.
+package hostdb
+
+import (
+	"fmt"
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/encoding"
+	"rapid/internal/storage"
+)
+
+// Database is the host RDBMS instance.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*HostTable
+	scn    uint64
+
+	stopCheckpointer chan struct{}
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{tables: make(map[string]*HostTable)}
+}
+
+// HostTable is one row-store table plus its RAPID replica state.
+type HostTable struct {
+	name   string
+	schema *storage.Schema
+	dicts  []*encoding.Dict
+	scales []int8
+
+	mu      sync.RWMutex
+	rows    [][]int64
+	journal []journalEntry // changes not yet propagated to RAPID
+
+	rapid *storage.Table // loaded replica; nil until LOAD
+}
+
+// journalEntry is one pending change for RAPID propagation. Exactly one of
+// the fields is active.
+type journalEntry struct {
+	scn    uint64
+	insert []int64
+	delRow int // -1 when unused
+	updRow int // -1 when unused
+	updCol int
+	updVal int64
+}
+
+// NextSCN advances and returns the system change number.
+func (db *Database) NextSCN() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.scn++
+	return db.scn
+}
+
+// CurrentSCN returns the latest SCN.
+func (db *Database) CurrentSCN() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.scn
+}
+
+// CreateTable registers a new table.
+func (db *Database) CreateTable(name string, schema *storage.Schema) (*HostTable, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("hostdb: table %q exists", name)
+	}
+	t := &HostTable{name: name, schema: schema}
+	t.dicts = make([]*encoding.Dict, schema.NumCols())
+	t.scales = make([]int8, schema.NumCols())
+	for i := 0; i < schema.NumCols(); i++ {
+		def := schema.Col(i)
+		t.scales[i] = def.Type.Scale
+		if def.Type.Kind == coltypes.KindString {
+			t.dicts[i] = encoding.NewDict()
+		}
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *Database) Table(name string) (*HostTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("hostdb: no table %q", name)
+}
+
+// Name returns the table name.
+func (t *HostTable) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *HostTable) Schema() *storage.Schema { return t.schema }
+
+// Rows returns the current row count.
+func (t *HostTable) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Rapid returns the loaded RAPID replica, or nil.
+func (t *HostTable) Rapid() *storage.Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rapid
+}
+
+// encodeRow converts logical values to the fixed-width integer row.
+func (t *HostTable) encodeRow(vals []storage.Value) ([]int64, error) {
+	if len(vals) != t.schema.NumCols() {
+		return nil, fmt.Errorf("hostdb: row has %d values, want %d", len(vals), t.schema.NumCols())
+	}
+	row := make([]int64, len(vals))
+	for c, v := range vals {
+		def := t.schema.Col(c)
+		if v.Kind != def.Type.Kind {
+			return nil, fmt.Errorf("hostdb: column %s expects %v, got %v", def.Name, def.Type.Kind, v.Kind)
+		}
+		switch def.Type.Kind {
+		case coltypes.KindString:
+			row[c] = int64(t.dicts[c].Add(v.Str))
+		case coltypes.KindDecimal:
+			u, ok := v.Dec.Rescale(t.scales[c])
+			if !ok {
+				return nil, fmt.Errorf("hostdb: decimal %s does not fit scale %d", v.Dec, t.scales[c])
+			}
+			row[c] = u
+		default:
+			row[c] = v.Int
+		}
+	}
+	return row, nil
+}
+
+// DecodeValue renders an encoded cell.
+func (t *HostTable) DecodeValue(col int, enc int64) storage.Value {
+	def := t.schema.Col(col)
+	switch def.Type.Kind {
+	case coltypes.KindString:
+		return storage.StrValue(t.dicts[col].Value(int32(enc)))
+	case coltypes.KindDecimal:
+		return storage.DecValue(encoding.Decimal{Unscaled: enc, Scale: t.scales[col]})
+	case coltypes.KindDate:
+		return storage.Value{Kind: coltypes.KindDate, Int: enc}
+	case coltypes.KindBool:
+		return storage.BoolValue(enc != 0)
+	default:
+		return storage.IntValue(enc)
+	}
+}
+
+// Insert appends rows transactionally: the host row store is updated and a
+// journal entry records the change for RAPID propagation.
+func (db *Database) Insert(table string, rows [][]storage.Value) (uint64, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	scn := db.NextSCN()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, vals := range rows {
+		enc, err := t.encodeRow(vals)
+		if err != nil {
+			return 0, err
+		}
+		t.rows = append(t.rows, enc)
+		if t.rapid != nil {
+			t.journal = append(t.journal, journalEntry{scn: scn, insert: enc, delRow: -1, updRow: -1})
+		}
+	}
+	return scn, nil
+}
+
+// Update changes one cell of a row (by host row index).
+func (db *Database) Update(table string, row, col int, val storage.Value) (uint64, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	scn := db.NextSCN()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if row < 0 || row >= len(t.rows) {
+		return 0, fmt.Errorf("hostdb: row %d out of range", row)
+	}
+	tmp := make([]storage.Value, t.schema.NumCols())
+	for c := range tmp {
+		tmp[c] = t.DecodeValue(c, t.rows[row][c])
+	}
+	tmp[col] = val
+	enc, err := t.encodeRow(tmp)
+	if err != nil {
+		return 0, err
+	}
+	t.rows[row][col] = enc[col]
+	if t.rapid != nil {
+		t.journal = append(t.journal, journalEntry{scn: scn, delRow: -1, updRow: row, updCol: col, updVal: enc[col]})
+	}
+	return scn, nil
+}
+
+// Delete removes a row by host row index. The host row store swaps-removes;
+// the journal records the logical delete for RAPID.
+func (db *Database) Delete(table string, row int) (uint64, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	scn := db.NextSCN()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if row < 0 || row >= len(t.rows) {
+		return 0, fmt.Errorf("hostdb: row %d out of range", row)
+	}
+	if t.rapid != nil {
+		t.journal = append(t.journal, journalEntry{scn: scn, delRow: row, updRow: -1})
+	}
+	// Tombstone rather than compact so journal row indices stay stable.
+	t.rows[row] = nil
+	return scn, nil
+}
+
+// LoadOptions tunes the LOAD command.
+type LoadOptions struct {
+	Partitions   int
+	PartitionKey int
+	ChunkRows    int
+	TryRLE       bool
+	// ScanThreads is the degree of parallelism of the load scan (§4.4).
+	ScanThreads int
+}
+
+// Load executes the "LOAD" command (§4.4): scan threads cooperatively read
+// the host rows and a RAPID base table is built from them. After Load the
+// table's journal is empty and the replica is current.
+func (db *Database) Load(table string, opts LoadOptions) (*storage.Table, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ScanThreads <= 0 {
+		opts.ScanThreads = 4
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Scan threads decode row ranges in parallel into value buffers
+	// (reading "disk blocks" directly — here, the row store slices).
+	n := len(t.rows)
+	decoded := make([][]storage.Value, n)
+	var wg sync.WaitGroup
+	chunk := (n + opts.ScanThreads - 1) / opts.ScanThreads
+	for w := 0; w < opts.ScanThreads; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if t.rows[i] == nil {
+					continue // tombstone
+				}
+				vals := make([]storage.Value, t.schema.NumCols())
+				for c := range vals {
+					vals[c] = t.DecodeValue(c, t.rows[i][c])
+				}
+				decoded[i] = vals
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	b := storage.NewTableBuilder(t.name, t.schema, storage.BuildOptions{
+		Partitions:   opts.Partitions,
+		PartitionKey: opts.PartitionKey,
+		ChunkRows:    opts.ChunkRows,
+		TryRLE:       opts.TryRLE,
+	})
+	for _, vals := range decoded {
+		if vals == nil {
+			continue
+		}
+		if err := b.Append(vals); err != nil {
+			return nil, err
+		}
+	}
+	rapid, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	t.rapid = rapid
+	t.journal = nil
+	return rapid, nil
+}
+
+// PendingJournal returns the number of unpropagated journal entries.
+func (t *HostTable) PendingJournal() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.journal)
+}
+
+// Checkpoint propagates all pending journal entries to the RAPID replica as
+// one SCN-stamped update unit — the query checkpointing of §3.3.
+func (db *Database) Checkpoint(table string) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rapid == nil || len(t.journal) == 0 {
+		return nil
+	}
+	// One UU per SCN preserves versioning.
+	start := 0
+	for start < len(t.journal) {
+		scn := t.journal[start].scn
+		end := start
+		uu := storage.UpdateUnit{SCN: scn}
+		for end < len(t.journal) && t.journal[end].scn == scn {
+			e := t.journal[end]
+			switch {
+			case e.insert != nil:
+				vals := make([]storage.Value, t.schema.NumCols())
+				for c, enc := range e.insert {
+					vals[c] = t.DecodeValue(c, enc)
+				}
+				uu.Inserts = append(uu.Inserts, vals)
+			case e.delRow >= 0:
+				if ref, ok := rapidRowRef(t.rapid, e.delRow); ok {
+					uu.Deletes = append(uu.Deletes, ref)
+				}
+			case e.updRow >= 0:
+				if ref, ok := rapidRowRef(t.rapid, e.updRow); ok {
+					uu.Patches = append(uu.Patches, storage.CellPatch{
+						Ref: ref, Col: e.updCol, Val: t.DecodeValue(e.updCol, e.updVal),
+					})
+				}
+			}
+			end++
+		}
+		if err := t.rapid.Tracker().Apply(uu); err != nil {
+			return fmt.Errorf("hostdb: checkpoint %s: %w", table, err)
+		}
+		start = end
+	}
+	t.journal = nil
+	return nil
+}
+
+// rapidRowRef maps a host row index to the RAPID base row position. Valid
+// while the replica was loaded with the same row order and a single
+// partition layout per builder defaults.
+func rapidRowRef(rt *storage.Table, hostRow int) (storage.RowRef, bool) {
+	remaining := hostRow
+	for p := 0; p < rt.NumPartitions(); p++ {
+		part := rt.Partition(p)
+		for c := 0; c < part.NumChunks(); c++ {
+			rows := part.Chunk(c).Rows()
+			if remaining < rows {
+				return storage.RowRef{Part: p, Chunk: c, Row: remaining}, true
+			}
+			remaining -= rows
+		}
+	}
+	return storage.RowRef{}, false
+}
+
+// CheckpointAll checkpoints every loaded table.
+func (db *Database) CheckpointAll() error {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	db.mu.RUnlock()
+	for _, n := range names {
+		if err := db.Checkpoint(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

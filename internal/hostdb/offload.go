@@ -1,0 +1,257 @@
+package hostdb
+
+import (
+	"fmt"
+	"time"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/ops"
+	"rapid/internal/plan"
+	"rapid/internal/power"
+	"rapid/internal/qcomp"
+	"rapid/internal/qef"
+	"rapid/internal/sqlparse"
+	"rapid/internal/storage"
+)
+
+// ExecMode selects how a query is executed.
+type ExecMode int
+
+const (
+	// CostBased lets the optimizer decide (the paper's default, §3.1).
+	CostBased ExecMode = iota
+	// ForceHost runs on the System X row engine only.
+	ForceHost
+	// ForceOffload requires RAPID execution (fails if inadmissible).
+	ForceOffload
+)
+
+// QueryOptions tunes execution.
+type QueryOptions struct {
+	Mode ExecMode
+	// RapidMode selects the RAPID engine configuration (DPU simulation or
+	// native x86 software execution).
+	RapidMode qef.Mode
+	// FailOnInadmissible makes inadmissible offloads fail instead of
+	// falling back (paper: "the RAPID operator can either fail or
+	// fallback").
+	FailOnInadmissible bool
+	// InjectRapidFailure simulates a RAPID node failure mid-query to
+	// exercise the fallback path.
+	InjectRapidFailure bool
+}
+
+// QueryResult is the outcome of one query.
+type QueryResult struct {
+	Rel *ops.Relation
+
+	Offloaded bool
+	FellBack  bool
+	// Timing breakdown (Fig 15): wall time inside RAPID execution vs the
+	// host side (parse, optimize, result post-processing or full host
+	// execution).
+	RapidWall time.Duration
+	HostWall  time.Duration
+	// RapidSimSeconds is the DPU-simulated execution time (ModeDPU only).
+	RapidSimSeconds float64
+	// X86ModelSeconds is the same work modeled on a dual-socket x86 (the
+	// hardware-attribution denominator of §7.4; ModeDPU only).
+	X86ModelSeconds float64
+	// Cost estimates behind the offload decision.
+	EstRapidSec float64
+	EstHostSec  float64
+	Explain     string
+}
+
+// RapidFraction returns the share of elapsed wall time spent in RAPID.
+func (r *QueryResult) RapidFraction() float64 {
+	total := r.RapidWall + r.HostWall
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RapidWall) / float64(total)
+}
+
+// catalogAdapter exposes loaded RAPID replicas to the binder.
+type catalogAdapter struct{ db *Database }
+
+func (c catalogAdapter) Lookup(name string) (*storage.Table, error) {
+	t, err := c.db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	rt := t.Rapid()
+	if rt == nil {
+		return nil, fmt.Errorf("hostdb: table %q not loaded into RAPID (run LOAD first)", name)
+	}
+	return rt, nil
+}
+
+// Query parses, plans and executes a SQL query, deciding offload cost-based
+// per §3.1 and enforcing the SCN admissibility rule of §3.3.
+func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
+	hostStart := time.Now()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	querySCN := db.CurrentSCN()
+	node, err := sqlparse.Bind(stmt, catalogAdapter{db}, querySCN)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Explain: plan.Format(node)}
+	res.EstRapidSec, res.EstHostSec = qcomp.OffloadBenefit(node)
+
+	offload := false
+	switch opts.Mode {
+	case ForceHost:
+	case ForceOffload:
+		offload = true
+	default:
+		offload = res.EstRapidSec < res.EstHostSec
+	}
+
+	if offload {
+		// Admissibility (§3.3): every journal entry visible to the query
+		// must already be propagated to RAPID. The background checkpointer
+		// normally keeps this true.
+		admissible := db.admissible(node)
+		if !admissible && opts.FailOnInadmissible {
+			return nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
+		}
+		if admissible {
+			rel, rapidWall, simSec, x86Sec, rerr := db.runRapid(node, opts)
+			if rerr == nil {
+				res.Rel = rel
+				res.Offloaded = true
+				res.RapidWall = rapidWall
+				res.RapidSimSeconds = simSec
+				res.X86ModelSeconds = x86Sec
+				res.HostWall = time.Since(hostStart) - rapidWall
+				return res, nil
+			}
+			// RAPID execution failed: fall back to the host plan (§3.2).
+			res.FellBack = true
+		} else {
+			res.FellBack = true
+		}
+	}
+
+	rel, err := db.runHost(node)
+	if err != nil {
+		return nil, err
+	}
+	res.Rel = rel
+	res.HostWall = time.Since(hostStart) - res.RapidWall
+	return res, nil
+}
+
+// admissible checks the SCN rule for every table the plan touches.
+func (db *Database) admissible(node plan.Node) bool {
+	ok := true
+	walkScans(node, func(s *plan.Scan) {
+		if t, err := db.Table(s.Table.Name()); err == nil {
+			if t.PendingJournal() > 0 {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+func walkScans(n plan.Node, fn func(*plan.Scan)) {
+	if s, ok := n.(*plan.Scan); ok {
+		fn(s)
+		return
+	}
+	for _, c := range n.Children() {
+		walkScans(c, fn)
+	}
+}
+
+// runRapid is the RAPID operator (§3.1): it serializes the fragment plan to
+// the RAPID node (here: compiles it), triggers execution, and receives the
+// result relation "over the network".
+func (db *Database) runRapid(node plan.Node, opts QueryOptions) (*ops.Relation, time.Duration, float64, float64, error) {
+	if opts.InjectRapidFailure {
+		return nil, 0, 0, 0, fmt.Errorf("hostdb: injected RAPID node failure")
+	}
+	compiled, err := qcomp.Compile(node)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	ctx := qef.NewContext(opts.RapidMode)
+	start := time.Now()
+	rel, err := compiled.Execute(ctx)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, wall, 0, 0, err
+	}
+	x86Sec := power.X86ModelSeconds(float64(ctx.SoC.TotalCycles()), ctx.DMS.Totals().Bytes)
+	return rel, wall, ctx.SimElapsed(), x86Sec, nil
+}
+
+// runHost executes the plan on the System X row engine and materializes the
+// rows as a relation using the plan's output schema.
+func (db *Database) runHost(node plan.Node) (*ops.Relation, error) {
+	it, err := db.BuildIterator(node)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	fields := node.Schema()
+	cols := make([]ops.Col, len(fields))
+	data := make([][]int64, len(fields))
+	for _, r := range rows {
+		for c := range fields {
+			data[c] = append(data[c], r[c])
+		}
+	}
+	for c, f := range fields {
+		col := data[c]
+		if col == nil {
+			col = []int64{}
+		}
+		cols[c] = ops.Col{Name: f.Name, Type: f.Type, Dict: f.Dict, Data: coltypes.I64(col)}
+	}
+	return ops.NewRelation(cols)
+}
+
+// StartBackgroundCheckpointer launches the periodic journal propagation
+// threads of §3.3. Stop with StopBackgroundCheckpointer.
+func (db *Database) StartBackgroundCheckpointer(interval time.Duration) {
+	db.mu.Lock()
+	if db.stopCheckpointer != nil {
+		db.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	db.stopCheckpointer = stop
+	db.mu.Unlock()
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				_ = db.CheckpointAll()
+			}
+		}
+	}()
+}
+
+// StopBackgroundCheckpointer stops the background threads.
+func (db *Database) StopBackgroundCheckpointer() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.stopCheckpointer != nil {
+		close(db.stopCheckpointer)
+		db.stopCheckpointer = nil
+	}
+}

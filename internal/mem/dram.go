@@ -1,0 +1,47 @@
+package mem
+
+import "sync/atomic"
+
+// DRAM models the DPU-attached DDR3 memory as an accounted heap. Buffers are
+// ordinary Go allocations; the arena tracks total bytes so experiments can
+// report materialization volumes (the quantity the task-formation example of
+// paper Fig. 4 minimizes) and so the DMS bandwidth model can bill transfers.
+//
+// DRAM is safe for concurrent use: all 32 dpCores and the DMS share it.
+type DRAM struct {
+	allocated atomic.Int64 // live bytes
+	peak      atomic.Int64 // high-water mark
+	traffic   atomic.Int64 // cumulative bytes moved to/from DRAM by the DMS
+}
+
+// NewDRAM returns an empty DRAM arena.
+func NewDRAM() *DRAM { return &DRAM{} }
+
+// Alloc records a DRAM allocation of n bytes.
+func (m *DRAM) Alloc(n int) {
+	now := m.allocated.Add(int64(n))
+	for {
+		p := m.peak.Load()
+		if now <= p || m.peak.CompareAndSwap(p, now) {
+			return
+		}
+	}
+}
+
+// Free records the release of n bytes.
+func (m *DRAM) Free(n int) { m.allocated.Add(-int64(n)) }
+
+// AddTraffic records n bytes of DMS transfer to or from DRAM.
+func (m *DRAM) AddTraffic(n int) { m.traffic.Add(int64(n)) }
+
+// Allocated returns the live byte count.
+func (m *DRAM) Allocated() int64 { return m.allocated.Load() }
+
+// Peak returns the high-water mark of live bytes.
+func (m *DRAM) Peak() int64 { return m.peak.Load() }
+
+// Traffic returns the cumulative DMS transfer volume in bytes.
+func (m *DRAM) Traffic() int64 { return m.traffic.Load() }
+
+// ResetTraffic zeroes the traffic counter (used between experiments).
+func (m *DRAM) ResetTraffic() { m.traffic.Store(0) }

@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"rapid/internal/dpu"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// AggKind selects an aggregate function.
+type AggKind int
+
+const (
+	AggSum AggKind = iota
+	AggMin
+	AggMax
+	AggCount // COUNT(expr) over qualifying rows
+	AggCountStar
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggCount:
+		return "COUNT"
+	case AggCountStar:
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// AggSpec is one aggregate output: a function over an input expression
+// (nil for COUNT(*)).
+type AggSpec struct {
+	Kind AggKind
+	Expr Expr
+	Name string
+}
+
+// ScalarAggOp computes ungrouped aggregates: each core accumulates locally
+// and merges into the shared result at Close (the merge-operator pattern).
+type ScalarAggOp struct {
+	Specs  []AggSpec
+	Result *ScalarAggResult
+
+	local []primitives.AggState
+}
+
+// ScalarAggResult is the shared, merged aggregate state.
+type ScalarAggResult struct {
+	mu     sync.Mutex
+	states []primitives.AggState
+	inited bool
+}
+
+// NewScalarAggResult allocates the shared result for n specs.
+func NewScalarAggResult(n int) *ScalarAggResult {
+	r := &ScalarAggResult{states: make([]primitives.AggState, n)}
+	for i := range r.states {
+		r.states[i] = primitives.NewAggState()
+	}
+	r.inited = true
+	return r
+}
+
+// State returns the merged state of spec i.
+func (r *ScalarAggResult) State(i int) primitives.AggState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.states[i]
+}
+
+// Value returns the final value of spec i under the given kind.
+func (r *ScalarAggResult) Value(i int, kind AggKind) int64 {
+	st := r.State(i)
+	switch kind {
+	case AggSum:
+		return st.Sum
+	case AggMin:
+		return st.Min
+	case AggMax:
+		return st.Max
+	default:
+		return st.Count
+	}
+}
+
+func (a *ScalarAggOp) DMEMSize(tileRows int) int {
+	return len(a.Specs)*32 + tileRows*8
+}
+
+func (a *ScalarAggOp) Open(tc *qef.TaskCtx) error {
+	a.local = make([]primitives.AggState, len(a.Specs))
+	for i := range a.local {
+		a.local[i] = primitives.NewAggState()
+	}
+	return nil
+}
+
+func (a *ScalarAggOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	primitives.ChargeTileOverhead(core(tc))
+	for i, spec := range a.Specs {
+		if spec.Kind == AggCountStar {
+			a.local[i].Count += int64(t.QualifyingRows())
+			continue
+		}
+		vals := spec.Expr.Eval(tc, t)
+		if t.RIDs != nil {
+			// RID selection: gather the qualifying subset, then fold it.
+			sub := make([]int64, len(t.RIDs))
+			for j, r := range t.RIDs {
+				sub[j] = vals[r]
+			}
+			if c := core(tc); c != nil {
+				c.Charge(dpu.Cycles(len(t.RIDs)))
+			}
+			primitives.Aggregate(core(tc), sub, nil, &a.local[i])
+			continue
+		}
+		primitives.Aggregate(core(tc), vals, t.Sel, &a.local[i])
+	}
+	return nil
+}
+
+func (a *ScalarAggOp) Close(tc *qef.TaskCtx) error {
+	a.Result.mu.Lock()
+	defer a.Result.mu.Unlock()
+	for i := range a.Specs {
+		a.Result.states[i].Merge(a.local[i])
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package ops
+
+import (
+	"fmt"
+
+	"rapid/internal/dpu"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// Expr is a vectorized arithmetic expression over a tile's columns,
+// evaluated into a 64-bit accumulator vector. The compiler has already done
+// all type work (DSB scale alignment, width selection), so evaluation is
+// pure integer arithmetic composed of widen/arith primitives.
+type Expr interface {
+	// Eval computes the expression densely for all t.N rows.
+	Eval(tc *qef.TaskCtx, t *qef.Tile) []int64
+	// String renders the expression for plan display.
+	String() string
+}
+
+// ColRef reads tile column Idx, widening to 64 bits.
+type ColRef struct {
+	Idx  int
+	Name string
+}
+
+func (e *ColRef) Eval(tc *qef.TaskCtx, t *qef.Tile) []int64 {
+	return primitives.WidenToI64(core(tc), t.Cols[e.Idx], scratch(tc, t.N))
+}
+
+func (e *ColRef) String() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return fmt.Sprintf("$%d", e.Idx)
+}
+
+// ConstExpr is a 64-bit constant (already scaled by the compiler).
+type ConstExpr struct {
+	Val int64
+}
+
+func (e *ConstExpr) Eval(tc *qef.TaskCtx, t *qef.Tile) []int64 {
+	out := scratch(tc, t.N)
+	for i := range out {
+		out[i] = e.Val
+	}
+	charge1(tc, t.N)
+	return out
+}
+
+func (e *ConstExpr) String() string { return fmt.Sprintf("%d", e.Val) }
+
+// ArithOp is a binary arithmetic operator.
+type ArithOp int
+
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// BinExpr applies an arithmetic operator element-wise.
+type BinExpr struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+func (e *BinExpr) Eval(tc *qef.TaskCtx, t *qef.Tile) []int64 {
+	l := e.L.Eval(tc, t)
+	// Constant fast paths use the *Const primitives (cheaper than
+	// materializing a constant vector).
+	if c, ok := e.R.(*ConstExpr); ok {
+		out := scratch(tc, len(l))
+		switch e.Op {
+		case OpAdd:
+			primitives.AddConst(core(tc), l, c.Val, out)
+		case OpSub:
+			primitives.AddConst(core(tc), l, -c.Val, out)
+		case OpMul:
+			primitives.MulConst(core(tc), l, c.Val, out)
+		case OpDiv:
+			primitives.DivConst(core(tc), l, c.Val, out)
+		}
+		return out
+	}
+	r := e.R.Eval(tc, t)
+	out := scratch(tc, len(l))
+	switch e.Op {
+	case OpAdd:
+		primitives.AddCol(core(tc), l, r, out)
+	case OpSub:
+		primitives.SubCol(core(tc), l, r, out)
+	case OpMul:
+		primitives.MulCol(core(tc), l, r, out)
+	case OpDiv:
+		for i := range l {
+			if r[i] == 0 {
+				out[i] = 0
+			} else {
+				out[i] = l[i] / r[i]
+			}
+		}
+		charge4(tc, len(l))
+	}
+	return out
+}
+
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// CaseExpr is CASE WHEN cond THEN a ELSE b END, evaluated branch-free: both
+// arms are computed and blended by the condition bit-vector (the DPU way —
+// no data-dependent branches in primitives).
+type CaseExpr struct {
+	Cond Predicate
+	Then Expr
+	Else Expr
+}
+
+func (e *CaseExpr) Eval(tc *qef.TaskCtx, t *qef.Tile) []int64 {
+	cond := evalPredDense(tc, e.Cond, t)
+	a := e.Then.Eval(tc, t)
+	b := e.Else.Eval(tc, t)
+	out := scratch(tc, t.N)
+	for i := range out {
+		if cond.Test(i) {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	charge1(tc, t.N)
+	return out
+}
+
+func (e *CaseExpr) String() string {
+	return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", e.Cond, e.Then, e.Else)
+}
+
+func core(tc *qef.TaskCtx) *dpu.Core {
+	if tc == nil {
+		return nil
+	}
+	return tc.Core
+}
+
+// scratch returns a tile-lifetime buffer (per-task arena when available).
+func scratch(tc *qef.TaskCtx, n int) []int64 {
+	if tc == nil {
+		return make([]int64, n)
+	}
+	return tc.I64Scratch(n)
+}
+
+func charge1(tc *qef.TaskCtx, n int) {
+	if c := core(tc); c != nil {
+		c.Charge(dpu.Cycles(n))
+	}
+}
+
+func charge4(tc *qef.TaskCtx, n int) {
+	if c := core(tc); c != nil {
+		c.Charge(dpu.Cycles(4 * n))
+	}
+}

@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"sort"
+
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// FilterOp is the filter operator of §5.4. Predicates are evaluated
+// most-selective-first; the first predicate scans the tile densely and
+// subsequent predicates see only surviving rows. The result representation
+// switches between a RID list and a bit-vector by the 1/32 density rule,
+// and materialization of payload columns is deferred to the downstream
+// operator (late materialization) — the operator only updates the tile's
+// selection state.
+type FilterOp struct {
+	Preds []Predicate
+	Next  qef.Operator
+
+	ordered []Predicate
+}
+
+// DMEMSize: one bit-vector per live predicate result plus control state.
+func (f *FilterOp) DMEMSize(tileRows int) int {
+	return 2*bits.VectorSizeBytes(tileRows) + 64
+}
+
+// Open sorts predicates by estimated selectivity (predicate reordering).
+func (f *FilterOp) Open(tc *qef.TaskCtx) error {
+	f.ordered = append([]Predicate(nil), f.Preds...)
+	sort.SliceStable(f.ordered, func(i, j int) bool {
+		return f.ordered[i].EstSelectivity() < f.ordered[j].EstSelectivity()
+	})
+	return f.Next.Open(tc)
+}
+
+// Produce evaluates the predicate chain on one tile.
+func (f *FilterOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	primitives.ChargeTileOverhead(core(tc))
+	cur := t.Sel
+	if t.RIDs != nil {
+		// Upstream handed a RID list; convert once.
+		cur = bits.NewVector(t.N)
+		cur.FromRIDs(t.RIDs)
+		t.RIDs = nil
+	}
+	hits := t.N
+	for _, p := range f.ordered {
+		var bv *bits.Vector
+		bv, hits = p.Eval(tc, t, cur)
+		cur = bv
+		if hits == 0 {
+			break
+		}
+	}
+	if cur != nil {
+		// Representation choice (§5.4): RID list below 1/32 density.
+		if bits.ChooseRIDs(hits, t.N) {
+			t.RIDs = cur.ToRIDs(nil)
+			t.Sel = nil
+		} else {
+			t.Sel = cur
+			t.RIDs = nil
+		}
+	}
+	if hits == 0 {
+		return nil // nothing survives; skip downstream
+	}
+	return f.Next.Produce(tc, t)
+}
+
+// Close flushes downstream.
+func (f *FilterOp) Close(tc *qef.TaskCtx) error { return f.Next.Close(tc) }
+
+// MaterializeOp compacts a tile's selection: qualifying rows of every column
+// are gathered into dense output vectors. This is the deferred projection
+// materialization at the point the compiler chose (§5.4).
+type MaterializeOp struct {
+	Next qef.Operator
+}
+
+func (m *MaterializeOp) DMEMSize(tileRows int) int {
+	return tileRows * 8 // one gathered output buffer, reused per column
+}
+
+func (m *MaterializeOp) Open(tc *qef.TaskCtx) error { return m.Next.Open(tc) }
+
+func (m *MaterializeOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	if t.Dense() {
+		return m.Next.Produce(tc, t)
+	}
+	rids := t.SelRIDs()
+	out := make([]coltypes.Data, len(t.Cols))
+	for i, c := range t.Cols {
+		dst := c.NewSame(len(rids))
+		primitives.GatherRows(core(tc), c, rids, dst)
+		out[i] = dst
+	}
+	nt := qef.NewTile(out, len(rids))
+	return m.Next.Produce(tc, nt)
+}
+
+func (m *MaterializeOp) Close(tc *qef.TaskCtx) error { return m.Next.Close(tc) }
+
+// ProjectOp evaluates expressions into new output columns. Exprs evaluate
+// densely, so the compiler places a MaterializeOp upstream when the
+// selection is sparse.
+type ProjectOp struct {
+	Exprs []Expr
+	// Keep lists input columns passed through unchanged; each entry is an
+	// input column index. Computed columns follow the kept ones.
+	Keep []int
+	Next qef.Operator
+}
+
+func (p *ProjectOp) DMEMSize(tileRows int) int {
+	return len(p.Exprs) * tileRows * 8
+}
+
+func (p *ProjectOp) Open(tc *qef.TaskCtx) error { return p.Next.Open(tc) }
+
+func (p *ProjectOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	out := make([]coltypes.Data, 0, len(p.Keep)+len(p.Exprs))
+	for _, k := range p.Keep {
+		out = append(out, t.Cols[k])
+	}
+	for _, e := range p.Exprs {
+		out = append(out, coltypes.I64(e.Eval(tc, t)))
+	}
+	nt := qef.NewTile(out, t.N)
+	nt.Sel = t.Sel
+	nt.RIDs = t.RIDs
+	return p.Next.Produce(tc, nt)
+}
+
+func (p *ProjectOp) Close(tc *qef.TaskCtx) error { return p.Next.Close(tc) }

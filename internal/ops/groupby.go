@@ -1,0 +1,311 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/dpu"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// GroupTable is the DMEM-resident grouping hash table: open addressing over
+// the CRC32 hash of the group keys, group keys stored columnar by dense
+// group id. Like the join kernel it is pointer-free and sized against the
+// 32 KiB scratchpad.
+type GroupTable struct {
+	mask    uint32
+	slots   []int32 // gid+1; 0 = empty
+	keyCols [][]int64
+	hashes  []uint32 // per-gid hash for fast reject
+	n       int
+	cap     int
+}
+
+// GroupTableSizeBytes returns the DMEM footprint for maxGroups groups with
+// nKeys key columns (what the group-by declares as op_dmem_size).
+func GroupTableSizeBytes(maxGroups, nKeys int) int {
+	slots := nextPow2(2 * maxGroups)
+	return slots*4 + maxGroups*(nKeys*8+4)
+}
+
+// NewGroupTable builds a table for up to maxGroups groups of nKeys key
+// columns.
+func NewGroupTable(maxGroups, nKeys int) *GroupTable {
+	slots := nextPow2(2 * maxGroups)
+	g := &GroupTable{
+		mask:    uint32(slots - 1),
+		slots:   make([]int32, slots),
+		keyCols: make([][]int64, nKeys),
+		cap:     maxGroups,
+	}
+	for i := range g.keyCols {
+		g.keyCols[i] = make([]int64, 0, maxGroups)
+	}
+	return g
+}
+
+// NumGroups returns the number of distinct groups seen.
+func (g *GroupTable) NumGroups() int { return g.n }
+
+// Key returns key column k of group gid.
+func (g *GroupTable) Key(k int, gid int) int64 { return g.keyCols[k][gid] }
+
+// FindOrAdd returns the dense group id of the key tuple, adding it when
+// new. Returns -1 when the table is full (the caller re-partitions, the
+// runtime adaptation of §5.4).
+func (g *GroupTable) FindOrAdd(h uint32, key []int64) int {
+	slot := h & g.mask
+	for {
+		s := g.slots[slot]
+		if s == 0 {
+			if g.n >= g.cap {
+				return -1
+			}
+			gid := g.n
+			g.n++
+			g.slots[slot] = int32(gid + 1)
+			g.hashes = append(g.hashes, h)
+			for k := range g.keyCols {
+				g.keyCols[k] = append(g.keyCols[k], key[k])
+			}
+			return gid
+		}
+		gid := int(s - 1)
+		if g.hashes[gid] == h {
+			match := true
+			for k := range g.keyCols {
+				if g.keyCols[k][gid] != key[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return gid
+			}
+		}
+		slot = (slot + 1) & g.mask
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ErrGroupOverflow signals that the low-NDV strategy hit more groups than
+// the statistics predicted; the caller falls back to the partitioned
+// strategy.
+var ErrGroupOverflow = fmt.Errorf("ops: group table overflow (NDV above estimate)")
+
+// GroupByOp is the low-NDV group-by strategy of §5.4: every core aggregates
+// into its own small DMEM table, and a merge operator combines the (few)
+// groups at Close. The compiler selects this strategy when the table of all
+// groups fits the collective DMEM.
+type GroupByOp struct {
+	GroupCols []int // tile column indices of the group keys
+	Specs     []AggSpec
+	MaxGroups int
+	Merger    *GroupMerger
+
+	table   *GroupTable
+	aggs    []*primitives.GroupedAgg
+	gids    []uint32
+	rows    []uint32
+	hv      []uint32
+	keyBuf  []int64
+	keyData []coltypes.Data
+}
+
+func (g *GroupByOp) DMEMSize(tileRows int) int {
+	return GroupTableSizeBytes(g.MaxGroups, len(g.GroupCols)) +
+		len(g.Specs)*4*8*g.MaxGroups + tileRows*4
+}
+
+func (g *GroupByOp) Open(tc *qef.TaskCtx) error {
+	g.table = NewGroupTable(g.MaxGroups, len(g.GroupCols))
+	g.aggs = make([]*primitives.GroupedAgg, len(g.Specs))
+	for i := range g.aggs {
+		g.aggs[i] = primitives.NewGroupedAgg(g.MaxGroups)
+	}
+	g.keyBuf = make([]int64, len(g.GroupCols))
+	return nil
+}
+
+func (g *GroupByOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	primitives.ChargeTileOverhead(core(tc))
+	// Hash the group key columns (hardware CRC32 engine provides this in
+	// the on-the-fly partitioning path).
+	if cap(g.keyData) < len(g.GroupCols) {
+		g.keyData = make([]coltypes.Data, len(g.GroupCols))
+	}
+	keyData := g.keyData[:len(g.GroupCols)]
+	for i, c := range g.GroupCols {
+		keyData[i] = t.Cols[c]
+	}
+	g.hv = primitives.HashColumns(core(tc), keyData, g.hv[:0])
+	hv := g.hv
+	if cap(g.gids) < t.N {
+		g.gids = make([]uint32, 0, t.N)
+		g.rows = make([]uint32, 0, t.N)
+	}
+	gids := g.gids[:0]
+	rows := g.rows[:0]
+	var overflow error
+	t.ForEachRow(func(i int) {
+		if overflow != nil {
+			return
+		}
+		for k, d := range keyData {
+			g.keyBuf[k] = d.Get(i)
+		}
+		gid := g.table.FindOrAdd(hv[i], g.keyBuf)
+		if gid < 0 {
+			overflow = ErrGroupOverflow
+			return
+		}
+		gids = append(gids, uint32(gid))
+		rows = append(rows, uint32(i))
+	})
+	if overflow != nil {
+		return overflow
+	}
+	if c := core(tc); c != nil {
+		c.Charge(dpu.Cycles(3 * len(rows))) // table probe loop
+	}
+	dense := t.Dense()
+	for s, spec := range g.Specs {
+		if spec.Kind == AggCountStar {
+			g.aggs[s].AccumulateCounts(core(tc), gids)
+			continue
+		}
+		vals := spec.Expr.Eval(tc, t)
+		if dense {
+			g.aggs[s].Accumulate(core(tc), gids, vals)
+			continue
+		}
+		sub := scratch(tc, len(rows))
+		for j, r := range rows {
+			sub[j] = vals[r]
+		}
+		g.aggs[s].Accumulate(core(tc), gids, sub)
+	}
+	return nil
+}
+
+func (g *GroupByOp) Close(tc *qef.TaskCtx) error {
+	// Merge operator: ship local groups to the shared merger over ATE.
+	g.Merger.merge(tc, g.table, g.aggs, g.Specs)
+	return nil
+}
+
+// GroupMerger combines per-core group tables into the final grouped result.
+type GroupMerger struct {
+	NKeys int
+	Specs []AggSpec
+
+	mu    sync.Mutex
+	keys  map[string]int // serialized key -> row
+	kcols [][]int64
+	accs  [][]primitives.AggState // [spec][row]
+}
+
+// NewGroupMerger builds a merger for nKeys group columns and the specs.
+func NewGroupMerger(nKeys int, specs []AggSpec) *GroupMerger {
+	return &GroupMerger{
+		NKeys: nKeys,
+		Specs: specs,
+		keys:  make(map[string]int),
+		kcols: make([][]int64, nKeys),
+		accs:  make([][]primitives.AggState, len(specs)),
+	}
+}
+
+func (m *GroupMerger) merge(tc *qef.TaskCtx, table *GroupTable, aggs []*primitives.GroupedAgg, specs []AggSpec) {
+	if table == nil {
+		return
+	}
+	if c := core(tc); c != nil && table.n > 0 {
+		// ATE transfer of the local groups to the merge core.
+		c.Charge(dpu.Cycles(10 * table.n))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keyBuf := make([]byte, 0, m.NKeys*8)
+	for gid := 0; gid < table.n; gid++ {
+		keyBuf = keyBuf[:0]
+		for k := 0; k < m.NKeys; k++ {
+			v := table.Key(k, gid)
+			for b := 0; b < 8; b++ {
+				keyBuf = append(keyBuf, byte(v>>(8*b)))
+			}
+		}
+		row, ok := m.keys[string(keyBuf)]
+		if !ok {
+			row = len(m.keys)
+			m.keys[string(keyBuf)] = row
+			for k := 0; k < m.NKeys; k++ {
+				m.kcols[k] = append(m.kcols[k], table.Key(k, gid))
+			}
+			for s := range m.accs {
+				m.accs[s] = append(m.accs[s], primitives.NewAggState())
+			}
+		}
+		for s := range specs {
+			st := primitives.AggState{
+				Sum:   aggs[s].Sums[gid],
+				Min:   aggs[s].Mins[gid],
+				Max:   aggs[s].Maxs[gid],
+				Count: aggs[s].Counts[gid],
+			}
+			m.accs[s][row].Merge(st)
+		}
+	}
+}
+
+// NumGroups returns the merged group count.
+func (m *GroupMerger) NumGroups() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.keys)
+}
+
+// Relation materializes the merged result: group key columns first, then
+// one column per agg spec.
+func (m *GroupMerger) Relation(keyCols []Col, outNames []string) *Relation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.keys)
+	cols := make([]Col, 0, m.NKeys+len(m.Specs))
+	for k := 0; k < m.NKeys; k++ {
+		c := keyCols[k]
+		c.Data = coltypes.I64(append([]int64(nil), m.kcols[k]...))
+		cols = append(cols, c)
+	}
+	for s, spec := range m.Specs {
+		vals := make([]int64, n)
+		for row := 0; row < n; row++ {
+			st := m.accs[s][row]
+			switch spec.Kind {
+			case AggSum:
+				vals[row] = st.Sum
+			case AggMin:
+				vals[row] = st.Min
+			case AggMax:
+				vals[row] = st.Max
+			default:
+				vals[row] = st.Count
+			}
+		}
+		name := spec.Name
+		if name == "" && s < len(outNames) {
+			name = outNames[s]
+		}
+		cols = append(cols, Col{Name: name, Type: coltypes.Int(), Data: coltypes.I64(vals)})
+	}
+	return MustRelation(cols)
+}

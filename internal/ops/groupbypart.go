@@ -1,0 +1,195 @@
+package ops
+
+import (
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/dpu"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// GroupByPartitioned is the high-NDV group-by strategy of §5.4: a
+// partitioning phase distributes distinct groups over dpCores so each
+// partition's hash table fits in DMEM, then every core aggregates its
+// partitions independently — no merge needed because partitions hold
+// disjoint groups. If a partition holds more groups than estimated, it is
+// re-partitioned at runtime.
+func GroupByPartitioned(ctx *qef.Context, rel *Relation, groupCols []int, specs []AggSpec, scheme PartScheme, maxGroupsPerPart int) (*Relation, error) {
+	parts, err := PartitionByHash(ctx, rel.Datas(), groupCols, scheme, qef.DefaultTileRows)
+	if err != nil {
+		return nil, err
+	}
+	if maxGroupsPerPart <= 0 {
+		maxGroupsPerPart = 4096
+	}
+	out := &groupCollector{
+		nKeys: len(groupCols),
+		specs: specs,
+	}
+	units := make([]qef.WorkUnit, 0, parts.NumPartitions())
+	for p := 0; p < parts.NumPartitions(); p++ {
+		p := p
+		units = append(units, func(tc *qef.TaskCtx) error {
+			return groupOnePartition(tc, parts.Cols[p], parts.Hashes[p], parts.Bits, groupCols, specs, maxGroupsPerPart, out)
+		})
+	}
+	if err := ctx.RunParallel(units); err != nil {
+		return nil, err
+	}
+	keyCols := make([]Col, len(groupCols))
+	outNames := make([]string, len(specs))
+	for i, g := range groupCols {
+		keyCols[i] = rel.Cols[g]
+	}
+	for i, s := range specs {
+		outNames[i] = s.Name
+	}
+	return out.relation(keyCols, outNames), nil
+}
+
+// groupOnePartition aggregates one partition, re-partitioning on overflow
+// (the runtime adaptation when statistics underestimated the NDV).
+func groupOnePartition(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, usedBits uint, groupCols []int, specs []AggSpec, maxGroups int, out *groupCollector) error {
+	n := len(hv)
+	if n == 0 {
+		return nil
+	}
+	tc.DMEM.Mark()
+	defer tc.DMEM.Release()
+	cap := maxGroups
+	if n < cap {
+		cap = n
+	}
+	if err := tc.DMEM.Alloc(GroupTableSizeBytes(cap, len(groupCols))); err != nil {
+		// The table itself cannot fit: re-partition immediately.
+		tc.DMEM.Release()
+		tc.DMEM.Mark()
+		return regroupSplit(tc, cols, hv, usedBits, groupCols, specs, maxGroups, out)
+	}
+	table := NewGroupTable(cap, len(groupCols))
+	aggs := make([]*primitives.GroupedAgg, len(specs))
+	for i := range aggs {
+		aggs[i] = primitives.NewGroupedAgg(cap)
+	}
+	keyData := make([]coltypes.Data, len(groupCols))
+	for i, g := range groupCols {
+		keyData[i] = cols[g]
+	}
+	keyBuf := make([]int64, len(groupCols))
+	gids := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		for k, d := range keyData {
+			keyBuf[k] = d.Get(i)
+		}
+		gid := table.FindOrAdd(hv[i], keyBuf)
+		if gid < 0 {
+			// NDV above estimate: split this partition further and retry
+			// each half with a fresh table.
+			return regroupSplit(tc, cols, hv, usedBits, groupCols, specs, maxGroups, out)
+		}
+		gids[i] = uint32(gid)
+	}
+	if c := core(tc); c != nil {
+		c.Charge(dpu.Cycles(3 * n))
+	}
+	for s, spec := range specs {
+		if spec.Kind == AggCountStar {
+			aggs[s].AccumulateCounts(core(tc), gids)
+			continue
+		}
+		tile := qef.NewTile(cols, n)
+		vals := spec.Expr.Eval(tc, tile)
+		aggs[s].Accumulate(core(tc), gids, vals)
+	}
+	out.add(table, aggs, specs)
+	return nil
+}
+
+func regroupSplit(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, usedBits uint, groupCols []int, specs []AggSpec, maxGroups int, out *groupCollector) error {
+	const sub = 4
+	split := splitPartition(cols, hv, sub, usedBits)
+	for p := 0; p < sub; p++ {
+		if split.Rows(p) == len(hv) {
+			// All rows share the same hash bits (e.g. a single huge group
+			// cluster): splitting cannot help; grow the table instead.
+			return groupOnePartition(tc, split.Cols[p], split.Hashes[p], split.Bits, groupCols, specs, maxGroups*4, out)
+		}
+		if err := groupOnePartition(tc, split.Cols[p], split.Hashes[p], split.Bits, groupCols, specs, maxGroups, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupCollector accumulates finished partitions' groups. Groups are
+// disjoint across partitions, so this is a plain append.
+type groupCollector struct {
+	nKeys int
+	specs []AggSpec
+
+	mu    sync.Mutex
+	kcols [][]int64
+	accs  [][]primitives.AggState
+}
+
+func (g *groupCollector) add(table *GroupTable, aggs []*primitives.GroupedAgg, specs []AggSpec) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.kcols == nil {
+		g.kcols = make([][]int64, g.nKeys)
+		g.accs = make([][]primitives.AggState, len(specs))
+	}
+	for gid := 0; gid < table.NumGroups(); gid++ {
+		for k := 0; k < g.nKeys; k++ {
+			g.kcols[k] = append(g.kcols[k], table.Key(k, gid))
+		}
+		for s := range specs {
+			g.accs[s] = append(g.accs[s], primitives.AggState{
+				Sum:   aggs[s].Sums[gid],
+				Min:   aggs[s].Mins[gid],
+				Max:   aggs[s].Maxs[gid],
+				Count: aggs[s].Counts[gid],
+			})
+		}
+	}
+}
+
+func (g *groupCollector) relation(keyCols []Col, outNames []string) *Relation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int
+	if len(g.kcols) > 0 {
+		n = len(g.kcols[0])
+	} else if len(g.accs) > 0 {
+		n = len(g.accs[0])
+	}
+	cols := make([]Col, 0, g.nKeys+len(g.specs))
+	for k := 0; k < g.nKeys; k++ {
+		c := keyCols[k]
+		c.Data = coltypes.I64(append([]int64(nil), g.kcols[k]...))
+		cols = append(cols, c)
+	}
+	for s, spec := range g.specs {
+		vals := make([]int64, n)
+		for row := 0; row < n; row++ {
+			st := g.accs[s][row]
+			switch spec.Kind {
+			case AggSum:
+				vals[row] = st.Sum
+			case AggMin:
+				vals[row] = st.Min
+			case AggMax:
+				vals[row] = st.Max
+			default:
+				vals[row] = st.Count
+			}
+		}
+		name := spec.Name
+		if name == "" && s < len(outNames) {
+			name = outNames[s]
+		}
+		cols = append(cols, Col{Name: name, Type: coltypes.Int(), Data: coltypes.I64(vals)})
+	}
+	return MustRelation(cols)
+}

@@ -1,0 +1,400 @@
+package ops
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"sync"
+
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/dpu"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// JoinType selects the join semantics (§6.5).
+type JoinType int
+
+const (
+	InnerJoin     JoinType = iota
+	SemiJoin               // probe rows with at least one build match
+	AntiJoin               // probe rows with no build match
+	LeftOuterJoin          // all probe rows; unmatched get zero build payload
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "inner"
+	case SemiJoin:
+		return "semi"
+	case AntiJoin:
+		return "anti"
+	case LeftOuterJoin:
+		return "left-outer"
+	}
+	return fmt.Sprintf("JoinType(%d)", int(t))
+}
+
+// JoinSpec configures a hash join. The build side should be the smaller
+// relation (the driving relation of §6.1).
+type JoinSpec struct {
+	Type      JoinType
+	BuildKeys []int // key column indices in the build relation (1 or 2)
+	ProbeKeys []int // matching key columns in the probe relation
+	// BuildPayload / ProbePayload are the columns each side contributes to
+	// the output, in output order (probe payload first).
+	BuildPayload []int
+	ProbePayload []int
+
+	Scheme   PartScheme // partitioning scheme from the optimizer
+	TileRows int        // operator tile size
+
+	// EstPartRows is the optimizer's estimate of build rows per partition
+	// (the DMEM capacity). Underestimates trigger the §6.4 resilience.
+	EstPartRows int
+	// SkewFactor: partitions larger than SkewFactor*EstPartRows are "large
+	// skew" and get re-partitioned dynamically; below that the hash table
+	// overflows gracefully ("small skew").
+	SkewFactor float64
+	// Vectorized false charges the row-at-a-time dispatch penalty (the
+	// Fig 13 ablation).
+	Vectorized bool
+}
+
+func (s *JoinSpec) normalize(buildRows int) {
+	if s.TileRows <= 0 {
+		s.TileRows = qef.DefaultTileRows
+	}
+	if s.SkewFactor <= 1 {
+		s.SkewFactor = 4
+	}
+	if s.EstPartRows <= 0 {
+		f := s.Scheme.Fanout()
+		if f < 1 {
+			f = 1
+		}
+		s.EstPartRows = buildRows/f + 1
+	}
+}
+
+// HashJoin executes the partitioned hash join of §6: partition both inputs
+// by key hash, then per partition pair run the compact DMEM join kernel on
+// one dpCore, all pairs in parallel.
+func HashJoin(ctx *qef.Context, build, probe *Relation, spec JoinSpec) (*Relation, error) {
+	if len(spec.BuildKeys) != len(spec.ProbeKeys) || len(spec.BuildKeys) == 0 || len(spec.BuildKeys) > 2 {
+		return nil, fmt.Errorf("ops: join needs 1 or 2 key pairs, got %d/%d", len(spec.BuildKeys), len(spec.ProbeKeys))
+	}
+	spec.normalize(build.Rows())
+
+	bp, err := PartitionByHash(ctx, build.Datas(), spec.BuildKeys, spec.Scheme, spec.TileRows)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := PartitionByHash(ctx, probe.Datas(), spec.ProbeKeys, spec.Scheme, spec.TileRows)
+	if err != nil {
+		return nil, err
+	}
+	if bp.NumPartitions() != pp.NumPartitions() {
+		return nil, fmt.Errorf("ops: partition count mismatch %d vs %d", bp.NumPartitions(), pp.NumPartitions())
+	}
+
+	sink := newJoinSink(build, probe, spec)
+	var units []qef.WorkUnit
+	for p := 0; p < bp.NumPartitions(); p++ {
+		p := p
+		buildRows := bp.Rows(p)
+		probeRows := pp.Rows(p)
+		if probeRows == 0 && (spec.Type == InnerJoin || spec.Type == SemiJoin ||
+			spec.Type == AntiJoin || spec.Type == LeftOuterJoin) {
+			continue
+		}
+		// Flow-join heavy-hitter handling (§6.4): a build partition far
+		// above estimate whose keys are a single value cannot be split by
+		// re-partitioning; spread the probe side across cores instead.
+		if buildRows > int(spec.SkewFactor*float64(spec.EstPartRows)) &&
+			singleKeyPartition(bp, p, spec.BuildKeys) && probeRows > 0 {
+			const chunks = 8
+			step := (probeRows + chunks - 1) / chunks
+			for lo := 0; lo < probeRows; lo += step {
+				hi := lo + step
+				if hi > probeRows {
+					hi = probeRows
+				}
+				lo, hi := lo, hi
+				units = append(units, func(tc *qef.TaskCtx) error {
+					return joinPair(tc, bp, pp, p, lo, hi, &spec, sink)
+				})
+			}
+			continue
+		}
+		units = append(units, func(tc *qef.TaskCtx) error {
+			return joinPair(tc, bp, pp, p, 0, pp.Rows(p), &spec, sink)
+		})
+	}
+	if err := ctx.RunParallel(units); err != nil {
+		return nil, err
+	}
+	return sink.relation(), nil
+}
+
+// singleKeyPartition samples the partition's keys for the heavy-hitter
+// histogram: true when every sampled key equals the first.
+func singleKeyPartition(pr *PartitionedRel, p int, keys []int) bool {
+	n := pr.Rows(p)
+	if n == 0 {
+		return false
+	}
+	key := pr.Cols[p][keys[0]]
+	first := key.Get(0)
+	step := n / 64
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		if key.Get(i) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// joinPair joins build partition p against probe rows [plo, phi).
+func joinPair(tc *qef.TaskCtx, bp, pp *PartitionedRel, p, plo, phi int, spec *JoinSpec, sink *joinSink) error {
+	buildRows := bp.Rows(p)
+	// Large skew (§6.4): dynamically insert another partitioning round for
+	// this pair when it exceeds the skew threshold and has key diversity.
+	if buildRows > int(spec.SkewFactor*float64(spec.EstPartRows)) &&
+		!singleKeyPartition(bp, p, spec.BuildKeys) {
+		sub := 4
+		subShift := bp.Bits
+		sbp := splitPartition(bp.Cols[p], bp.Hashes[p], sub, subShift)
+		probeCols := make([]coltypes.Data, len(pp.Cols[p]))
+		for c := range probeCols {
+			probeCols[c] = pp.Cols[p][c].Slice(plo, phi)
+		}
+		spp := splitPartition(probeCols, pp.Hashes[p][plo:phi], sub, subShift)
+		for sp := 0; sp < sub; sp++ {
+			if err := joinPairData(tc, sbp.Cols[sp], sbp.Hashes[sp], spp.Cols[sp], spp.Hashes[sp], spec, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	probeCols := make([]coltypes.Data, len(pp.Cols[p]))
+	for c := range probeCols {
+		probeCols[c] = pp.Cols[p][c].Slice(plo, phi)
+	}
+	return joinPairData(tc, bp.Cols[p], bp.Hashes[p], probeCols, pp.Hashes[p][plo:phi], spec, sink)
+}
+
+// joinPairData runs the build and probe kernels over one partition pair.
+func joinPairData(tc *qef.TaskCtx, buildCols []coltypes.Data, bhv []uint32, probeCols []coltypes.Data, phv []uint32, spec *JoinSpec, sink *joinSink) error {
+	nb, np := len(bhv), len(phv)
+	if nb == 0 {
+		// Anti and left-outer joins still emit probe rows.
+		if spec.Type == AntiJoin || spec.Type == LeftOuterJoin {
+			all := bits.NewVectorAllSet(np)
+			if spec.Type == AntiJoin {
+				sink.emitProbeOnly(tc, probeCols, all)
+			} else {
+				sink.emitOuter(tc, probeCols, nil, all, nil)
+			}
+		}
+		return nil
+	}
+	if !spec.Vectorized {
+		primitives.ChargeScalarDispatch(core(tc), nb+np)
+	}
+	// Bucket index bits come from the top of the hash — disjoint from the
+	// low bits consumed by partitioning.
+	nBuckets := primitives.BucketsFor(nb)
+	bucketShift := uint(32 - mathbits.Len(uint(nBuckets-1)))
+	shiftHv := func(hv []uint32) []uint32 {
+		out := make([]uint32, len(hv))
+		for i, h := range hv {
+			out[i] = h >> bucketShift
+		}
+		return out
+	}
+	sbhv := shiftHv(bhv)
+	sphv := shiftHv(phv)
+
+	buildKeys := primitives.WidenToI64(core(tc), buildCols[spec.BuildKeys[0]], nil)
+	var buildKeys2 []int64
+	if len(spec.BuildKeys) == 2 {
+		buildKeys2 = primitives.WidenToI64(core(tc), buildCols[spec.BuildKeys[1]], nil)
+	}
+	probeKeys := primitives.WidenToI64(core(tc), probeCols[spec.ProbeKeys[0]], nil)
+	var probeKeys2 []int64
+	if len(spec.ProbeKeys) == 2 {
+		probeKeys2 = primitives.WidenToI64(core(tc), probeCols[spec.ProbeKeys[1]], nil)
+	}
+
+	// DMEM capacity: the optimizer's estimate, clamped to what actually
+	// fits the scratchpad. Rows beyond capacity overflow gracefully to
+	// DRAM (small-skew resilience, §6.4).
+	capacity := spec.EstPartRows
+	if nb < capacity {
+		capacity = nb
+	}
+	tc.DMEM.Mark()
+	defer tc.DMEM.Release()
+	budget := tc.DMEM.Free() - 2048 // leave room for key vectors/control
+	for capacity > 16 && primitives.HTSizeBytes(capacity, nBuckets) > budget {
+		capacity /= 2
+	}
+	if err := tc.DMEM.Alloc(primitives.HTSizeBytes(capacity, nBuckets)); err != nil {
+		return err
+	}
+	ht := primitives.NewCompactHT(capacity, nBuckets)
+	ht.Build(core(tc), sbhv, buildKeys, buildKeys2, spec.TileRows)
+
+	switch spec.Type {
+	case InnerJoin:
+		matches := ht.Probe(core(tc), sphv, probeKeys, probeKeys2, spec.TileRows, nil)
+		sink.emitMatches(tc, buildCols, probeCols, matches)
+	case SemiJoin, AntiJoin:
+		exists := bits.NewVector(np)
+		ht.ProbeExists(core(tc), sphv, probeKeys, probeKeys2, spec.TileRows, exists)
+		if spec.Type == AntiJoin {
+			neg := bits.NewVector(np)
+			neg.Not(exists)
+			exists = neg
+		}
+		sink.emitProbeOnly(tc, probeCols, exists)
+	case LeftOuterJoin:
+		matches := ht.Probe(core(tc), sphv, probeKeys, probeKeys2, spec.TileRows, nil)
+		matched := bits.NewVector(np)
+		for _, m := range matches {
+			matched.Set(int(m.ProbeRow))
+		}
+		unmatched := bits.NewVector(np)
+		unmatched.Not(matched)
+		sink.emitOuter(tc, probeCols, buildCols, unmatched, matches)
+	}
+	return nil
+}
+
+// joinSink accumulates join output rows.
+type joinSink struct {
+	spec  *JoinSpec
+	build *Relation
+	probe *Relation
+
+	mu   sync.Mutex
+	cols [][]int64
+}
+
+func newJoinSink(build, probe *Relation, spec JoinSpec) *joinSink {
+	n := len(spec.ProbePayload) + len(spec.BuildPayload)
+	return &joinSink{
+		spec:  &spec,
+		build: build,
+		probe: probe,
+		cols:  make([][]int64, n),
+	}
+}
+
+// emitMatches gathers payload columns for matched pairs.
+func (s *joinSink) emitMatches(tc *qef.TaskCtx, buildCols, probeCols []coltypes.Data, matches []primitives.Match) {
+	if len(matches) == 0 {
+		return
+	}
+	rows := make([][]int64, len(s.cols))
+	ci := 0
+	probeRIDs := make([]uint32, len(matches))
+	buildRIDs := make([]uint32, len(matches))
+	for i, m := range matches {
+		probeRIDs[i] = m.ProbeRow
+		buildRIDs[i] = m.BuildRow
+	}
+	for _, pc := range s.spec.ProbePayload {
+		rows[ci] = gatherI64(tc, probeCols[pc], probeRIDs)
+		ci++
+	}
+	for _, bc := range s.spec.BuildPayload {
+		rows[ci] = gatherI64(tc, buildCols[bc], buildRIDs)
+		ci++
+	}
+	s.appendRows(rows)
+}
+
+// gatherI64 gathers src rows into a widened int64 vector, charging the
+// DMEM gather cost.
+func gatherI64(tc *qef.TaskCtx, src coltypes.Data, rids []uint32) []int64 {
+	out := make([]int64, len(rids))
+	for i, r := range rids {
+		out[i] = src.Get(int(r))
+	}
+	if c := core(tc); c != nil {
+		c.Charge(dpu.Cycles(2 * len(rids)))
+	}
+	return out
+}
+
+// emitProbeOnly emits the probe payload of rows set in sel (semi/anti).
+func (s *joinSink) emitProbeOnly(tc *qef.TaskCtx, probeCols []coltypes.Data, sel *bits.Vector) {
+	n := sel.Count()
+	if n == 0 {
+		return
+	}
+	rids := sel.ToRIDs(nil)
+	rows := make([][]int64, len(s.cols))
+	ci := 0
+	for _, pc := range s.spec.ProbePayload {
+		vals := make([]int64, n)
+		for i, r := range rids {
+			vals[i] = probeCols[pc].Get(int(r))
+		}
+		rows[ci] = vals
+		ci++
+	}
+	for range s.spec.BuildPayload {
+		rows[ci] = make([]int64, n) // zero build payload
+		ci++
+	}
+	if c := core(tc); c != nil {
+		c.Charge(dpu.Cycles(2 * n))
+	}
+	s.appendRows(rows)
+}
+
+// emitOuter emits matched pairs plus unmatched probe rows with zero build
+// payload.
+func (s *joinSink) emitOuter(tc *qef.TaskCtx, probeCols, buildCols []coltypes.Data, unmatched *bits.Vector, matches []primitives.Match) {
+	if len(matches) > 0 {
+		s.emitMatches(tc, buildCols, probeCols, matches)
+	}
+	s.emitProbeOnly(tc, probeCols, unmatched)
+}
+
+func (s *joinSink) appendRows(rows [][]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.cols {
+		s.cols[c] = append(s.cols[c], rows[c]...)
+	}
+}
+
+// relation materializes the join output with column metadata from the
+// payload sources.
+func (s *joinSink) relation() *Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Col, 0, len(s.cols))
+	ci := 0
+	for _, pc := range s.spec.ProbePayload {
+		c := s.probe.Cols[pc]
+		c.Data = coltypes.I64(s.cols[ci])
+		out = append(out, c)
+		ci++
+	}
+	for _, bc := range s.spec.BuildPayload {
+		c := s.build.Cols[bc]
+		c.Data = coltypes.I64(s.cols[ci])
+		out = append(out, c)
+		ci++
+	}
+	return MustRelation(out)
+}

@@ -1,0 +1,360 @@
+package ops
+
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/dms"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// PartScheme is a partitioning scheme (paper §5.3): the fan-out of each
+// round, all powers of two. Round 0 runs on the DMS (hardware, <= 32-way);
+// later rounds are the vectorized software partitioning on the dpCores.
+type PartScheme struct {
+	Rounds []int
+}
+
+// Fanout returns the total fan-out (product of rounds).
+func (s PartScheme) Fanout() int {
+	f := 1
+	for _, r := range s.Rounds {
+		f *= r
+	}
+	return f
+}
+
+// Validate checks hardware limits and power-of-two fan-outs.
+func (s PartScheme) Validate() error {
+	for i, r := range s.Rounds {
+		if r < 1 || r&(r-1) != 0 {
+			return fmt.Errorf("ops: round %d fan-out %d must be a power of two", i, r)
+		}
+		if i == 0 && r > dms.MaxFanout {
+			return fmt.Errorf("ops: hardware round fan-out %d exceeds %d", r, dms.MaxFanout)
+		}
+	}
+	return nil
+}
+
+func (s PartScheme) String() string {
+	if len(s.Rounds) == 0 {
+		return "none"
+	}
+	out := ""
+	for i, r := range s.Rounds {
+		if i > 0 {
+			out += "x"
+		}
+		out += fmt.Sprintf("%d", r)
+	}
+	return out
+}
+
+// PartitionedRel is a hash-partitioned relation: per-partition column sets
+// plus the per-row CRC32 hash vectors that travel with the data so that
+// subsequent rounds and the join kernels never re-hash.
+type PartitionedRel struct {
+	Cols   [][]coltypes.Data
+	Hashes [][]uint32
+	// Bits is the number of low hash bits consumed by the partitioning.
+	Bits uint
+}
+
+// NumPartitions returns the partition count.
+func (p *PartitionedRel) NumPartitions() int { return len(p.Cols) }
+
+// Rows returns the row count of partition i.
+func (p *PartitionedRel) Rows(i int) int {
+	if len(p.Cols[i]) == 0 {
+		return len(p.Hashes[i])
+	}
+	return p.Cols[i][0].Len()
+}
+
+// PartitionByHash partitions cols by the CRC32 hash of keyCols according to
+// the scheme. Round 0 uses the DMS hash engine (no dpCore cycles); later
+// rounds run the software partitioning operator on all cores with
+// DMEM-resident per-partition buffers flushed to DRAM as they fill (§5.3).
+func PartitionByHash(ctx *qef.Context, cols []coltypes.Data, keyCols []int, scheme PartScheme, tileRows int) (*PartitionedRel, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	// Hardware hash: the DMS computes CRC32 over the key columns.
+	keyData := make([]coltypes.Data, len(keyCols))
+	for i, k := range keyCols {
+		keyData[i] = cols[k]
+	}
+	var hv []uint32
+	if ctx.Mode == qef.ModeDPU {
+		hv, _ = ctx.DMS.HashVector(cols, keyCols)
+	} else {
+		hv = primitives.HashColumns(nil, keyData, nil)
+	}
+	cur := &PartitionedRel{Cols: [][]coltypes.Data{cols}, Hashes: [][]uint32{hv}}
+	if len(scheme.Rounds) == 0 {
+		return cur, nil
+	}
+	// Round 0: hardware partitioning by the low hash bits. The DMS does
+	// this during the transfer; it is billed inside HashVector's
+	// partition-time model, and the dpCores stay idle.
+	hw := scheme.Rounds[0]
+	cur = splitPartition(cur.Cols[0], cur.Hashes[0], hw, 0)
+	shift := uint(mathbits.Len(uint(hw - 1)))
+	// Software rounds.
+	for _, fanout := range scheme.Rounds[1:] {
+		next, err := swPartitionRound(ctx, cur, fanout, shift, tileRows)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		shift += uint(mathbits.Len(uint(fanout - 1)))
+	}
+	cur.Bits = shift
+	return cur, nil
+}
+
+// splitPartition routes rows by hash bits [shift, shift+log2 fanout) — the
+// functional effect of the hardware round.
+func splitPartition(cols []coltypes.Data, hv []uint32, fanout int, shift uint) *PartitionedRel {
+	mask := uint32(fanout - 1)
+	n := len(hv)
+	counts := make([]int, fanout)
+	for _, h := range hv {
+		counts[(h>>shift)&mask]++
+	}
+	out := &PartitionedRel{
+		Cols:   make([][]coltypes.Data, fanout),
+		Hashes: make([][]uint32, fanout),
+	}
+	rids := make([][]uint32, fanout)
+	for p := range rids {
+		rids[p] = make([]uint32, 0, counts[p])
+	}
+	for i := 0; i < n; i++ {
+		p := (hv[i] >> shift) & mask
+		rids[p] = append(rids[p], uint32(i))
+	}
+	for p := 0; p < fanout; p++ {
+		out.Hashes[p] = make([]uint32, len(rids[p]))
+		for j, r := range rids[p] {
+			out.Hashes[p][j] = hv[r]
+		}
+		out.Cols[p] = make([]coltypes.Data, len(cols))
+		for c, col := range cols {
+			dst := col.NewSame(len(rids[p]))
+			coltypes.Gather(dst, col, rids[p])
+			out.Cols[p][c] = dst
+		}
+	}
+	out.Bits = shift + uint(mathbits.Len(uint(fanout-1)))
+	return out
+}
+
+// SWPartitionRound runs one software partitioning round over an existing
+// partitioned relation — exported for the Fig 10 micro-benchmark, which
+// sweeps fan-out and tile size over the software operator in isolation.
+func SWPartitionRound(ctx *qef.Context, in *PartitionedRel, fanout int, shift uint, tileRows int) (*PartitionedRel, error) {
+	return swPartitionRound(ctx, in, fanout, shift, tileRows)
+}
+
+// swPartitionRound applies one software partitioning round to every current
+// partition in parallel: per input partition, stream tiles, compute the
+// partition map (Listing 2), gather per-partition rows into DMEM-local
+// buffers (Listing 3) and flush them to DRAM outputs as they fill.
+func swPartitionRound(ctx *qef.Context, in *PartitionedRel, fanout int, shift uint, tileRows int) (*PartitionedRel, error) {
+	nIn := in.NumPartitions()
+	out := &PartitionedRel{
+		Cols:   make([][]coltypes.Data, nIn*fanout),
+		Hashes: make([][]uint32, nIn*fanout),
+	}
+	units := make([]qef.WorkUnit, 0, nIn)
+	for pi := 0; pi < nIn; pi++ {
+		pi := pi
+		units = append(units, func(tc *qef.TaskCtx) error {
+			return swPartitionOne(tc, in.Cols[pi], in.Hashes[pi], fanout, shift, tileRows,
+				func(child int, cols []coltypes.Data, hv []uint32) {
+					slot := pi*fanout + child
+					if out.Cols[slot] == nil {
+						out.Cols[slot] = cols
+						out.Hashes[slot] = hv
+						return
+					}
+					for c := range cols {
+						out.Cols[slot][c] = appendData(out.Cols[slot][c], cols[c])
+					}
+					out.Hashes[slot] = append(out.Hashes[slot], hv...)
+				})
+		})
+	}
+	if err := ctx.RunParallel(units); err != nil {
+		return nil, err
+	}
+	// Normalize empty slots.
+	for slot := range out.Cols {
+		if out.Cols[slot] == nil {
+			out.Cols[slot] = emptyLike(in.Cols[0])
+			out.Hashes[slot] = nil
+		}
+	}
+	return out, nil
+}
+
+// swPartitionOne is the software partitioning operator over one input
+// partition. flush is called per (child, buffered rows) as DMEM buffers
+// fill; each input partition is owned by one core, so flush needs no
+// locking.
+func swPartitionOne(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, fanout int, shift uint, tileRows int, flush func(int, []coltypes.Data, []uint32)) error {
+	if len(hv) == 0 {
+		return nil
+	}
+	rowBytes := 4 // hash
+	for _, c := range cols {
+		rowBytes += c.Width().Bytes()
+	}
+	// DMEM budget (§5.3: "we calculate the vector and buffer sizes such
+	// that data stays in DMEM"): the local output buffers get half the
+	// scratchpad; input tile double-buffers and the partition map share
+	// the rest, shrinking the tile when needed.
+	tc.DMEM.Mark()
+	defer tc.DMEM.Release()
+	// Output buffers get half the scratchpad, but never so much that the
+	// minimum 64-row input tile cannot fit (tiny-DMEM resilience).
+	minInput := 2*qef.MinTileRows*rowBytes + qef.MinTileRows*4 + (fanout+1)*4
+	outBudget := tc.DMEM.Free() / 2
+	if rest := tc.DMEM.Free() - outBudget; rest < minInput {
+		outBudget = tc.DMEM.Free() - minInput
+	}
+	if outBudget < 0 {
+		outBudget = 0
+	}
+	bufRows := outBudget / (fanout * rowBytes)
+	if bufRows < 1 {
+		return fmt.Errorf("ops: fan-out %d leaves no DMEM for partition buffers", fanout)
+	}
+	if bufRows > 4096 {
+		bufRows = 4096
+	}
+	if err := tc.DMEM.Alloc(fanout * bufRows * rowBytes); err != nil {
+		return err
+	}
+	for tileRows > qef.MinTileRows && 2*tileRows*rowBytes+tileRows*4+(fanout+1)*4 > tc.DMEM.Free() {
+		tileRows /= 2
+	}
+	inBytes := 2 * tileRows * rowBytes
+	mapBytes := tileRows*4 + (fanout+1)*4
+	if err := tc.DMEM.Alloc(inBytes + mapBytes); err != nil {
+		return err
+	}
+
+	bufCols := make([][]coltypes.Data, fanout)
+	bufHash := make([][]uint32, fanout)
+	bufN := make([]int, fanout)
+	for p := 0; p < fanout; p++ {
+		bufCols[p] = make([]coltypes.Data, len(cols))
+		for c := range cols {
+			bufCols[p][c] = cols[c].NewSame(bufRows)
+		}
+		bufHash[p] = make([]uint32, bufRows)
+	}
+	doFlush := func(p int) {
+		n := bufN[p]
+		if n == 0 {
+			return
+		}
+		outCols := make([]coltypes.Data, len(cols))
+		for c := range cols {
+			outCols[c] = bufCols[p][c].Slice(0, n).NewSame(n)
+			outCols[c].CopyFrom(0, bufCols[p][c].Slice(0, n))
+		}
+		outHv := append([]uint32(nil), bufHash[p][:n]...)
+		// Bill the DMS flush of the local buffer to DRAM (one contiguous
+		// region per partition).
+		if tc.Core != nil {
+			bytes := 0
+			for c := range outCols {
+				bytes += n * outCols[c].Width().Bytes()
+			}
+			tc.AddTransfer(tc.Ctx.DMS.StreamWrite(bytes))
+		}
+		flush(p, outCols, outHv)
+		bufN[p] = 0
+	}
+
+	n := len(hv)
+	for lo := 0; lo < n; lo += tileRows {
+		hi := lo + tileRows
+		if hi > n {
+			hi = n
+		}
+		tn := hi - lo
+		// Input tile transfer (read side).
+		if tc.Core != nil {
+			views := make([]coltypes.Data, len(cols))
+			srcs := make([]coltypes.Data, len(cols))
+			for c := range cols {
+				views[c] = cols[c].NewSame(tn)
+				srcs[c] = cols[c]
+			}
+			tc.AddTransfer(tc.Ctx.DMS.Read(srcs, lo, hi, views))
+		}
+		tileHv := hv[lo:hi]
+		m := primitives.ComputePartitionMap(core(tc), tileHv, fanout, shift)
+		for p := 0; p < fanout; p++ {
+			sel := m.Partition(p)
+			for len(sel) > 0 {
+				space := bufRows - bufN[p]
+				take := len(sel)
+				if take > space {
+					take = space
+				}
+				batch := sel[:take]
+				for c := range cols {
+					dst := bufCols[p][c].Slice(bufN[p], bufN[p]+take)
+					src := cols[c].Slice(lo, hi)
+					primitives.SwPartitionColumn(core(tc), src, &primitives.PartitionMap{
+						RowIdx:  batch,
+						Offsets: []int32{0, int32(take)},
+					}, 0, dst)
+				}
+				for j, r := range batch {
+					bufHash[p][bufN[p]+j] = tileHv[r]
+				}
+				bufN[p] += take
+				sel = sel[take:]
+				if bufN[p] == bufRows {
+					doFlush(p)
+				}
+			}
+		}
+	}
+	for p := 0; p < fanout; p++ {
+		doFlush(p)
+	}
+	return nil
+}
+
+// appendData concatenates two same-width columns.
+func appendData(a, b coltypes.Data) coltypes.Data {
+	switch av := a.(type) {
+	case coltypes.I8:
+		return append(av, b.(coltypes.I8)...)
+	case coltypes.I16:
+		return append(av, b.(coltypes.I16)...)
+	case coltypes.I32:
+		return append(av, b.(coltypes.I32)...)
+	case coltypes.I64:
+		return append(av, b.(coltypes.I64)...)
+	}
+	panic(fmt.Sprintf("ops: unsupported data %T", a))
+}
+
+func emptyLike(cols []coltypes.Data) []coltypes.Data {
+	out := make([]coltypes.Data, len(cols))
+	for i, c := range cols {
+		out[i] = c.NewSame(0)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// Predicate is a vectorized boolean condition over a tile. Eval computes the
+// qualifying rows among those set in inBV (nil = all rows) into a fresh
+// bit-vector; EstSelectivity is the compiler's estimate driving predicate
+// reordering and the RID/bit-vector representation choice (§5.4).
+type Predicate interface {
+	Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int)
+	EstSelectivity() float64
+	String() string
+}
+
+// evalPredDense evaluates p over all rows of the tile.
+func evalPredDense(tc *qef.TaskCtx, p Predicate, t *qef.Tile) *bits.Vector {
+	bv, _ := p.Eval(tc, t, nil)
+	return bv
+}
+
+// ConstCmp compares a column against a constant.
+type ConstCmp struct {
+	Col  int
+	Op   primitives.CmpOp
+	Val  int64
+	Sel  float64 // estimated selectivity
+	Name string  // column name for display
+}
+
+func (p *ConstCmp) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	out := bits.NewVector(t.N)
+	var hits int
+	if inBV == nil {
+		hits = primitives.FilterConstBV(core(tc), t.Cols[p.Col], p.Op, p.Val, out)
+	} else {
+		hits = primitives.FilterConstBVMasked(core(tc), t.Cols[p.Col], p.Op, p.Val, inBV, out)
+	}
+	return out, hits
+}
+
+func (p *ConstCmp) EstSelectivity() float64 { return selOrDefault(p.Sel) }
+
+func (p *ConstCmp) String() string {
+	return fmt.Sprintf("%s %s %d", colName(p.Name, p.Col), cmpSymbol(p.Op), p.Val)
+}
+
+// Between tests lo <= col <= hi.
+type Between struct {
+	Col    int
+	Lo, Hi int64
+	Sel    float64
+	Name   string
+}
+
+func (p *Between) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	out := bits.NewVector(t.N)
+	hits := primitives.FilterBetweenBV(core(tc), t.Cols[p.Col], p.Lo, p.Hi, inBV, out)
+	return out, hits
+}
+
+func (p *Between) EstSelectivity() float64 { return selOrDefault(p.Sel) }
+
+func (p *Between) String() string {
+	return fmt.Sprintf("%s BETWEEN %d AND %d", colName(p.Name, p.Col), p.Lo, p.Hi)
+}
+
+// InSet tests dictionary-code membership (string equality, IN lists, LIKE
+// prefix and string ranges all compile to this).
+type InSet struct {
+	Col  int
+	Set  *bits.Vector
+	Sel  float64
+	Name string
+}
+
+func (p *InSet) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	out := bits.NewVector(t.N)
+	hits := primitives.FilterInSetBV(core(tc), t.Cols[p.Col], p.Set, inBV, out)
+	return out, hits
+}
+
+func (p *InSet) EstSelectivity() float64 { return selOrDefault(p.Sel) }
+
+func (p *InSet) String() string {
+	return fmt.Sprintf("%s IN <set:%d>", colName(p.Name, p.Col), p.Set.Count())
+}
+
+// ColCmp compares two columns of the tile.
+type ColCmp struct {
+	A, B int
+	Op   primitives.CmpOp
+	Sel  float64
+}
+
+func (p *ColCmp) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	out := bits.NewVector(t.N)
+	hits := primitives.FilterColColBV(core(tc), t.Cols[p.A], t.Cols[p.B], p.Op, inBV, out)
+	return out, hits
+}
+
+func (p *ColCmp) EstSelectivity() float64 { return selOrDefault(p.Sel) }
+
+func (p *ColCmp) String() string {
+	return fmt.Sprintf("$%d %s $%d", p.A, cmpSymbol(p.Op), p.B)
+}
+
+// ExprCmp compares a computed expression against a constant (e.g.
+// l_extendedprice * l_discount > c). More expensive than ConstCmp; the
+// compiler orders it late.
+type ExprCmp struct {
+	E   Expr
+	Op  primitives.CmpOp
+	Val int64
+	Sel float64
+}
+
+func (p *ExprCmp) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	d := coltypes.I64(p.E.Eval(tc, t))
+	out := bits.NewVector(t.N)
+	var hits int
+	if inBV == nil {
+		hits = primitives.FilterConstBV(core(tc), d, p.Op, p.Val, out)
+	} else {
+		hits = primitives.FilterConstBVMasked(core(tc), d, p.Op, p.Val, inBV, out)
+	}
+	return out, hits
+}
+
+func (p *ExprCmp) EstSelectivity() float64 { return selOrDefault(p.Sel) }
+
+func (p *ExprCmp) String() string {
+	return fmt.Sprintf("%s %s %d", p.E, cmpSymbol(p.Op), p.Val)
+}
+
+// And is a conjunction evaluated most-selective-first (the §5.4 predicate
+// reordering applies inside conjunctions as well).
+type And struct {
+	Preds []Predicate
+}
+
+func (p *And) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	ordered := append([]Predicate(nil), p.Preds...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].EstSelectivity() < ordered[j].EstSelectivity()
+	})
+	cur := inBV
+	var out *bits.Vector
+	hits := 0
+	for _, sub := range ordered {
+		out, hits = sub.Eval(tc, t, cur)
+		if hits == 0 {
+			return out, 0
+		}
+		cur = out
+	}
+	return out, hits
+}
+
+func (p *And) EstSelectivity() float64 {
+	s := 1.0
+	for _, sub := range p.Preds {
+		s *= sub.EstSelectivity()
+	}
+	return s
+}
+
+func (p *And) String() string { return joinPreds(p.Preds, " AND ") }
+
+// Or is a disjunction: the union of the branch results.
+type Or struct {
+	Preds []Predicate
+}
+
+func (p *Or) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	acc := bits.NewVector(t.N)
+	for _, sub := range p.Preds {
+		bv, _ := sub.Eval(tc, t, inBV)
+		acc.Or(acc, bv)
+	}
+	return acc, acc.Count()
+}
+
+func (p *Or) EstSelectivity() float64 {
+	miss := 1.0
+	for _, sub := range p.Preds {
+		miss *= 1 - sub.EstSelectivity()
+	}
+	return 1 - miss
+}
+
+func (p *Or) String() string { return joinPreds(p.Preds, " OR ") }
+
+// Not negates a predicate over the candidate rows.
+type Not struct {
+	P Predicate
+}
+
+func (p *Not) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	bv, _ := p.P.Eval(tc, t, inBV)
+	out := bits.NewVector(t.N)
+	if inBV == nil {
+		out.Not(bv)
+	} else {
+		out.AndNot(inBV, bv)
+	}
+	return out, out.Count()
+}
+
+func (p *Not) EstSelectivity() float64 { return 1 - p.P.EstSelectivity() }
+
+func (p *Not) String() string { return fmt.Sprintf("NOT (%s)", p.P) }
+
+// TruePred matches every candidate row (used by degenerate rewrites).
+type TruePred struct{}
+
+func (TruePred) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
+	out := bits.NewVector(t.N)
+	if inBV == nil {
+		out.SetAll()
+		return out, t.N
+	}
+	out.CopyFrom(inBV)
+	return out, out.Count()
+}
+
+func (TruePred) EstSelectivity() float64 { return 1.0 }
+func (TruePred) String() string          { return "TRUE" }
+
+func selOrDefault(s float64) float64 {
+	if s <= 0 || s > 1 {
+		return 0.5
+	}
+	return s
+}
+
+func colName(name string, idx int) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("$%d", idx)
+}
+
+func cmpSymbol(op primitives.CmpOp) string {
+	switch op {
+	case primitives.EQ:
+		return "="
+	case primitives.NE:
+		return "<>"
+	case primitives.LT:
+		return "<"
+	case primitives.LE:
+		return "<="
+	case primitives.GT:
+		return ">"
+	case primitives.GE:
+		return ">="
+	}
+	return "?"
+}
+
+func joinPreds(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

@@ -1,0 +1,144 @@
+package ops
+
+import (
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/qef"
+	"rapid/internal/storage"
+)
+
+// TableScan streams a storage snapshot through operator chains: one work
+// unit per chunk, distributed over the dpCores, each unit pulling its
+// chunk's columns tile by tile through the relation accessor. Deleted rows
+// (update-unit overlay) become the tile's initial selection vector.
+//
+// Each core owns ONE chain instance for the whole scan (operator state such
+// as group tables is per core, merged at Close — the paper's merge-operator
+// pattern); chainFor builds the instances, and the sinks/mergers they end
+// in are shared and thread-safe.
+func TableScan(ctx *qef.Context, snap *storage.Snapshot, cols []int, tileRows int, chainFor func() qef.Operator) error {
+	chunks := snap.Chunks()
+	units := make([]qef.WorkUnit, 0, len(chunks))
+	chains := make([]qef.Operator, ctx.Workers())
+	for _, cv := range chunks {
+		cv := cv
+		units = append(units, func(tc *qef.TaskCtx) error {
+			head, err := chainOf(tc, chains, chainFor)
+			if err != nil {
+				return err
+			}
+			data := make([]coltypes.Data, len(cols))
+			for i, c := range cols {
+				data[i] = cv.Data(c)
+			}
+			ra := qef.NewAccessor(tc)
+			base := 0
+			return ra.Sequential(data, tileRows, func(t *qef.Tile) error {
+				tc.ResetScratch()
+				if cv.Deleted != nil {
+					sel := bits.NewVector(t.N)
+					live := 0
+					for i := 0; i < t.N; i++ {
+						if !cv.Deleted.Test(base + i) {
+							sel.Set(i)
+							live++
+						}
+					}
+					if live < t.N {
+						t.Sel = sel
+					}
+				}
+				base += t.N
+				return emitTo(tc, head, t)
+			})
+		})
+	}
+	if err := ctx.RunParallel(units); err != nil {
+		return err
+	}
+	return closeChains(ctx, chains)
+}
+
+// RelationScan streams a materialized relation through chains, splitting
+// rows into per-core spans of whole tiles.
+func RelationScan(ctx *qef.Context, rel *Relation, tileRows int, chainFor func() qef.Operator) error {
+	rows := rel.Rows()
+	if tileRows < qef.MinTileRows {
+		tileRows = qef.MinTileRows
+	}
+	// Contiguous spans of several tiles each so every core gets work.
+	spanRows := tileRows * 4
+	if min := (rows + ctx.Workers() - 1) / ctx.Workers(); spanRows < min {
+		spanRows = min
+	}
+	var units []qef.WorkUnit
+	chains := make([]qef.Operator, ctx.Workers())
+	data := rel.Datas()
+	for lo := 0; lo < rows; lo += spanRows {
+		hi := lo + spanRows
+		if hi > rows {
+			hi = rows
+		}
+		lo, hi := lo, hi
+		units = append(units, func(tc *qef.TaskCtx) error {
+			head, err := chainOf(tc, chains, chainFor)
+			if err != nil {
+				return err
+			}
+			span := make([]coltypes.Data, len(data))
+			for i, d := range data {
+				span[i] = d.Slice(lo, hi)
+			}
+			ra := qef.NewAccessor(tc)
+			return ra.Sequential(span, tileRows, func(t *qef.Tile) error {
+				tc.ResetScratch()
+				return emitTo(tc, head, t)
+			})
+		})
+	}
+	if rows == 0 {
+		// Still open/close one chain so scalar aggregates emit their
+		// identity row.
+		units = append(units, func(tc *qef.TaskCtx) error {
+			_, err := chainOf(tc, chains, chainFor)
+			return err
+		})
+	}
+	if err := ctx.RunParallel(units); err != nil {
+		return err
+	}
+	return closeChains(ctx, chains)
+}
+
+// chainOf returns the core's chain, opening a fresh instance on first use.
+func chainOf(tc *qef.TaskCtx, chains []qef.Operator, chainFor func() qef.Operator) (qef.Operator, error) {
+	if chains[tc.CoreID] == nil {
+		head := chainFor()
+		if err := head.Open(tc); err != nil {
+			return nil, err
+		}
+		chains[tc.CoreID] = head
+	}
+	return chains[tc.CoreID], nil
+}
+
+func emitTo(tc *qef.TaskCtx, head qef.Operator, t *qef.Tile) error {
+	return head.Produce(tc, t)
+}
+
+// closeChains closes every per-core chain on its own core: unit i of
+// RunParallel lands on worker i%workers, so the first `workers` units pin
+// one close per core.
+func closeChains(ctx *qef.Context, chains []qef.Operator) error {
+	units := make([]qef.WorkUnit, len(chains))
+	for w := range chains {
+		w := w
+		units[w] = func(tc *qef.TaskCtx) error {
+			if chains[w] == nil {
+				return nil
+			}
+			return chains[w].Close(tc)
+		}
+	}
+	return ctx.RunParallel(units)
+}

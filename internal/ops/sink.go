@@ -1,0 +1,124 @@
+package ops
+
+import (
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/primitives"
+	"rapid/internal/qef"
+)
+
+// CollectSink terminates a task: tiles are materialized (selection applied)
+// and appended to a DRAM result buffer — the materialization at a task
+// boundary of §5.2. One sink is shared by all parallel chain instances; the
+// append is serialized per tile, which is cheap relative to tile processing.
+type CollectSink struct {
+	// OutCols describes the result columns (names/types for the Relation).
+	OutCols []Col
+
+	mu   sync.Mutex
+	bufs [][]int64
+	rows int
+}
+
+// NewCollectSink builds a sink producing the given output column metadata.
+func NewCollectSink(outCols []Col) *CollectSink {
+	return &CollectSink{OutCols: outCols, bufs: make([][]int64, len(outCols))}
+}
+
+func (s *CollectSink) DMEMSize(tileRows int) int { return 0 }
+
+func (s *CollectSink) Open(tc *qef.TaskCtx) error { return nil }
+
+func (s *CollectSink) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	if len(t.Cols) < len(s.bufs) {
+		panic("ops: sink received fewer columns than declared")
+	}
+	// Gather qualifying rows per column into scratch, then append under
+	// the lock. The DRAM write itself is billed through the accessor.
+	n := t.QualifyingRows()
+	if n == 0 {
+		return nil
+	}
+	scratch := make([][]int64, len(s.bufs))
+	dense := t.Dense()
+	for c := range s.bufs {
+		col := t.Cols[c]
+		var vals []int64
+		if dense {
+			if i64, ok := col.(coltypes.I64); ok {
+				vals = i64[:n]
+			} else {
+				vals = primitives.WidenToI64(nil, col, make([]int64, n))
+			}
+		} else {
+			vals = make([]int64, 0, n)
+			t.ForEachRow(func(i int) { vals = append(vals, col.Get(i)) })
+		}
+		scratch[c] = vals
+	}
+	if tc != nil && tc.Core != nil {
+		// Bill the DRAM materialization through the DMS model.
+		cols := make([]coltypes.Data, len(scratch))
+		dsts := make([]coltypes.Data, len(scratch))
+		for c, vals := range scratch {
+			cols[c] = coltypes.I64(vals)
+			dsts[c] = coltypes.New(coltypes.W8, len(vals))
+		}
+		tc.AddTransfer(tc.Ctx.DMS.Write(dsts, 0, cols, n))
+	}
+	s.mu.Lock()
+	for c := range s.bufs {
+		s.bufs[c] = append(s.bufs[c], scratch[c]...)
+	}
+	s.rows += n
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *CollectSink) Close(tc *qef.TaskCtx) error { return nil }
+
+// Rows returns the number of collected rows.
+func (s *CollectSink) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Relation materializes the collected result.
+func (s *CollectSink) Relation() *Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cols := make([]Col, len(s.OutCols))
+	for i, c := range s.OutCols {
+		cols[i] = c
+		cols[i].Data = coltypes.I64(s.bufs[i])
+	}
+	return MustRelation(cols)
+}
+
+// CountSink counts qualifying rows without materializing them (used by
+// micro-benchmarks and COUNT(*) fast paths).
+type CountSink struct {
+	mu   sync.Mutex
+	rows int64
+}
+
+func (s *CountSink) DMEMSize(int) int            { return 0 }
+func (s *CountSink) Open(tc *qef.TaskCtx) error  { return nil }
+func (s *CountSink) Close(tc *qef.TaskCtx) error { return nil }
+
+func (s *CountSink) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
+	n := t.QualifyingRows()
+	s.mu.Lock()
+	s.rows += int64(n)
+	s.mu.Unlock()
+	return nil
+}
+
+// Rows returns the counted rows.
+func (s *CountSink) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}

@@ -1,0 +1,54 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModels(t *testing.T) {
+	if DPU().Watts != 5.8 {
+		t.Fatal("DPU watts")
+	}
+	if DPUCore().Watts != 0.051 {
+		t.Fatal("core watts")
+	}
+	// 32 cores' dynamic power is well under the SoC provisioned figure
+	// (DMS, caches, uncore take the rest).
+	if 32*DPUCore().Watts >= DPU().Watts {
+		t.Fatal("core power exceeds SoC budget")
+	}
+	if SystemXServer().Watts != 290 {
+		t.Fatal("server watts")
+	}
+	if RapidNode().Watts != 28*5.8 {
+		t.Fatal("node watts")
+	}
+}
+
+func TestPowerRatioMatchesPaperArithmetic(t *testing.T) {
+	// §7.4: 15X perf/watt = 8.5X speedup x power ratio, so the ratio must
+	// be ~1.76.
+	r := PowerRatio()
+	if math.Abs(r-15.0/8.5) > 0.03 {
+		t.Fatalf("power ratio = %.3f, want ~%.3f", r, 15.0/8.5)
+	}
+}
+
+func TestPerfPerWatt(t *testing.T) {
+	if got := PerfPerWatt(580, DPU()); got != 100 {
+		t.Fatalf("PerfPerWatt = %v", got)
+	}
+	if PerfPerWatt(1, Model{}) != 0 {
+		t.Fatal("zero watts")
+	}
+	// A system 2x faster at half the power is 4x perf/watt.
+	if got := PerfPerWattRatio(1, 50, 2, 100); got != 4 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if PerfPerWattRatio(0, 0, 1, 1) != 0 {
+		t.Fatal("degenerate")
+	}
+	if Energy(2, DPU()) != 11.6 {
+		t.Fatal("energy")
+	}
+}

@@ -1,0 +1,204 @@
+package primitives
+
+import (
+	"fmt"
+	"math"
+
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/dpu"
+)
+
+// Arithmetic primitives operate on 64-bit accumulators: the compiler inserts
+// a widen primitive per input column ("primitive and encoding selection for
+// each column", §5.2), keeping the arithmetic kernel matrix small while DSB
+// products and sums get 64-bit headroom.
+
+// WidenToI64 copies d into an int64 vector. dst may be nil (allocated) or a
+// reusable buffer of at least d.Len() elements.
+func WidenToI64(core *dpu.Core, d coltypes.Data, dst []int64) []int64 {
+	n := d.Len()
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	switch s := d.(type) {
+	case coltypes.I8:
+		for i, v := range s {
+			dst[i] = int64(v)
+		}
+	case coltypes.I16:
+		for i, v := range s {
+			dst[i] = int64(v)
+		}
+	case coltypes.I32:
+		for i, v := range s {
+			dst[i] = int64(v)
+		}
+	case coltypes.I64:
+		copy(dst, s)
+	default:
+		panic(fmt.Sprintf("primitives: unsupported data %T", d))
+	}
+	charge(core, costWidenPerRow*float64(n))
+	return dst
+}
+
+// AddConst computes out[i] = in[i] + c.
+func AddConst(core *dpu.Core, in []int64, c int64, out []int64) {
+	for i, v := range in {
+		out[i] = v + c
+	}
+	charge(core, costArithPerRow*float64(len(in)))
+}
+
+// MulConst computes out[i] = in[i] * c. The dpCore multiplier stalls the
+// pipeline, so multiplications are billed at dpu.MulStall cycles each.
+func MulConst(core *dpu.Core, in []int64, c int64, out []int64) {
+	for i, v := range in {
+		out[i] = v * c
+	}
+	charge(core, float64(dpu.MulStall)*float64(len(in)))
+}
+
+// DivConst computes out[i] = in[i] / c (integer division; used for decimal
+// rescaling). Division runs on the multiplier unit.
+func DivConst(core *dpu.Core, in []int64, c int64, out []int64) {
+	if c == 0 {
+		panic("primitives: division by zero constant")
+	}
+	for i, v := range in {
+		out[i] = v / c
+	}
+	charge(core, float64(dpu.MulStall)*float64(len(in)))
+}
+
+// AddCol computes out[i] = a[i] + b[i].
+func AddCol(core *dpu.Core, a, b, out []int64) {
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	charge(core, costArithPerRow*float64(len(a)))
+}
+
+// SubCol computes out[i] = a[i] - b[i].
+func SubCol(core *dpu.Core, a, b, out []int64) {
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	charge(core, costArithPerRow*float64(len(a)))
+}
+
+// MulCol computes out[i] = a[i] * b[i].
+func MulCol(core *dpu.Core, a, b, out []int64) {
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	charge(core, float64(dpu.MulStall)*float64(len(a)))
+}
+
+// Aggregates of one vector under an optional selection bit-vector.
+
+// AggState accumulates sum/min/max/count.
+type AggState struct {
+	Sum   int64
+	Min   int64
+	Max   int64
+	Count int64
+}
+
+// NewAggState returns an identity accumulator.
+func NewAggState() AggState {
+	return AggState{Min: math.MaxInt64, Max: math.MinInt64}
+}
+
+// Merge combines two accumulators (the merge operator after low-NDV
+// group-by, §5.4).
+func (a *AggState) Merge(o AggState) {
+	a.Sum += o.Sum
+	a.Count += o.Count
+	if o.Min < a.Min {
+		a.Min = o.Min
+	}
+	if o.Max > a.Max {
+		a.Max = o.Max
+	}
+}
+
+// Aggregate folds vals (rows of sel when non-nil) into st.
+func Aggregate(core *dpu.Core, vals []int64, sel *bits.Vector, st *AggState) {
+	update := func(v int64) {
+		st.Sum += v
+		st.Count++
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	if sel == nil {
+		for _, v := range vals {
+			update(v)
+		}
+		charge(core, costAggPerRow*float64(len(vals)))
+		return
+	}
+	n := 0
+	for i := sel.NextSet(0); i >= 0; i = sel.NextSet(i + 1) {
+		update(vals[i])
+		n++
+	}
+	charge(core, costAggPerRow*float64(n))
+}
+
+// GroupedAgg maintains per-group accumulators indexed by dense group IDs —
+// the DMEM-resident aggregation table of the group-by operator.
+type GroupedAgg struct {
+	Sums   []int64
+	Mins   []int64
+	Maxs   []int64
+	Counts []int64
+}
+
+// NewGroupedAgg allocates accumulators for n groups.
+func NewGroupedAgg(n int) *GroupedAgg {
+	g := &GroupedAgg{
+		Sums:   make([]int64, n),
+		Mins:   make([]int64, n),
+		Maxs:   make([]int64, n),
+		Counts: make([]int64, n),
+	}
+	for i := range g.Mins {
+		g.Mins[i] = math.MaxInt64
+		g.Maxs[i] = math.MinInt64
+	}
+	return g
+}
+
+// SizeBytes returns the DMEM footprint of the accumulators.
+func (g *GroupedAgg) SizeBytes() int { return 4 * 8 * len(g.Sums) }
+
+// Accumulate folds vals into the accumulators selected by gids.
+func (g *GroupedAgg) Accumulate(core *dpu.Core, gids []uint32, vals []int64) {
+	for i, gid := range gids {
+		v := vals[i]
+		g.Sums[gid] += v
+		g.Counts[gid]++
+		if v < g.Mins[gid] {
+			g.Mins[gid] = v
+		}
+		if v > g.Maxs[gid] {
+			g.Maxs[gid] = v
+		}
+	}
+	charge(core, costGroupedAggPerRow*float64(len(gids)))
+}
+
+// AccumulateCounts folds only row counts (COUNT(*) fast path).
+func (g *GroupedAgg) AccumulateCounts(core *dpu.Core, gids []uint32) {
+	for _, gid := range gids {
+		g.Counts[gid]++
+	}
+	charge(core, 0.5*costGroupedAggPerRow*float64(len(gids)))
+}

@@ -1,0 +1,133 @@
+// Package primitives implements RAPID's query-execution primitives (paper
+// §5.1): type-specialized, side-effect-free, short functions over column
+// vectors. The paper generates C functions from templates for every
+// (operation, type) combination; here Go generics instantiate the same
+// matrix and a registry (registry.go) exposes it under the paper's naming
+// scheme.
+//
+// Every primitive both computes its result and charges cycles to the
+// executing dpCore from the cost model in this file. Passing a nil core
+// disables accounting (the ModeX86 software-only configuration).
+package primitives
+
+import "rapid/internal/dpu"
+
+// Per-row and per-invocation cycle costs of the primitive kernels.
+//
+// These are calibrated against the paper's measured operator rates; each
+// constant notes its target. The underlying pipeline justification: the
+// dpCore dual-issues one ALU and one LSU instruction per cycle, BVLD/FILT/
+// CRC32 are single-cycle, DMEM loads/stores are single-cycle, and tight
+// backward loops predict perfectly (§2.1).
+const (
+	// Filter (Listing 1): dual-issued filteq+bvld sustain ~1 cycle/row;
+	// bit-vector word maintenance adds ~3 cycles per 64 rows; measured
+	// total is 1.65 cycles/row => 482 M rows/s/core at 800 MHz (§7.2).
+	costFilterPerRow  = 1.6
+	costFilterPerWord = 3.0
+
+	// RID-emitting filter variant: the hit store cannot pair as cleanly.
+	costFilterRIDPerRow = 1.8
+
+	// DMEM gather by index: single-cycle loads, address arithmetic pairs.
+	costGatherPerRow = 1.0
+
+	// Widening copy ([]T -> []int64) and narrow store.
+	costWidenPerRow = 1.0
+
+	// Additive arithmetic: load+op+store across dual issue.
+	costArithPerRow = 1.5
+
+	// Aggregation accumulate (sum/min/max) over a vector.
+	costAggPerRow = 1.5
+	// Grouped aggregation: gid load, accumulator load/update/store.
+	costGroupedAggPerRow = 3.0
+
+	// CRC32 hash: single-cycle CRC instruction, serial accumulator chain
+	// per extra key.
+	costHashPerRowPerKey = 1.5
+
+	// compute_partition_map (Listing 2): id computation, histogram,
+	// prefix-sum and map fill — a few tight loops over the tile.
+	costPartMapPerRow       = 4.0
+	costPartMapPerPartition = 2.0
+
+	// Software partition gather (Listing 3): index load + element
+	// load/store per row per column.
+	costSwPartGatherPerRow = 2.0
+
+	// Join kernels (§6.3). Calibrated to Fig 11/12: build ~15.5 cycles/row
+	// + ~424/tile (46 M rows/s/core at 256-row tiles, +39 % from 64 to
+	// 1024); probe ~15 cycles/row + 8 per hit + ~650/tile (0.88-1.35 B
+	// rows/s/DPU at 50 % hit rate).
+	costJoinBuildPerRow  = 15.5
+	costJoinBuildPerTile = 424.0
+	costJoinProbePerRow  = 15.0
+	costJoinProbePerHit  = 8.0
+	costJoinProbePerTile = 650.0
+
+	// Per-tile operator control flow: "a single conditional check per
+	// tile" (§5.4) plus descriptor handling.
+	costTileOverhead = 30.0
+
+	// Row-at-a-time execution disables vectorization: every row pays a
+	// primitive dispatch (call, operand setup) and a data-dependent branch.
+	// Calibrated to the ~46 % vectorization gain of Fig 13: the join kernel
+	// costs ~34.5 cycles/row vectorized; +7.5 dispatch + ~0.5 branch-miss
+	// cycles/row lands at 1.46x.
+	costScalarDispatchPerRow = 7.5
+	scalarBranchMissRate     = 0.08
+)
+
+// charge adds cy cycles to core if accounting is enabled.
+func charge(core *dpu.Core, cy float64) {
+	if core != nil && cy > 0 {
+		core.Charge(dpu.Cycles(cy))
+	}
+}
+
+// ChargeTileOverhead bills the per-tile operator control-flow check.
+func ChargeTileOverhead(core *dpu.Core) { charge(core, costTileOverhead) }
+
+// ChargeScalarDispatch bills the row-at-a-time execution penalty for n rows
+// (Fig 13's non-vectorized configuration), including its branch misses.
+func ChargeScalarDispatch(core *dpu.Core, n int) {
+	if core == nil || n <= 0 {
+		return
+	}
+	charge(core, costScalarDispatchPerRow*float64(n))
+	core.ChargeBranchMiss(int64(scalarBranchMissRate * float64(n)))
+}
+
+// FilterCost returns the modeled cycles of a bit-vector filter over n rows
+// (exported for the cost model in qcomp).
+func FilterCost(n int) float64 {
+	return costFilterPerRow*float64(n) + costFilterPerWord*float64((n+63)/64)
+}
+
+// JoinBuildCost returns the modeled cycles of building a hash table over n
+// rows arriving in tiles of the given size.
+func JoinBuildCost(n, tileRows int) float64 {
+	if tileRows <= 0 {
+		tileRows = 256
+	}
+	tiles := float64((n + tileRows - 1) / tileRows)
+	return costJoinBuildPerRow*float64(n) + costJoinBuildPerTile*tiles
+}
+
+// JoinProbeCost returns the modeled cycles of probing n rows with the given
+// expected hit ratio.
+func JoinProbeCost(n, tileRows int, hitRatio float64) float64 {
+	if tileRows <= 0 {
+		tileRows = 256
+	}
+	tiles := float64((n + tileRows - 1) / tileRows)
+	return (costJoinProbePerRow+costJoinProbePerHit*hitRatio)*float64(n) +
+		costJoinProbePerTile*tiles
+}
+
+// PartitionMapCost returns the modeled cycles of compute_partition_map over
+// n rows at the given fan-out.
+func PartitionMapCost(n, fanout int) float64 {
+	return costPartMapPerRow*float64(n) + costPartMapPerPartition*float64(fanout)
+}

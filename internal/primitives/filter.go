@@ -1,0 +1,460 @@
+package primitives
+
+import (
+	"fmt"
+
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/dpu"
+)
+
+// CmpOp is a comparison operator of the FILT instruction family.
+type CmpOp int
+
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "EQ"
+	case NE:
+		return "NE"
+	case LT:
+		return "LT"
+	case LE:
+		return "LE"
+	case GT:
+		return "GT"
+	case GE:
+		return "GE"
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(op))
+}
+
+// Negate returns the complementary operator.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	}
+	panic("primitives: bad CmpOp")
+}
+
+// Swap returns the operator with operand order reversed (a op b == b Swap(op) a).
+func (op CmpOp) Swap() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+func cmp[T coltypes.Elem](op CmpOp, a, b T) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	}
+	panic("primitives: bad CmpOp")
+}
+
+// filterConstBV is the dense first-predicate kernel: evaluate `in[i] op
+// cval` for every row and set the output bit-vector. Returns the hit count.
+func filterConstBV[T coltypes.Elem](core *dpu.Core, in []T, op CmpOp, cval T, out *bits.Vector) int {
+	hits := 0
+	for i, v := range in {
+		if cmp(op, v, cval) {
+			out.Set(i)
+			hits++
+		}
+	}
+	charge(core, FilterCost(len(in)))
+	if core != nil {
+		core.CountInstructions(int64(2 * len(in)))
+	}
+	return hits
+}
+
+// filterConstBVMasked is Listing 1 (rpdmpr_bvflt): evaluate the predicate
+// only on rows set in the input bit-vector (BVLD gathers them), writing the
+// surviving rows to out. Per-value cost scales with the candidate count,
+// but every bit-vector word must still be loaded and scanned — the reason
+// RID lists win below 1/32 density (§5.4).
+func filterConstBVMasked[T coltypes.Elem](core *dpu.Core, in []T, op CmpOp, cval T, inBV, out *bits.Vector) int {
+	hits := 0
+	candidates := 0
+	for i := inBV.NextSet(0); i >= 0; i = inBV.NextSet(i + 1) {
+		candidates++
+		if cmp(op, in[i], cval) {
+			out.Set(i)
+			hits++
+		}
+	}
+	words := (inBV.Len() + 63) / 64
+	charge(core, FilterCost(candidates)+costFilterPerWord*float64(words))
+	if core != nil {
+		core.CountInstructions(int64(2*candidates) + int64(words))
+	}
+	return hits
+}
+
+// filterConstRIDs is the RID-list kernel chosen when fewer than 1/32 of the
+// rows are expected to qualify (§5.4): scan the candidate RIDs and append
+// survivors to out.
+func filterConstRIDs[T coltypes.Elem](core *dpu.Core, in []T, op CmpOp, cval T, inRIDs []uint32, out []uint32) []uint32 {
+	for _, r := range inRIDs {
+		if cmp(op, in[r], cval) {
+			out = append(out, r)
+		}
+	}
+	charge(core, costFilterRIDPerRow*float64(len(inRIDs)))
+	return out
+}
+
+// filterConstRIDsDense scans all n rows and emits qualifying RIDs.
+func filterConstRIDsDense[T coltypes.Elem](core *dpu.Core, in []T, op CmpOp, cval T, out []uint32) []uint32 {
+	for i, v := range in {
+		if cmp(op, v, cval) {
+			out = append(out, uint32(i))
+		}
+	}
+	charge(core, costFilterRIDPerRow*float64(len(in)))
+	return out
+}
+
+// filterBetweenBV evaluates lo <= in[i] <= hi on rows of inBV (nil = all).
+func filterBetweenBV[T coltypes.Elem](core *dpu.Core, in []T, lo, hi T, inBV, out *bits.Vector) int {
+	hits := 0
+	if inBV == nil {
+		for i, v := range in {
+			if v >= lo && v <= hi {
+				out.Set(i)
+				hits++
+			}
+		}
+		charge(core, 2*costFilterPerRow*float64(len(in))+costFilterPerWord*float64((len(in)+63)/64))
+		return hits
+	}
+	candidates := 0
+	for i := inBV.NextSet(0); i >= 0; i = inBV.NextSet(i + 1) {
+		candidates++
+		if v := in[i]; v >= lo && v <= hi {
+			out.Set(i)
+			hits++
+		}
+	}
+	charge(core, 2*costFilterPerRow*float64(candidates)+costFilterPerWord*float64((candidates+63)/64))
+	return hits
+}
+
+// filterColColBV evaluates a[i] op b[i] on rows of inBV (nil = all).
+func filterColColBV[T coltypes.Elem](core *dpu.Core, a, b []T, op CmpOp, inBV, out *bits.Vector) int {
+	hits := 0
+	if inBV == nil {
+		for i := range a {
+			if cmp(op, a[i], b[i]) {
+				out.Set(i)
+				hits++
+			}
+		}
+		charge(core, FilterCost(len(a))+costGatherPerRow*float64(len(a)))
+		return hits
+	}
+	candidates := 0
+	for i := inBV.NextSet(0); i >= 0; i = inBV.NextSet(i + 1) {
+		candidates++
+		if cmp(op, a[i], b[i]) {
+			out.Set(i)
+			hits++
+		}
+	}
+	charge(core, FilterCost(candidates)+costGatherPerRow*float64(candidates))
+	return hits
+}
+
+// filterInSet tests dictionary-code membership against a code bitmap — the
+// compiled form of string range/prefix/IN predicates (§4.2). Codes outside
+// the bitmap domain fail the predicate.
+func filterInSet[T coltypes.Elem](core *dpu.Core, in []T, set *bits.Vector, inBV, out *bits.Vector) int {
+	hits := 0
+	test := func(v T) bool {
+		c := int64(v)
+		return c >= 0 && c < int64(set.Len()) && set.Test(int(c))
+	}
+	if inBV == nil {
+		for i, v := range in {
+			if test(v) {
+				out.Set(i)
+				hits++
+			}
+		}
+		charge(core, FilterCost(len(in))+costGatherPerRow*float64(len(in)))
+		return hits
+	}
+	candidates := 0
+	for i := inBV.NextSet(0); i >= 0; i = inBV.NextSet(i + 1) {
+		candidates++
+		if test(in[i]) {
+			out.Set(i)
+			hits++
+		}
+	}
+	charge(core, FilterCost(candidates)+costGatherPerRow*float64(candidates))
+	return hits
+}
+
+// Data-dispatching wrappers: select the width-specialized instantiation for
+// a coltypes.Data, mirroring the generated-primitive lookup.
+
+// FilterConstBV evaluates `d op cval` densely into out, returning hits.
+func FilterConstBV(core *dpu.Core, d coltypes.Data, op CmpOp, cval int64, out *bits.Vector) int {
+	switch s := d.(type) {
+	case coltypes.I8:
+		c, ok := constFit[int8](cval)
+		if !ok {
+			return degenerateConst(op, cval, d, len(s), out)
+		}
+		return filterConstBV(core, s, op, c, out)
+	case coltypes.I16:
+		c, ok := constFit[int16](cval)
+		if !ok {
+			return degenerateConst(op, cval, d, len(s), out)
+		}
+		return filterConstBV(core, s, op, c, out)
+	case coltypes.I32:
+		c, ok := constFit[int32](cval)
+		if !ok {
+			return degenerateConst(op, cval, d, len(s), out)
+		}
+		return filterConstBV(core, s, op, c, out)
+	case coltypes.I64:
+		return filterConstBV(core, s, op, cval, out)
+	}
+	panic(fmt.Sprintf("primitives: unsupported data %T", d))
+}
+
+// FilterConstBVMasked evaluates `d op cval` on rows of inBV into out.
+func FilterConstBVMasked(core *dpu.Core, d coltypes.Data, op CmpOp, cval int64, inBV, out *bits.Vector) int {
+	switch s := d.(type) {
+	case coltypes.I8:
+		c, ok := constFit[int8](cval)
+		if !ok {
+			return degenerateConstMasked(op, cval, d, inBV, out)
+		}
+		return filterConstBVMasked(core, s, op, c, inBV, out)
+	case coltypes.I16:
+		c, ok := constFit[int16](cval)
+		if !ok {
+			return degenerateConstMasked(op, cval, d, inBV, out)
+		}
+		return filterConstBVMasked(core, s, op, c, inBV, out)
+	case coltypes.I32:
+		c, ok := constFit[int32](cval)
+		if !ok {
+			return degenerateConstMasked(op, cval, d, inBV, out)
+		}
+		return filterConstBVMasked(core, s, op, c, inBV, out)
+	case coltypes.I64:
+		return filterConstBVMasked(core, s, op, cval, inBV, out)
+	}
+	panic(fmt.Sprintf("primitives: unsupported data %T", d))
+}
+
+// FilterConstRIDs evaluates `d op cval` over candidate RIDs (nil = dense
+// scan) appending hits to out.
+func FilterConstRIDs(core *dpu.Core, d coltypes.Data, op CmpOp, cval int64, inRIDs []uint32, out []uint32) []uint32 {
+	switch s := d.(type) {
+	case coltypes.I8:
+		c, ok := constFit[int8](cval)
+		if !ok {
+			return degenerateConstRIDs(op, cval, d, inRIDs, out)
+		}
+		if inRIDs == nil {
+			return filterConstRIDsDense(core, s, op, c, out)
+		}
+		return filterConstRIDs(core, s, op, c, inRIDs, out)
+	case coltypes.I16:
+		c, ok := constFit[int16](cval)
+		if !ok {
+			return degenerateConstRIDs(op, cval, d, inRIDs, out)
+		}
+		if inRIDs == nil {
+			return filterConstRIDsDense(core, s, op, c, out)
+		}
+		return filterConstRIDs(core, s, op, c, inRIDs, out)
+	case coltypes.I32:
+		c, ok := constFit[int32](cval)
+		if !ok {
+			return degenerateConstRIDs(op, cval, d, inRIDs, out)
+		}
+		if inRIDs == nil {
+			return filterConstRIDsDense(core, s, op, c, out)
+		}
+		return filterConstRIDs(core, s, op, c, inRIDs, out)
+	case coltypes.I64:
+		if inRIDs == nil {
+			return filterConstRIDsDense(core, s, op, cval, out)
+		}
+		return filterConstRIDs(core, s, op, cval, inRIDs, out)
+	}
+	panic(fmt.Sprintf("primitives: unsupported data %T", d))
+}
+
+// FilterBetweenBV evaluates lo <= d <= hi on rows of inBV (nil = all).
+func FilterBetweenBV(core *dpu.Core, d coltypes.Data, lo, hi int64, inBV, out *bits.Vector) int {
+	w := d.Width()
+	// Clamp bounds into the width domain; an empty clamped range means no
+	// row can qualify.
+	if lo < w.MinInt() {
+		lo = w.MinInt()
+	}
+	if hi > w.MaxInt() {
+		hi = w.MaxInt()
+	}
+	if lo > hi {
+		return 0
+	}
+	switch s := d.(type) {
+	case coltypes.I8:
+		return filterBetweenBV(core, s, int8(lo), int8(hi), inBV, out)
+	case coltypes.I16:
+		return filterBetweenBV(core, s, int16(lo), int16(hi), inBV, out)
+	case coltypes.I32:
+		return filterBetweenBV(core, s, int32(lo), int32(hi), inBV, out)
+	case coltypes.I64:
+		return filterBetweenBV(core, s, lo, hi, inBV, out)
+	}
+	panic(fmt.Sprintf("primitives: unsupported data %T", d))
+}
+
+// FilterColColBV evaluates a[i] op b[i]; a and b may have different widths
+// (widened comparison).
+func FilterColColBV(core *dpu.Core, a, b coltypes.Data, op CmpOp, inBV, out *bits.Vector) int {
+	if a.Width() == b.Width() {
+		switch sa := a.(type) {
+		case coltypes.I8:
+			return filterColColBV(core, sa, b.(coltypes.I8), op, inBV, out)
+		case coltypes.I16:
+			return filterColColBV(core, sa, b.(coltypes.I16), op, inBV, out)
+		case coltypes.I32:
+			return filterColColBV(core, sa, b.(coltypes.I32), op, inBV, out)
+		case coltypes.I64:
+			return filterColColBV(core, sa, b.(coltypes.I64), op, inBV, out)
+		}
+	}
+	// Mixed widths: widen both (the compiler normally inserts explicit
+	// widen primitives; this fallback keeps the operator correct).
+	aw := WidenToI64(core, a, nil)
+	bw := WidenToI64(core, b, nil)
+	return filterColColBV(core, aw, bw, op, inBV, out)
+}
+
+// FilterInSetBV tests dictionary-code membership on rows of inBV (nil=all).
+func FilterInSetBV(core *dpu.Core, d coltypes.Data, set *bits.Vector, inBV, out *bits.Vector) int {
+	switch s := d.(type) {
+	case coltypes.I8:
+		return filterInSet(core, s, set, inBV, out)
+	case coltypes.I16:
+		return filterInSet(core, s, set, inBV, out)
+	case coltypes.I32:
+		return filterInSet(core, s, set, inBV, out)
+	case coltypes.I64:
+		return filterInSet(core, s, set, inBV, out)
+	}
+	panic(fmt.Sprintf("primitives: unsupported data %T", d))
+}
+
+// constFit narrows a 64-bit constant, reporting whether it is representable
+// at the column width.
+func constFit[T coltypes.Elem](v int64) (T, bool) {
+	t := T(v)
+	return t, int64(t) == v
+}
+
+// degenerateConst resolves comparisons whose constant lies outside the
+// column's physical domain: the predicate is then uniformly true or false.
+func degenerateConst(op CmpOp, cval int64, d coltypes.Data, n int, out *bits.Vector) int {
+	if !degenerateTrue(op, cval, d) {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		out.Set(i)
+	}
+	return n
+}
+
+func degenerateConstMasked(op CmpOp, cval int64, d coltypes.Data, inBV, out *bits.Vector) int {
+	if !degenerateTrue(op, cval, d) {
+		return 0
+	}
+	hits := 0
+	for i := inBV.NextSet(0); i >= 0; i = inBV.NextSet(i + 1) {
+		out.Set(i)
+		hits++
+	}
+	return hits
+}
+
+func degenerateConstRIDs(op CmpOp, cval int64, d coltypes.Data, inRIDs []uint32, out []uint32) []uint32 {
+	if !degenerateTrue(op, cval, d) {
+		return out
+	}
+	if inRIDs == nil {
+		for i := 0; i < d.Len(); i++ {
+			out = append(out, uint32(i))
+		}
+		return out
+	}
+	return append(out, inRIDs...)
+}
+
+// degenerateTrue reports whether `x op cval` holds for every representable
+// x of the column width, given that cval is outside that width's domain.
+func degenerateTrue(op CmpOp, cval int64, d coltypes.Data) bool {
+	w := d.Width()
+	above := cval > w.MaxInt()
+	switch op {
+	case EQ:
+		return false
+	case NE:
+		return true
+	case LT, LE:
+		return above
+	case GT, GE:
+		return !above
+	}
+	return false
+}

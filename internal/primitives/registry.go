@@ -1,0 +1,168 @@
+package primitives
+
+import (
+	"fmt"
+	"sort"
+
+	"rapid/internal/coltypes"
+)
+
+// The primitive generator framework (paper §5.1) parses C-like templates and
+// emits a function per (operation, input/output type) combination, linked
+// into the RAPID binary. Go generics instantiate the same matrix at compile
+// time; this registry exposes the instantiations under the paper's naming
+// scheme (e.g. "rpdmpr_bvflt_i4_OPT_TYPE_EQ_cval") so the compiler's
+// primitive-selection step (§5.2 factor iv) can enumerate and choose them.
+
+// Kind classifies registered primitives.
+type Kind int
+
+const (
+	KindFilterBV Kind = iota
+	KindFilterRID
+	KindArith
+	KindHash
+	KindPartition
+	KindJoin
+	KindAggregate
+)
+
+// Info describes one generated primitive instantiation.
+type Info struct {
+	Name  string
+	Kind  Kind
+	Width coltypes.Width
+	Op    string
+	// CyclesPerRow is the steady-state cost used by the compiler's cost
+	// model when picking between variants.
+	CyclesPerRow float64
+}
+
+var registry = map[string]Info{}
+
+func register(in Info) {
+	if _, dup := registry[in.Name]; dup {
+		panic(fmt.Sprintf("primitives: duplicate registration %q", in.Name))
+	}
+	registry[in.Name] = in
+}
+
+// widthTag maps a physical width to the paper's type suffix (ub4-style,
+// signed here).
+func widthTag(w coltypes.Width) string {
+	switch w {
+	case coltypes.W1:
+		return "i1"
+	case coltypes.W2:
+		return "i2"
+	case coltypes.W4:
+		return "i4"
+	case coltypes.W8:
+		return "i8"
+	}
+	return "i?"
+}
+
+// FilterName returns the registered name of a filter primitive variant.
+func FilterName(w coltypes.Width, op CmpOp, rid bool) string {
+	variant := "bvflt"
+	if rid {
+		variant = "ridflt"
+	}
+	return fmt.Sprintf("rpdmpr_%s_%s_OPT_TYPE_%s_cval", variant, widthTag(w), op)
+}
+
+func init() {
+	widths := []coltypes.Width{coltypes.W1, coltypes.W2, coltypes.W4, coltypes.W8}
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	for _, w := range widths {
+		for _, op := range ops {
+			register(Info{
+				Name:         FilterName(w, op, false),
+				Kind:         KindFilterBV,
+				Width:        w,
+				Op:           op.String(),
+				CyclesPerRow: costFilterPerRow + costFilterPerWord/64,
+			})
+			register(Info{
+				Name:         FilterName(w, op, true),
+				Kind:         KindFilterRID,
+				Width:        w,
+				Op:           op.String(),
+				CyclesPerRow: costFilterRIDPerRow,
+			})
+		}
+		register(Info{
+			Name:         fmt.Sprintf("rpdmpr_between_%s", widthTag(w)),
+			Kind:         KindFilterBV,
+			Width:        w,
+			Op:           "BETWEEN",
+			CyclesPerRow: 2 * costFilterPerRow,
+		})
+		register(Info{
+			Name:         fmt.Sprintf("rpdmpr_inset_%s", widthTag(w)),
+			Kind:         KindFilterBV,
+			Width:        w,
+			Op:           "INSET",
+			CyclesPerRow: costFilterPerRow + costGatherPerRow,
+		})
+		register(Info{
+			Name:         fmt.Sprintf("rpdmpr_crc32_%s", widthTag(w)),
+			Kind:         KindHash,
+			Width:        w,
+			Op:           "CRC32",
+			CyclesPerRow: costHashPerRowPerKey,
+		})
+		register(Info{
+			Name:         fmt.Sprintf("swpart_partcol_%s", widthTag(w)),
+			Kind:         KindPartition,
+			Width:        w,
+			Op:           "GATHER",
+			CyclesPerRow: costSwPartGatherPerRow,
+		})
+		register(Info{
+			Name:         fmt.Sprintf("rpdmpr_widen_%s", widthTag(w)),
+			Kind:         KindArith,
+			Width:        w,
+			Op:           "WIDEN",
+			CyclesPerRow: costWidenPerRow,
+		})
+	}
+	for _, op := range []string{"ADD", "SUB", "MUL", "DIV", "ADDC", "MULC"} {
+		cy := costArithPerRow
+		if op == "MUL" || op == "DIV" || op == "MULC" {
+			cy = 4
+		}
+		register(Info{
+			Name:         fmt.Sprintf("rpdmpr_arith_i8_%s", op),
+			Kind:         KindArith,
+			Width:        coltypes.W8,
+			Op:           op,
+			CyclesPerRow: cy,
+		})
+	}
+	register(Info{Name: "compute_partition_map", Kind: KindPartition, Op: "PARTMAP", CyclesPerRow: costPartMapPerRow})
+	register(Info{Name: "rpdmpr_join_build", Kind: KindJoin, Op: "BUILD", CyclesPerRow: costJoinBuildPerRow})
+	register(Info{Name: "rpdmpr_join_probe", Kind: KindJoin, Op: "PROBE", CyclesPerRow: costJoinProbePerRow})
+	register(Info{Name: "rpdmpr_agg_i8", Kind: KindAggregate, Width: coltypes.W8, Op: "AGG", CyclesPerRow: costAggPerRow})
+	register(Info{Name: "rpdmpr_gagg_i8", Kind: KindAggregate, Width: coltypes.W8, Op: "GROUPED_AGG", CyclesPerRow: costGroupedAggPerRow})
+}
+
+// Lookup returns the Info for a registered primitive name.
+func Lookup(name string) (Info, bool) {
+	in, ok := registry[name]
+	return in, ok
+}
+
+// All returns every registered primitive, sorted by name.
+func All() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, in := range registry {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Count returns the number of generated primitive instantiations.
+func Count() int { return len(registry) }

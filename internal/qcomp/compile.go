@@ -1,0 +1,626 @@
+package qcomp
+
+import (
+	"fmt"
+	"strings"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/ops"
+	"rapid/internal/plan"
+	"rapid/internal/qef"
+	"rapid/internal/storage"
+)
+
+// Compiled is a physical query execution plan (QEP) ready to run on a
+// qef.Context.
+type Compiled struct {
+	root physNode
+}
+
+// Compile lowers a logical plan into a physical QEP.
+func Compile(n plan.Node) (*Compiled, error) {
+	pn, err := compileNode(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{root: pn}, nil
+}
+
+// Execute runs the QEP.
+func (c *Compiled) Execute(ctx *qef.Context) (*ops.Relation, error) {
+	return c.root.execute(ctx)
+}
+
+// Explain renders the physical plan.
+func (c *Compiled) Explain() string {
+	var sb strings.Builder
+	c.root.explain(&sb, 0)
+	return sb.String()
+}
+
+// physNode is a physical operator tree node.
+type physNode interface {
+	execute(ctx *qef.Context) (*ops.Relation, error)
+	fields() []plan.Field
+	estRows() int64
+	explain(sb *strings.Builder, depth int)
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: scan [+filter] [+project] [+aggregate] executed as one task.
+
+type pipeStepKind int
+
+const (
+	stepFilter pipeStepKind = iota
+	stepProject
+)
+
+type pipeStep struct {
+	kind  pipeStepKind
+	preds []ops.Predicate
+	exprs []ops.Expr
+	keep  []int
+}
+
+type terminalKind int
+
+const (
+	termCollect terminalKind = iota
+	termScalarAgg
+	termGroupBy
+)
+
+type pipelineNode struct {
+	// Source: either a base-table snapshot or an upstream physical node.
+	snap     *storage.Snapshot
+	scanCols []int
+	input    physNode
+
+	cols  []colInfo
+	steps []pipeStep
+	est   int64
+
+	terminal  terminalKind
+	aggSpecs  []ops.AggSpec
+	groupCols []int
+	maxGroups int
+	finals    []finalSpec
+	outFields []plan.Field
+}
+
+// finalSpec maps lowered agg outputs to requested columns (AVG lowering).
+type finalSpec struct {
+	kind    plan.AggKind
+	specIdx int // primary spec column (after keys)
+	cntIdx  int // count spec column for AVG
+}
+
+func (p *pipelineNode) fields() []plan.Field {
+	if p.terminal != termCollect {
+		return p.outFields
+	}
+	fs := make([]plan.Field, len(p.cols))
+	for i, c := range p.cols {
+		fs[i] = c.field
+	}
+	return fs
+}
+
+func (p *pipelineNode) estRows() int64 {
+	if p.terminal == termGroupBy || p.terminal == termScalarAgg {
+		if p.maxGroups > 0 {
+			return int64(p.maxGroups)
+		}
+		return 1
+	}
+	return p.est
+}
+
+func (p *pipelineNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	if p.snap != nil {
+		fmt.Fprintf(sb, "Pipeline[scan %s", p.snap.Table().Name())
+	} else {
+		sb.WriteString("Pipeline[relation")
+	}
+	for _, s := range p.steps {
+		if s.kind == stepFilter {
+			fmt.Fprintf(sb, " -> filter(%d preds)", len(s.preds))
+		} else {
+			fmt.Fprintf(sb, " -> project(%d exprs)", len(s.exprs)+len(s.keep))
+		}
+	}
+	switch p.terminal {
+	case termScalarAgg:
+		fmt.Fprintf(sb, " -> agg(%d)", len(p.aggSpecs))
+	case termGroupBy:
+		fmt.Fprintf(sb, " -> groupby(keys=%d, aggs=%d, maxGroups=%d)", len(p.groupCols), len(p.aggSpecs), p.maxGroups)
+	}
+	sb.WriteString("]\n")
+	if p.input != nil {
+		p.input.explain(sb, depth+1)
+	}
+}
+
+// opReqs describes the pipeline to the task former for tile sizing.
+func (p *pipelineNode) opReqs() []OpReq {
+	rowBytes := 8 * len(p.cols)
+	reqs := []OpReq{{
+		Name:           "scan",
+		DMEMSize:       func(rows int) int { return 2 * rows * rowBytes },
+		OutBytesPerRow: rowBytes,
+		Selectivity:    1,
+	}}
+	for _, s := range p.steps {
+		s := s
+		if s.kind == stepFilter {
+			f := &ops.FilterOp{Preds: s.preds}
+			sel := 1.0
+			for _, pr := range s.preds {
+				sel *= pr.EstSelectivity()
+			}
+			reqs = append(reqs, OpReq{
+				Name:           "filter",
+				DMEMSize:       f.DMEMSize,
+				OutBytesPerRow: rowBytes,
+				Selectivity:    sel,
+			})
+		} else {
+			pr := &ops.ProjectOp{Exprs: s.exprs, Keep: s.keep}
+			reqs = append(reqs, OpReq{
+				Name:           "project",
+				DMEMSize:       pr.DMEMSize,
+				OutBytesPerRow: (len(s.exprs) + len(s.keep)) * 8,
+				Selectivity:    1,
+			})
+		}
+	}
+	switch p.terminal {
+	case termScalarAgg:
+		a := &ops.ScalarAggOp{Specs: p.aggSpecs}
+		reqs = append(reqs, OpReq{Name: "agg", DMEMSize: a.DMEMSize, OutBytesPerRow: 8, Selectivity: 0})
+	case termGroupBy:
+		g := &ops.GroupByOp{GroupCols: p.groupCols, Specs: p.aggSpecs, MaxGroups: p.maxGroups}
+		reqs = append(reqs, OpReq{Name: "groupby", DMEMSize: g.DMEMSize, OutBytesPerRow: 8, Selectivity: 0})
+	}
+	return reqs
+}
+
+func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	tileRows := ChooseTileRows(p.opReqs())
+
+	var inputRel *ops.Relation
+	if p.input != nil {
+		var err error
+		inputRel, err = p.input.execute(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Shared terminal state.
+	var sink *ops.CollectSink
+	var aggRes *ops.ScalarAggResult
+	var merger *ops.GroupMerger
+	switch p.terminal {
+	case termCollect:
+		outCols := make([]ops.Col, len(p.cols))
+		for i, c := range p.cols {
+			outCols[i] = ops.Col{Name: c.field.Name, Type: c.field.Type, Dict: c.field.Dict}
+		}
+		sink = ops.NewCollectSink(outCols)
+	case termScalarAgg:
+		aggRes = ops.NewScalarAggResult(len(p.aggSpecs))
+	case termGroupBy:
+		merger = ops.NewGroupMerger(len(p.groupCols), p.aggSpecs)
+	}
+
+	chainFor := func() qef.Operator {
+		var term qef.Operator
+		switch p.terminal {
+		case termCollect:
+			term = sink
+		case termScalarAgg:
+			term = &ops.ScalarAggOp{Specs: p.aggSpecs, Result: aggRes}
+		case termGroupBy:
+			term = &ops.GroupByOp{GroupCols: p.groupCols, Specs: p.aggSpecs, MaxGroups: p.maxGroups, Merger: merger}
+		}
+		head := term
+		for i := len(p.steps) - 1; i >= 0; i-- {
+			s := p.steps[i]
+			if s.kind == stepProject {
+				head = &ops.ProjectOp{Exprs: s.exprs, Keep: s.keep, Next: head}
+				// Projection evaluates densely; compact sparse selections
+				// first (late materialization ends here).
+				head = &ops.MaterializeOp{Next: head}
+			} else {
+				head = &ops.FilterOp{Preds: s.preds, Next: head}
+			}
+		}
+		return head
+	}
+
+	var err error
+	if p.snap != nil {
+		err = ops.TableScan(ctx, p.snap, p.scanCols, tileRows, chainFor)
+	} else {
+		err = ops.RelationScan(ctx, inputRel, tileRows, chainFor)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	switch p.terminal {
+	case termCollect:
+		return sink.Relation(), nil
+	case termScalarAgg:
+		return p.finalizeScalar(aggRes)
+	default:
+		keyCols := make([]ops.Col, len(p.groupCols))
+		for i, g := range p.groupCols {
+			c := p.cols[g]
+			keyCols[i] = ops.Col{Name: c.field.Name, Type: c.field.Type, Dict: c.field.Dict}
+		}
+		raw := merger.Relation(keyCols, nil)
+		return p.finalizeGrouped(raw, len(p.groupCols))
+	}
+}
+
+// finalizeScalar maps lowered agg states to the requested output columns.
+func (p *pipelineNode) finalizeScalar(res *ops.ScalarAggResult) (*ops.Relation, error) {
+	cols := make([]ops.Col, len(p.finals))
+	for i, f := range p.finals {
+		var v int64
+		switch f.kind {
+		case plan.Avg:
+			sum := res.Value(f.specIdx, ops.AggSum)
+			cnt := res.Value(f.cntIdx, ops.AggCountStar)
+			if cnt != 0 {
+				v = sum * 100 / cnt
+			}
+		case plan.Sum:
+			v = res.Value(f.specIdx, ops.AggSum)
+		case plan.Min:
+			v = res.Value(f.specIdx, ops.AggMin)
+		case plan.Max:
+			v = res.Value(f.specIdx, ops.AggMax)
+		default:
+			v = res.Value(f.specIdx, ops.AggCount)
+		}
+		fld := p.outFields[i]
+		cols[i] = ops.Col{Name: fld.Name, Type: fld.Type, Data: coltypes.I64{v}}
+	}
+	return ops.NewRelation(cols)
+}
+
+// finalizeGrouped maps lowered agg columns of the raw grouped relation
+// (keys first, then one column per lowered spec) to the requested outputs.
+func (p *pipelineNode) finalizeGrouped(raw *ops.Relation, nKeys int) (*ops.Relation, error) {
+	n := raw.Rows()
+	cols := make([]ops.Col, 0, nKeys+len(p.finals))
+	for k := 0; k < nKeys; k++ {
+		c := raw.Cols[k]
+		fld := p.outFields[k]
+		c.Name, c.Type, c.Dict = fld.Name, fld.Type, fld.Dict
+		cols = append(cols, c)
+	}
+	for i, f := range p.finals {
+		fld := p.outFields[nKeys+i]
+		vals := make([]int64, n)
+		switch f.kind {
+		case plan.Avg:
+			sums := raw.Cols[nKeys+f.specIdx].Data
+			cnts := raw.Cols[nKeys+f.cntIdx].Data
+			for r := 0; r < n; r++ {
+				if c := cnts.Get(r); c != 0 {
+					vals[r] = sums.Get(r) * 100 / c
+				}
+			}
+		default:
+			src := raw.Cols[nKeys+f.specIdx].Data
+			for r := 0; r < n; r++ {
+				vals[r] = src.Get(r)
+			}
+		}
+		cols = append(cols, ops.Col{Name: fld.Name, Type: fld.Type, Data: coltypes.I64(vals)})
+	}
+	return ops.NewRelation(cols)
+}
+
+// ---------------------------------------------------------------------------
+// Compilation.
+
+func compileNode(n plan.Node) (physNode, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return compileScan(node), nil
+	case *plan.Filter:
+		return compileFilter(node)
+	case *plan.Project:
+		return compileProject(node)
+	case *plan.GroupBy:
+		return compileGroupBy(node)
+	case *plan.Join:
+		return compileJoin(node)
+	case *plan.Sort:
+		child, err := compileNode(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &sortNode{input: child, keys: node.Keys}, nil
+	case *plan.Limit:
+		child, err := compileNode(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := child.(*sortNode); ok {
+			// Sort + Limit fuses into the vectorized Top-K operator.
+			return &topkNode{input: s.input, keys: s.keys, k: node.K}, nil
+		}
+		return &limitNode{input: child, k: node.K}, nil
+	case *plan.SetOp:
+		l, err := compileNode(node.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileNode(node.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &setopNode{left: l, right: r, kind: node.Kind}, nil
+	case *plan.Window:
+		child, err := compileNode(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &windowNode{input: child, spec: node}, nil
+	}
+	return nil, fmt.Errorf("qcomp: unsupported plan node %T", n)
+}
+
+func compileScan(s *plan.Scan) *pipelineNode {
+	snap := s.Table.Snapshot(s.SCN)
+	cols := make([]colInfo, len(s.Cols))
+	stats := s.Table.Stats()
+	for i, c := range s.Cols {
+		def := s.Table.Schema().Col(c)
+		cols[i] = colInfo{
+			field: plan.Field{Name: def.Name, Type: def.Type, Dict: s.Table.Meta(c).Dict},
+		}
+		if stats != nil && c < len(stats.Cols) {
+			cs := stats.Cols[c]
+			cols[i].stats = &cs
+		}
+	}
+	return &pipelineNode{snap: snap, scanCols: s.Cols, cols: cols, est: int64(snap.TotalRows())}
+}
+
+// asPipeline returns the node as an extensible pipeline: either the node
+// itself (when it is a pipeline without terminal aggregation) or a new
+// pipeline reading the node's materialized output.
+func asPipeline(pn physNode) *pipelineNode {
+	if p, ok := pn.(*pipelineNode); ok && p.terminal == termCollect {
+		return p
+	}
+	fs := pn.fields()
+	cols := make([]colInfo, len(fs))
+	for i, f := range fs {
+		cols[i] = colInfo{field: f}
+	}
+	return &pipelineNode{input: pn, cols: cols, est: pn.estRows()}
+}
+
+func compileFilter(f *plan.Filter) (physNode, error) {
+	child, err := compileNode(f.Input)
+	if err != nil {
+		return nil, err
+	}
+	p := asPipeline(child)
+	pred, err := compilePred(f.Pred, p.cols)
+	if err != nil {
+		return nil, err
+	}
+	p.steps = append(p.steps, pipeStep{kind: stepFilter, preds: []ops.Predicate{pred}})
+	est := int64(float64(p.est) * pred.EstSelectivity())
+	if est < 1 {
+		est = 1
+	}
+	p.est = est
+	return p, nil
+}
+
+func compileProject(pr *plan.Project) (physNode, error) {
+	child, err := compileNode(pr.Input)
+	if err != nil {
+		return nil, err
+	}
+	p := asPipeline(child)
+	step := pipeStep{kind: stepProject}
+	newCols := make([]colInfo, 0, len(pr.Exprs))
+	// Pure column references become zero-copy keeps; everything else is a
+	// computed expression. Keeps must precede exprs in the output tile
+	// (ops.ProjectOp emits Keep columns first).
+	type outSlot struct {
+		keep int // >= 0: index into keep outputs
+		expr int // >= 0: index into expr outputs
+	}
+	slots := make([]outSlot, len(pr.Exprs))
+	for i, e := range pr.Exprs {
+		name := ""
+		if i < len(pr.Names) {
+			name = pr.Names[i]
+		}
+		if cr, ok := e.(*plan.ColRef); ok {
+			slots[i] = outSlot{keep: len(step.keep), expr: -1}
+			step.keep = append(step.keep, cr.Idx)
+			f := p.cols[cr.Idx].field
+			if name != "" {
+				f.Name = name
+			}
+			newCols = append(newCols, colInfo{field: f, stats: p.cols[cr.Idx].stats})
+			continue
+		}
+		ce, err := compileExpr(e, p.cols)
+		if err != nil {
+			return nil, err
+		}
+		slots[i] = outSlot{keep: -1, expr: len(step.exprs)}
+		step.exprs = append(step.exprs, ce)
+		fname := name
+		if fname == "" {
+			fname = e.String()
+		}
+		newCols = append(newCols, colInfo{field: plan.Field{Name: fname, Type: e.Type()}})
+	}
+	// Tile layout after ProjectOp: keeps then exprs; remap newCols to that
+	// physical order and remember the logical order for output naming.
+	phys := make([]colInfo, len(newCols))
+	for i, s := range slots {
+		if s.expr < 0 {
+			phys[s.keep] = newCols[i]
+		} else {
+			phys[len(step.keep)+s.expr] = newCols[i]
+		}
+	}
+	// To keep logical order == physical order (parents index by schema
+	// position), require that pure ColRefs precede computed exprs; when
+	// they do not, fall back to compiling every output as an expression.
+	ordered := true
+	for i := 1; i < len(slots); i++ {
+		if slots[i-1].expr >= 0 && slots[i].expr < 0 {
+			ordered = false
+			break
+		}
+	}
+	if !ordered {
+		step.keep = nil
+		step.exprs = step.exprs[:0]
+		phys = phys[:0]
+		for i, e := range pr.Exprs {
+			ce, err := compileExpr(e, p.cols)
+			if err != nil {
+				return nil, err
+			}
+			step.exprs = append(step.exprs, ce)
+			phys = append(phys, newCols[i])
+		}
+	}
+	p.steps = append(p.steps, step)
+	p.cols = phys
+	return p, nil
+}
+
+// lowNDVMaxGroups is the largest group count handled by the in-pipeline
+// (low NDV) group-by: the merged table must fit the collective DMEM of the
+// 32 dpCores (§5.4).
+const lowNDVMaxGroups = 4096
+
+func compileGroupBy(g *plan.GroupBy) (physNode, error) {
+	child, err := compileNode(g.Input)
+	if err != nil {
+		return nil, err
+	}
+	p := asPipeline(child)
+
+	groupCols := make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		cr, ok := k.(*plan.ColRef)
+		if !ok {
+			return nil, fmt.Errorf("qcomp: group key %d is not a column (normalize first)", i)
+		}
+		groupCols[i] = cr.Idx
+	}
+
+	// Lower AVG into SUM + COUNT.
+	var specs []ops.AggSpec
+	var finals []finalSpec
+	for _, a := range g.Aggs {
+		switch a.Kind {
+		case plan.Avg:
+			sumE, err := compileExpr(a.Arg, p.cols)
+			if err != nil {
+				return nil, err
+			}
+			finals = append(finals, finalSpec{kind: plan.Avg, specIdx: len(specs), cntIdx: len(specs) + 1})
+			specs = append(specs,
+				ops.AggSpec{Kind: ops.AggSum, Expr: sumE, Name: a.Name + "_sum"},
+				ops.AggSpec{Kind: ops.AggCountStar, Name: a.Name + "_cnt"})
+		case plan.CountStar:
+			finals = append(finals, finalSpec{kind: plan.CountStar, specIdx: len(specs)})
+			specs = append(specs, ops.AggSpec{Kind: ops.AggCountStar, Name: a.Name})
+		default:
+			argE, err := compileExpr(a.Arg, p.cols)
+			if err != nil {
+				return nil, err
+			}
+			kind := map[plan.AggKind]ops.AggKind{
+				plan.Sum: ops.AggSum, plan.Min: ops.AggMin,
+				plan.Max: ops.AggMax, plan.Count: ops.AggCount,
+			}[a.Kind]
+			finals = append(finals, finalSpec{kind: a.Kind, specIdx: len(specs)})
+			specs = append(specs, ops.AggSpec{Kind: kind, Expr: argE, Name: a.Name})
+		}
+	}
+
+	outFields := (&plan.GroupBy{Input: schemaOnly(p.fields()), Keys: g.Keys, Aggs: g.Aggs}).Schema()
+
+	// NDV estimate drives the strategy choice (§5.4).
+	ndv := int64(1)
+	for _, gc := range groupCols {
+		if st := p.cols[gc].stats; st != nil && st.NDV > 0 {
+			ndv *= st.NDV
+		} else {
+			ndv *= 64 // unknown: assume moderate
+		}
+		if ndv > p.est {
+			ndv = p.est
+			break
+		}
+	}
+
+	if len(groupCols) == 0 {
+		p.terminal = termScalarAgg
+		p.aggSpecs = specs
+		p.finals = finals
+		p.outFields = outFields
+		p.maxGroups = 1
+		return p, nil
+	}
+	if ndv <= lowNDVMaxGroups {
+		p.terminal = termGroupBy
+		p.groupCols = groupCols
+		p.aggSpecs = specs
+		p.finals = finals
+		p.outFields = outFields
+		p.maxGroups = int(ndv*4) + 64
+		if p.maxGroups > 4*lowNDVMaxGroups {
+			p.maxGroups = 4 * lowNDVMaxGroups
+		}
+		return p, nil
+	}
+	// High NDV: partitioned group-by over the materialized child.
+	return &groupPartNode{
+		input:     p,
+		groupCols: groupCols,
+		specs:     specs,
+		finals:    finals,
+		out:       outFields,
+		ndv:       ndv,
+	}, nil
+}
+
+// schemaOnly wraps fields as a leaf node for Schema() computations.
+type fieldsNode struct{ fs []plan.Field }
+
+func (f *fieldsNode) Schema() []plan.Field  { return f.fs }
+func (f *fieldsNode) Children() []plan.Node { return nil }
+func (f *fieldsNode) String() string        { return "fields" }
+
+func schemaOnly(fs []plan.Field) plan.Node { return &fieldsNode{fs: fs} }

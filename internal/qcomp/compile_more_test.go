@@ -1,0 +1,211 @@
+package qcomp
+
+import (
+	"strings"
+	"testing"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/plan"
+	"rapid/internal/qef"
+	"rapid/internal/storage"
+)
+
+// Direct compiler coverage: every expression/predicate shape through
+// compileExpr/compilePred, and every physical node through execute.
+
+func TestCompileArithmeticShapes(t *testing.T) {
+	tbl := ordersTable(t, 2000)
+	scan := plan.NewScan(tbl, storage.LatestSCN, nil)
+	total := colRefOf(scan, "o_total")     // DECIMAL(2)
+	custkey := colRefOf(scan, "o_custkey") // INT
+
+	mk := func(op plan.ArithOp, l, r plan.Expr) plan.Expr {
+		e, err := plan.NewArith(op, l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// Mixed-scale add (int + decimal), subtract, multiply, divide, and a
+	// CASE over a comparison.
+	caseE, err := plan.NewCase(
+		&plan.Cmp{Op: plan.GT, L: total, R: &plan.Const{T: coltypes.Decimal(0), Val: 500}},
+		total,
+		&plan.Const{T: coltypes.Decimal(2), Val: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Project{
+		Input: scan,
+		Exprs: []plan.Expr{
+			mk(plan.Add, custkey, total),
+			mk(plan.Sub, total, custkey),
+			mk(plan.Mul, total, total),
+			mk(plan.Div, total, mk(plan.Add, custkey, &plan.Const{T: coltypes.Int(), Val: 1})),
+			caseE,
+		},
+		Names: []string{"a", "s", "m", "d", "c"},
+	}
+	ctx := qef.NewContext(qef.ModeX86)
+	rel := run(t, ctx, p)
+	if rel.Rows() != 2000 {
+		t.Fatalf("rows = %d", rel.Rows())
+	}
+	// Spot-check the scale bookkeeping on row 0: o_custkey=0, o_total=10.00.
+	if got := rel.Cols[0].Data.Get(0); got != 1000 { // 0 + 10.00 at scale 2
+		t.Fatalf("add = %d", got)
+	}
+	if got := rel.Cols[2].Data.Get(0); got != 1000*1000 { // 10.00^2 at scale 4
+		t.Fatalf("mul = %d", got)
+	}
+	if rel.Cols[2].Type.Scale != 4 || rel.Cols[3].Type.Scale != plan.DivScale {
+		t.Fatal("scale metadata wrong")
+	}
+	// Div: 10.00 / 1 at DivScale = 100000.
+	if got := rel.Cols[3].Data.Get(0); got != 100000 {
+		t.Fatalf("div = %d", got)
+	}
+	// Case: 10.00 <= 500 -> 0.
+	if got := rel.Cols[4].Data.Get(0); got != 0 {
+		t.Fatalf("case = %d", got)
+	}
+}
+
+func TestCompileStringPredicates(t *testing.T) {
+	cust := custTable(t, 100)
+	scan := plan.NewScan(cust, storage.LatestSCN, nil)
+	name := colRefOf(scan, "c_name")
+	ctx := qef.NewContext(qef.ModeX86)
+
+	// EQ, NE, range comparison, LIKE variants, IN.
+	check := func(pred plan.Pred, want int) {
+		t.Helper()
+		rel := run(t, ctx, &plan.Filter{Input: scan, Pred: pred})
+		if rel.Rows() != want {
+			t.Fatalf("%s: rows = %d, want %d", pred, rel.Rows(), want)
+		}
+	}
+	check(&plan.Cmp{Op: plan.EQ, L: name, R: &plan.Const{T: coltypes.String(), Str: "Customer#042"}}, 1)
+	check(&plan.Cmp{Op: plan.EQ, L: name, R: &plan.Const{T: coltypes.String(), Str: "nope"}}, 0)
+	check(&plan.Cmp{Op: plan.NE, L: name, R: &plan.Const{T: coltypes.String(), Str: "Customer#042"}}, 99)
+	check(&plan.Cmp{Op: plan.LT, L: name, R: &plan.Const{T: coltypes.String(), Str: "Customer#010"}}, 10)
+	check(&plan.Cmp{Op: plan.GE, L: name, R: &plan.Const{T: coltypes.String(), Str: "Customer#090"}}, 10)
+	check(&plan.LikePred{E: name, Kind: plan.LikePrefix, Pattern: "Customer#09"}, 10)
+	check(&plan.LikePred{E: name, Kind: plan.LikeSuffix, Pattern: "7"}, 10)
+	check(&plan.LikePred{E: name, Kind: plan.LikeContains, Pattern: "#05"}, 10)
+	check(&plan.LikePred{E: name, Kind: plan.LikeExact, Pattern: "Customer#007"}, 1)
+	check(&plan.LikePred{E: name, Kind: plan.LikePrefix, Pattern: "Customer#00", Negate: true}, 90)
+	check(&plan.InPred{E: name, List: []*plan.Const{
+		{T: coltypes.String(), Str: "Customer#001"},
+		{T: coltypes.String(), Str: "Customer#002"},
+		{T: coltypes.String(), Str: "missing"},
+	}}, 2)
+	// Constant-on-the-left normalization: 'Customer#095' > c_name means
+	// c_name < 'Customer#095', i.e. names 000..094.
+	check(&plan.Cmp{Op: plan.GT, L: &plan.Const{T: coltypes.String(), Str: "Customer#095"}, R: name}, 95)
+}
+
+func TestCompileNumericIn(t *testing.T) {
+	tbl := ordersTable(t, 1000)
+	scan := plan.NewScan(tbl, storage.LatestSCN, nil)
+	ck := colRefOf(scan, "o_custkey")
+	ctx := qef.NewContext(qef.ModeX86)
+	rel := run(t, ctx, &plan.Filter{Input: scan, Pred: &plan.InPred{E: ck, List: []*plan.Const{
+		{T: coltypes.Int(), Val: 3},
+		{T: coltypes.Int(), Val: 7},
+	}}})
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if k := i % 200; k == 3 || k == 7 {
+			want++
+		}
+	}
+	if rel.Rows() != want {
+		t.Fatalf("rows = %d, want %d", rel.Rows(), want)
+	}
+	// Empty effective list matches nothing.
+	rel2 := run(t, ctx, &plan.Filter{Input: scan, Pred: &plan.InPred{E: ck, List: nil}})
+	if rel2.Rows() != 0 {
+		t.Fatal("empty IN should match nothing")
+	}
+}
+
+func TestCompileSetOpAndWindowNodes(t *testing.T) {
+	tbl := ordersTable(t, 500)
+	scan := plan.NewScan(tbl, storage.LatestSCN, nil)
+	keyOnly := &plan.Project{Input: scan, Exprs: []plan.Expr{colRefOf(scan, "o_custkey")}, Names: []string{"k"}}
+	u := &plan.SetOp{Kind: plan.Union, Left: keyOnly, Right: keyOnly}
+	ctx := qef.NewContext(qef.ModeX86)
+	rel := run(t, ctx, u)
+	if rel.Rows() != 200 { // distinct custkeys
+		t.Fatalf("union rows = %d", rel.Rows())
+	}
+	w := &plan.Window{Input: keyOnly, Func: plan.RowNumber, PartitionBy: []int{0}, Name: "rn"}
+	relW := run(t, ctx, w)
+	if relW.NumCols() != 2 || relW.Rows() != 500 {
+		t.Fatalf("window shape %dx%d", relW.Rows(), relW.NumCols())
+	}
+	// Explain covers every node type's explain method.
+	c, err := Compile(&plan.Limit{Input: &plan.Sort{Input: u, Keys: []plan.SortItem{{Col: 0}}}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Explain(), "TopK") {
+		t.Fatal("explain")
+	}
+	cw, err := Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cw.Explain(), "Window") {
+		t.Fatal("window explain")
+	}
+	cu, err := Compile(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cu.Explain(), "SetOp") {
+		t.Fatal("setop explain")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tbl := ordersTable(t, 100)
+	scan := plan.NewScan(tbl, storage.LatestSCN, nil)
+	status := colRefOf(scan, "o_status")
+	bad := []plan.Node{
+		// String constant in arithmetic context.
+		&plan.Project{Input: scan, Exprs: []plan.Expr{
+			&plan.Arith{Op: plan.Add, L: status, R: &plan.Const{T: coltypes.String(), Str: "x"}, T: coltypes.Int()},
+		}},
+		// Group key that is not a column.
+		&plan.GroupBy{Input: scan,
+			Keys: []plan.Expr{&plan.Const{T: coltypes.Int(), Val: 1}},
+			Aggs: []plan.AggExpr{{Kind: plan.CountStar, Name: "n"}}},
+		// Join with zero keys.
+		&plan.Join{Type: plan.InnerJoin, Left: scan, Right: scan},
+	}
+	for i, n := range bad {
+		if _, err := Compile(n); err == nil {
+			t.Errorf("case %d should fail to compile", i)
+		}
+	}
+}
+
+func TestCompileOrPredicateSelectivity(t *testing.T) {
+	tbl := ordersTable(t, 3000)
+	scan := plan.NewScan(tbl, storage.LatestSCN, nil)
+	ck := colRefOf(scan, "o_custkey")
+	or := &plan.OrPred{Preds: []plan.Pred{
+		&plan.Cmp{Op: plan.LT, L: ck, R: &plan.Const{T: coltypes.Int(), Val: 10}},
+		&plan.Cmp{Op: plan.GE, L: ck, R: &plan.Const{T: coltypes.Int(), Val: 190}},
+	}}
+	not := &plan.NotPred{P: or}
+	ctx := qef.NewContext(qef.ModeDPU)
+	relOr := run(t, ctx, &plan.Filter{Input: scan, Pred: or})
+	relNot := run(t, ctx, &plan.Filter{Input: scan, Pred: not})
+	if relOr.Rows()+relNot.Rows() != 3000 {
+		t.Fatalf("OR (%d) + NOT OR (%d) must partition the input", relOr.Rows(), relNot.Rows())
+	}
+}

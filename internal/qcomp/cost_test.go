@@ -1,0 +1,95 @@
+package qcomp
+
+import (
+	"testing"
+
+	"rapid/internal/plan"
+	"rapid/internal/storage"
+)
+
+func TestEstimateMonotonicity(t *testing.T) {
+	small := ordersTable(t, 1000)
+	big := ordersTable(t, 50000)
+	es := Estimate(plan.NewScan(small, storage.LatestSCN, nil))
+	eb := Estimate(plan.NewScan(big, storage.LatestSCN, nil))
+	if eb.Seconds <= es.Seconds {
+		t.Fatal("bigger scan must cost more")
+	}
+	if eb.OutputRows != 50000 {
+		t.Fatalf("scan rows = %d", eb.OutputRows)
+	}
+	// A filter shrinks the estimated output and cannot make it cheaper
+	// than the underlying scan transfer.
+	scan := plan.NewScan(big, storage.LatestSCN, nil)
+	f := &plan.Filter{Input: scan, Pred: &plan.Cmp{Op: plan.GT,
+		L: colRefOf(scan, "o_custkey"), R: &plan.Const{Val: 10}}}
+	ef := Estimate(f)
+	if ef.OutputRows >= eb.OutputRows {
+		t.Fatal("filter must reduce estimated rows")
+	}
+	if ef.Seconds < eb.Seconds {
+		t.Fatal("filter cannot be cheaper than its scan")
+	}
+}
+
+func TestEstimateJoinAndAggregate(t *testing.T) {
+	orders := ordersTable(t, 20000)
+	cust := custTable(t, 500)
+	so := plan.NewScan(orders, storage.LatestSCN, nil)
+	sc := plan.NewScan(cust, storage.LatestSCN, nil)
+	j := &plan.Join{Type: plan.InnerJoin, Left: so, Right: sc, LeftKeys: []int{1}, RightKeys: []int{0}}
+	ej := Estimate(j)
+	if ej.Seconds <= Estimate(so).Seconds {
+		t.Fatal("join must cost more than scanning one side")
+	}
+	if ej.OutputCols != len(j.Schema()) {
+		t.Fatalf("join cols = %d, want %d", ej.OutputCols, len(j.Schema()))
+	}
+	g := &plan.GroupBy{Input: j, Keys: []plan.Expr{colRefOf(so, "o_custkey")},
+		Aggs: []plan.AggExpr{{Kind: plan.CountStar, Name: "n"}}}
+	eg := Estimate(g)
+	if eg.OutputRows >= ej.OutputRows {
+		t.Fatal("group-by must reduce estimated rows")
+	}
+	// Sort, limit, window, setop cover the remaining estimators.
+	s := &plan.Sort{Input: g, Keys: []plan.SortItem{{Col: 0}}}
+	if Estimate(s).Seconds <= eg.Seconds {
+		t.Fatal("sort adds cost")
+	}
+	l := &plan.Limit{Input: s, K: 5}
+	if Estimate(l).OutputRows != 5 {
+		t.Fatal("limit rows")
+	}
+	w := &plan.Window{Input: g, Func: plan.RowNumber}
+	if Estimate(w).OutputCols != eg.OutputCols+1 {
+		t.Fatal("window adds a column")
+	}
+	u := &plan.SetOp{Kind: plan.Union, Left: g, Right: g}
+	if Estimate(u).OutputRows != 2*eg.OutputRows {
+		t.Fatal("union row estimate")
+	}
+}
+
+func TestOffloadBenefitPrefersRapidForAnalytics(t *testing.T) {
+	// A large scan+aggregate is the textbook offload case: the RAPID
+	// estimate (including result return) must beat the host's
+	// row-at-a-time model.
+	tbl := ordersTable(t, 100000)
+	scan := plan.NewScan(tbl, storage.LatestSCN, nil)
+	g := &plan.GroupBy{Input: scan, Aggs: []plan.AggExpr{{Kind: plan.CountStar, Name: "n"}}}
+	rapidSec, hostSec := OffloadBenefit(g)
+	if rapidSec >= hostSec {
+		t.Fatalf("offload should win: rapid %.3gs vs host %.3gs", rapidSec, hostSec)
+	}
+	// The result-transfer term matters: a full-table SELECT * offload of
+	// everything back over the network must look worse relative to its
+	// own execution than the aggregate did.
+	all := plan.NewScan(tbl, storage.LatestSCN, nil)
+	rAll, hAll := OffloadBenefit(all)
+	aggAdvantage := hostSec / rapidSec
+	scanAdvantage := hAll / rAll
+	if scanAdvantage >= aggAdvantage {
+		t.Fatalf("returning all rows should dilute the offload advantage (%.1f vs %.1f)",
+			scanAdvantage, aggAdvantage)
+	}
+}

@@ -1,0 +1,138 @@
+package qcomp
+
+import (
+	mathbits "math/bits"
+
+	"rapid/internal/dpu"
+	"rapid/internal/ops"
+)
+
+// Partition-scheme optimization (paper §5.3): the required number of
+// partitions is the data size divided by the DMEM budget (at least the core
+// count), and the scheme is the cheapest factorization of that target into
+// rounds, under the heuristics: (a) every round's fan-out is a power of
+// two, (b) the fan-out per round is bounded (32 in hardware, 64 in software
+// per Fig 10), (c) fewer rounds are better, and (d) symmetric fan-outs are
+// preferred (8x8 over 16x4).
+
+// usableDMEMFraction is the share of the 32 KiB scratchpad available for a
+// join partition's hash table and key vectors after operator buffers.
+const usableDMEMFraction = 0.5
+
+// RequiredPartitions returns the partition target: total data bytes over
+// the per-core DMEM budget, floored at the core count so every dpCore gets
+// independent work.
+func RequiredPartitions(dataBytes int64, cfg dpu.Config) int {
+	budget := int64(float64(cfg.DMEMBytes) * usableDMEMFraction)
+	parts := int((dataBytes + budget - 1) / budget)
+	if parts < cfg.NumCores {
+		parts = cfg.NumCores
+	}
+	return parts
+}
+
+// Per-round throughput model used to cost a scheme (bytes/s of input
+// processed). The hardware round runs on the DMS at the Fig 8 rate; software
+// rounds follow the Fig 10 shape: flat to 64-way, then degrading as the
+// per-partition DMEM buffers shrink below the efficient flush size.
+func roundBytesPerSec(round int, fanout int) float64 {
+	if round == 0 {
+		return 9.3 * (1 << 30) // DMS hardware partitioning, Fig 8
+	}
+	base := 7.4 * (1 << 30) // software partitioning plateau, Fig 10
+	if fanout <= 64 {
+		return base
+	}
+	// Beyond 64-way the local buffers shrink: halve throughput per
+	// doubling.
+	excess := float64(fanout) / 64
+	return base / excess
+}
+
+// SchemeCost returns the modeled seconds to partition dataBytes with the
+// scheme (each round re-reads and re-writes the data).
+func SchemeCost(scheme ops.PartScheme, dataBytes int64) float64 {
+	var sec float64
+	for i, f := range scheme.Rounds {
+		if f <= 1 {
+			continue
+		}
+		sec += float64(dataBytes) / roundBytesPerSec(i, f)
+	}
+	return sec
+}
+
+// OptimizeScheme searches the factorizations of the partition target and
+// returns the cheapest scheme.
+func OptimizeScheme(targetPartitions int, dataBytes int64) ops.PartScheme {
+	if targetPartitions <= 1 {
+		return ops.PartScheme{Rounds: []int{1}}
+	}
+	totalBits := mathbits.Len(uint(targetPartitions - 1)) // ceil(log2)
+	const hwBits = 5                                      // 32-way DMS
+	const swBits = 6                                      // 64-way software plateau
+
+	best := ops.PartScheme{}
+	bestCost := 0.0
+	bestSym := 0
+	consider := func(rounds []int) {
+		s := ops.PartScheme{Rounds: append([]int(nil), rounds...)}
+		if s.Validate() != nil {
+			return
+		}
+		c := SchemeCost(s, dataBytes)
+		sym := symmetryScore(rounds)
+		switch {
+		case best.Rounds == nil,
+			c < bestCost,
+			c == bestCost && len(rounds) < len(best.Rounds),
+			c == bestCost && len(rounds) == len(best.Rounds) && sym < bestSym:
+			best, bestCost, bestSym = s, c, sym
+		}
+	}
+
+	// One round: hardware only.
+	if totalBits <= hwBits {
+		consider([]int{1 << totalBits})
+	}
+	// Two rounds: hw + sw.
+	for b1 := 1; b1 <= hwBits; b1++ {
+		b2 := totalBits - b1
+		if b2 >= 1 && b2 <= swBits+4 { // allow beyond plateau, cost penalizes
+			consider([]int{1 << b1, 1 << b2})
+		}
+	}
+	// Three rounds: hw + sw + sw.
+	for b1 := 1; b1 <= hwBits; b1++ {
+		for b2 := 1; b2 <= swBits; b2++ {
+			b3 := totalBits - b1 - b2
+			if b3 >= 1 && b3 <= swBits {
+				consider([]int{1 << b1, 1 << b2, 1 << b3})
+			}
+		}
+	}
+	if best.Rounds == nil {
+		// Fallback: max everything (very large targets).
+		best = ops.PartScheme{Rounds: []int{32, 64, 64}}
+	}
+	return best
+}
+
+// symmetryScore is the spread of bits across rounds; lower is more
+// symmetric (heuristic d of §5.3).
+func symmetryScore(rounds []int) int {
+	if len(rounds) == 0 {
+		return 0
+	}
+	min, max := 64, 0
+	for _, r := range rounds {
+		b := mathbits.Len(uint(r - 1))
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max - min
+}

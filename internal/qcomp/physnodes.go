@@ -1,0 +1,382 @@
+package qcomp
+
+import (
+	"fmt"
+	"strings"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/dpu"
+	"rapid/internal/ops"
+	"rapid/internal/plan"
+	"rapid/internal/qef"
+)
+
+// ---------------------------------------------------------------------------
+// Partitioned (high NDV) group-by.
+
+type groupPartNode struct {
+	input     physNode
+	groupCols []int
+	specs     []ops.AggSpec
+	finals    []finalSpec
+	out       []plan.Field
+	ndv       int64
+}
+
+func (g *groupPartNode) fields() []plan.Field { return g.out }
+func (g *groupPartNode) estRows() int64       { return g.ndv }
+
+func (g *groupPartNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "GroupByPartitioned(keys=%d, aggs=%d, ndv~%d)\n", len(g.groupCols), len(g.specs), g.ndv)
+	g.input.explain(sb, depth+1)
+}
+
+func (g *groupPartNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	rel, err := g.input.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Scheme: enough partitions that each partition's group table fits the
+	// DMEM (the §5.4 pre-partitioning of high-NDV group-by).
+	groupBytes := int64(len(g.groupCols)*8 + len(g.specs)*32)
+	target := RequiredPartitions(g.ndv*groupBytes, ctx.SoC.Config())
+	scheme := OptimizeScheme(target, g.ndv*groupBytes)
+	maxGroups := int(g.ndv)/scheme.Fanout() + 64
+	raw, err := ops.GroupByPartitioned(ctx, rel, g.groupCols, g.specs, scheme, maxGroups*2)
+	if err != nil {
+		return nil, err
+	}
+	p := &pipelineNode{finals: g.finals, outFields: g.out}
+	return p.finalizeGrouped(raw, len(g.groupCols))
+}
+
+// ---------------------------------------------------------------------------
+// Hash join.
+
+type joinNode struct {
+	typ     plan.JoinType
+	left    physNode // probe / output-first side
+	right   physNode // build side candidate
+	lk, rk  []int
+	out     []plan.Field
+	est     int64
+	scheme  ops.PartScheme
+	swapped bool // build is the left input
+}
+
+func compileJoin(j *plan.Join) (physNode, error) {
+	left, err := compileNode(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileNode(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 || len(j.LeftKeys) > 2 {
+		return nil, fmt.Errorf("qcomp: join needs 1 or 2 key pairs")
+	}
+	n := &joinNode{
+		typ: j.Type, left: left, right: right,
+		lk: j.LeftKeys, rk: j.RightKeys,
+		out: j.Schema(),
+	}
+	// Build-side choice: the smaller input, except for semi/anti/outer
+	// joins whose semantics pin the build side to the right input.
+	if j.Type == plan.InnerJoin && left.estRows() < right.estRows() {
+		n.swapped = true
+	}
+	buildEst := right.estRows()
+	if n.swapped {
+		buildEst = left.estRows()
+	}
+	probeEst := left.estRows() + right.estRows() - buildEst
+	n.est = probeEst
+	// Partition scheme from the optimizer (§5.3): size on the build side.
+	buildBytes := buildEst * int64(len(n.rk)*8+16)
+	target := RequiredPartitions(buildBytes, dpu.DefaultConfig())
+	n.scheme = OptimizeScheme(target, buildBytes)
+	return n, nil
+}
+
+func (n *joinNode) fields() []plan.Field { return n.out }
+func (n *joinNode) estRows() int64       { return n.est }
+
+func (n *joinNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "HashJoin(type=%v, scheme=%s, swapped=%v)\n", n.typ, n.scheme, n.swapped)
+	n.left.explain(sb, depth+1)
+	n.right.explain(sb, depth+1)
+}
+
+func (n *joinNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	leftRel, err := n.left.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rightRel, err := n.right.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	build, probe := rightRel, leftRel
+	bk, pk := n.rk, n.lk
+	if n.swapped {
+		build, probe = leftRel, rightRel
+		bk, pk = n.lk, n.rk
+	}
+	spec := ops.JoinSpec{
+		Type:       joinType(n.typ),
+		BuildKeys:  bk,
+		ProbeKeys:  pk,
+		Scheme:     n.scheme,
+		Vectorized: true,
+	}
+	// Payload: all columns of each side (the logical schema).
+	switch n.typ {
+	case plan.SemiJoin, plan.AntiJoin:
+		spec.ProbePayload = allIdx(probe.NumCols())
+	default:
+		spec.ProbePayload = allIdx(probe.NumCols())
+		spec.BuildPayload = allIdx(build.NumCols())
+	}
+	out, err := ops.HashJoin(ctx, build, probe, spec)
+	if err != nil {
+		return nil, err
+	}
+	// Output order: left columns then right columns. The sink emits probe
+	// then build; reorder when the build side was the left input.
+	if n.swapped && n.typ == plan.InnerJoin {
+		nl := leftRel.NumCols()
+		np := probe.NumCols()
+		cols := make([]ops.Col, 0, out.NumCols())
+		cols = append(cols, out.Cols[np:np+nl]...) // left (= build) side
+		cols = append(cols, out.Cols[:np]...)      // right (= probe) side
+		out = ops.MustRelation(cols)
+	}
+	// Restore field metadata.
+	for i := range out.Cols {
+		if i < len(n.out) {
+			out.Cols[i].Name = n.out[i].Name
+			out.Cols[i].Type = n.out[i].Type
+			out.Cols[i].Dict = n.out[i].Dict
+		}
+	}
+	return out, nil
+}
+
+func joinType(t plan.JoinType) ops.JoinType {
+	switch t {
+	case plan.SemiJoin:
+		return ops.SemiJoin
+	case plan.AntiJoin:
+		return ops.AntiJoin
+	case plan.LeftOuterJoin:
+		return ops.LeftOuterJoin
+	default:
+		return ops.InnerJoin
+	}
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sort / Top-K / Limit.
+
+type sortNode struct {
+	input physNode
+	keys  []plan.SortItem
+}
+
+func (n *sortNode) fields() []plan.Field { return n.input.fields() }
+func (n *sortNode) estRows() int64       { return n.input.estRows() }
+func (n *sortNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Sort(%v)\n", n.keys)
+	n.input.explain(sb, depth+1)
+}
+
+func (n *sortNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	rel, err := n.input.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	nCols := rel.NumCols()
+	ranked, keys := rankColumns(rel, sortKeys(n.keys, rel))
+	out, err := ops.SortRelation(ctx, ranked, keys)
+	if err != nil {
+		return nil, err
+	}
+	return ops.MustRelation(out.Cols[:nCols]), nil
+}
+
+// sortKeys translates plan sort items, using dictionary rank order for
+// string columns (codes are insertion-ordered, not lexicographic).
+func sortKeys(items []plan.SortItem, rel *ops.Relation) []ops.SortKey {
+	keys := make([]ops.SortKey, len(items))
+	for i, it := range items {
+		keys[i] = ops.SortKey{Col: it.Col, Desc: it.Desc}
+	}
+	return keys
+}
+
+// rankColumns replaces dictionary-coded sort columns by their rank so that
+// ORDER BY sorts lexicographically. Returns a relation view with substitute
+// columns appended and remapped keys.
+func rankColumns(rel *ops.Relation, keys []ops.SortKey) (*ops.Relation, []ops.SortKey) {
+	out := rel
+	mapped := append([]ops.SortKey(nil), keys...)
+	for i, k := range keys {
+		c := rel.Cols[k.Col]
+		if c.Type.Kind != coltypes.KindString || c.Dict == nil {
+			continue
+		}
+		rank := c.Dict.SortRank()
+		data := coltypes.New(coltypes.W4, c.Data.Len())
+		for r := 0; r < c.Data.Len(); r++ {
+			code := c.Data.Get(r)
+			if code >= 0 && code < int64(len(rank)) {
+				data.Set(r, int64(rank[code]))
+			}
+		}
+		cols := append(append([]ops.Col(nil), out.Cols...), ops.Col{
+			Name: c.Name + "#rank", Type: coltypes.Int(), Data: data,
+		})
+		out = ops.MustRelation(cols)
+		mapped[i].Col = len(cols) - 1
+	}
+	return out, mapped
+}
+
+type topkNode struct {
+	input physNode
+	keys  []plan.SortItem
+	k     int
+}
+
+func (n *topkNode) fields() []plan.Field { return n.input.fields() }
+func (n *topkNode) estRows() int64 {
+	e := n.input.estRows()
+	if int64(n.k) < e {
+		return int64(n.k)
+	}
+	return e
+}
+func (n *topkNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "TopK(k=%d, %v)\n", n.k, n.keys)
+	n.input.explain(sb, depth+1)
+}
+
+func (n *topkNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	rel, err := n.input.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	nCols := rel.NumCols()
+	ranked, keys := rankColumns(rel, sortKeys(n.keys, rel))
+	out, err := ops.TopK(ctx, ranked, keys, n.k)
+	if err != nil {
+		return nil, err
+	}
+	return ops.MustRelation(out.Cols[:nCols]), nil
+}
+
+type limitNode struct {
+	input physNode
+	k     int
+}
+
+func (n *limitNode) fields() []plan.Field { return n.input.fields() }
+func (n *limitNode) estRows() int64       { return int64(n.k) }
+func (n *limitNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Limit(%d)\n", n.k)
+	n.input.explain(sb, depth+1)
+}
+
+func (n *limitNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	rel, err := n.input.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ops.Limit(rel, n.k), nil
+}
+
+// ---------------------------------------------------------------------------
+// Set operations.
+
+type setopNode struct {
+	left, right physNode
+	kind        plan.SetOpKind
+}
+
+func (n *setopNode) fields() []plan.Field { return n.left.fields() }
+func (n *setopNode) estRows() int64       { return n.left.estRows() + n.right.estRows() }
+func (n *setopNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "SetOp(%d)\n", n.kind)
+	n.left.explain(sb, depth+1)
+	n.right.explain(sb, depth+1)
+}
+
+func (n *setopNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	l, err := n.left.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.right.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	kind := map[plan.SetOpKind]ops.SetOpKind{
+		plan.Union: ops.SetUnion, plan.UnionAll: ops.SetUnionAll,
+		plan.Intersect: ops.SetIntersect, plan.Minus: ops.SetMinus,
+	}[n.kind]
+	return ops.SetOp(ctx, l, r, kind)
+}
+
+// ---------------------------------------------------------------------------
+// Window.
+
+type windowNode struct {
+	input physNode
+	spec  *plan.Window
+}
+
+func (n *windowNode) fields() []plan.Field { return n.spec.Schema() }
+func (n *windowNode) estRows() int64       { return n.input.estRows() }
+func (n *windowNode) explain(sb *strings.Builder, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "Window(f=%d)\n", n.spec.Func)
+	n.input.explain(sb, depth+1)
+}
+
+func (n *windowNode) execute(ctx *qef.Context) (*ops.Relation, error) {
+	rel, err := n.input.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fn := map[plan.WindowFunc]ops.WindowFunc{
+		plan.RowNumber: ops.WinRowNumber, plan.Rank: ops.WinRank,
+		plan.DenseRank: ops.WinDenseRank, plan.CumSum: ops.WinCumSum,
+		plan.WinTotalSum: ops.WinSum,
+	}[n.spec.Func]
+	ob := make([]ops.SortKey, len(n.spec.OrderBy))
+	for i, o := range n.spec.OrderBy {
+		ob[i] = ops.SortKey{Col: o.Col, Desc: o.Desc}
+	}
+	return ops.Window(ctx, rel, ops.WindowSpec{
+		Func:        fn,
+		PartitionBy: n.spec.PartitionBy,
+		OrderBy:     ob,
+		ValueCol:    n.spec.ValueCol,
+		Name:        n.spec.Name,
+	})
+}

@@ -1,0 +1,129 @@
+package qef
+
+import (
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+)
+
+// Accessor is the relation accessor (RA) of paper §5.1: the common interface
+// operators use to declare their memory access pattern — sequential, gather,
+// scatter or partitioned — while the RA programs the DMS descriptor loops,
+// double-buffers the transfers and hands the operator DMEM-resident tiles.
+//
+// In ModeX86 the RA degenerates to zero-copy slice views: the same operator
+// code runs without the DPU memory hierarchy, which is exactly the paper's
+// software-only configuration.
+type Accessor struct {
+	tc *TaskCtx
+}
+
+// NewAccessor returns an accessor bound to a task context.
+func NewAccessor(tc *TaskCtx) *Accessor { return &Accessor{tc: tc} }
+
+// Sequential streams rows [0, rows) of the given DRAM columns in tiles of
+// tileRows, invoking fn per tile. The DMEM cost is double buffering for
+// every column (allocated once, reused across tiles).
+func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile) error) error {
+	rows := 0
+	if len(cols) > 0 {
+		rows = cols[0].Len()
+	}
+	if tileRows < MinTileRows {
+		tileRows = MinTileRows
+	}
+	if a.tc.Core == nil {
+		// ModeX86: zero-copy views.
+		views := make([]coltypes.Data, len(cols))
+		for lo := 0; lo < rows; lo += tileRows {
+			hi := lo + tileRows
+			if hi > rows {
+				hi = rows
+			}
+			for i, c := range cols {
+				views[i] = c.Slice(lo, hi)
+			}
+			if err := fn(NewTile(views, hi-lo)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// ModeDPU: allocate double buffers in DMEM and run the DMS loop.
+	a.tc.DMEM.Mark()
+	defer a.tc.DMEM.Release()
+	bufs := make([]coltypes.Data, len(cols))
+	for i, c := range cols {
+		if err := a.tc.DMEM.Alloc(2 * tileRows * c.Width().Bytes()); err != nil {
+			return err
+		}
+		bufs[i] = coltypes.New(c.Width(), tileRows)
+	}
+	views := make([]coltypes.Data, len(cols))
+	for lo := 0; lo < rows; lo += tileRows {
+		hi := lo + tileRows
+		if hi > rows {
+			hi = rows
+		}
+		n := hi - lo
+		for i := range bufs {
+			views[i] = bufs[i].Slice(0, n)
+		}
+		t := a.tc.Ctx.DMS.Read(cols, lo, hi, views)
+		a.tc.AddTransfer(t)
+		if err := fn(NewTile(views, n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherTile fetches the rows named by rids from a DRAM column into a DMEM
+// buffer — the RID-based gather the filter operator uses for non-first
+// predicates (§5.4).
+func (a *Accessor) GatherTile(col coltypes.Data, rids []uint32) (coltypes.Data, error) {
+	dst := col.NewSame(len(rids))
+	if a.tc.Core == nil {
+		coltypes.Gather(dst, col, rids)
+		return dst, nil
+	}
+	if err := a.tc.DMEM.Alloc(len(rids) * col.Width().Bytes()); err != nil {
+		return nil, err
+	}
+	t := a.tc.Ctx.DMS.GatherRead(col, rids, dst)
+	a.tc.AddTransfer(t)
+	return dst, nil
+}
+
+// GatherBitVector fetches the rows set in bv from a DRAM column into a DMEM
+// buffer — the bit-vector driven gather of Listing 1's BVLD.
+func (a *Accessor) GatherBitVector(col coltypes.Data, bv *bits.Vector) (coltypes.Data, int, error) {
+	n := bv.Count()
+	dst := col.NewSame(n)
+	if a.tc.Core == nil {
+		i := 0
+		bv.ForEach(func(r int) {
+			dst.Set(i, col.Get(r))
+			i++
+		})
+		return dst, n, nil
+	}
+	if err := a.tc.DMEM.Alloc(n * col.Width().Bytes()); err != nil {
+		return nil, 0, err
+	}
+	got, t := a.tc.Ctx.DMS.BitVectorGatherRead(col, bv.Words(), bv.Len(), dst)
+	a.tc.AddTransfer(t)
+	return dst, got, nil
+}
+
+// WriteBack stores DMEM tile columns to DRAM destinations at row offset
+// `at` (the materialization at a task boundary).
+func (a *Accessor) WriteBack(dst []coltypes.Data, at int, src []coltypes.Data, rows int) {
+	if a.tc.Core == nil {
+		for i := range src {
+			dst[i].CopyFrom(at, src[i].Slice(0, rows))
+		}
+		return
+	}
+	t := a.tc.Ctx.DMS.Write(dst, at, src, rows)
+	a.tc.AddTransfer(t)
+}

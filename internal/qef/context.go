@@ -1,0 +1,297 @@
+// Package qef is RAPID's query execution framework (paper §5.1): push-based
+// operator execution, an actor model for parallelism across the 32 dpCores,
+// the relation accessor hiding the DMS, and vectorized (multiple-rows-at-a-
+// time) processing.
+//
+// The same operator code runs in two modes. In ModeDPU every primitive
+// charges dpCore cycles and every data movement goes through the DMS model;
+// the simulated elapsed time of a task is max(compute, transfer) per the
+// double-buffering overlap the hardware provides. In ModeX86 accounting is
+// off and the code simply runs as fast as Go allows — the configuration
+// behind the paper's "software-only performance of RAPID" comparison
+// (Fig 16).
+package qef
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rapid/internal/ate"
+	"rapid/internal/dms"
+	"rapid/internal/dpu"
+	"rapid/internal/mem"
+)
+
+// Mode selects the execution configuration.
+type Mode int
+
+const (
+	// ModeDPU simulates execution on the RAPID DPU with full cycle and
+	// transfer accounting.
+	ModeDPU Mode = iota
+	// ModeX86 runs the identical engine natively without accounting.
+	ModeX86
+)
+
+func (m Mode) String() string {
+	if m == ModeDPU {
+		return "dpu"
+	}
+	return "x86"
+}
+
+// Context is the execution environment shared by a query: the SoC, the DMS,
+// the ATE router and per-core simulated-time accumulators.
+type Context struct {
+	Mode   Mode
+	SoC    *dpu.SoC
+	DMS    *dms.Engine
+	Router *ate.Router
+
+	workers int
+
+	mu      sync.Mutex
+	simTime []float64 // per-core simulated elapsed seconds (ModeDPU)
+	// Global DDR bus occupancy: the DMS serializes all cores' DRAM
+	// transfers on the memory interface, one lane per direction.
+	busRead  float64
+	busWrite float64
+}
+
+// NewContext builds an execution context. In ModeDPU the SoC is the paper's
+// 32-core DPU; in ModeX86 the worker count follows GOMAXPROCS.
+func NewContext(mode Mode) *Context {
+	return NewContextWith(mode, dpu.DefaultConfig())
+}
+
+// NewContextWith builds a context with a custom DPU configuration.
+func NewContextWith(mode Mode, cfg dpu.Config) *Context {
+	soc := dpu.MustNew(cfg)
+	ctx := &Context{
+		Mode:    mode,
+		SoC:     soc,
+		DMS:     dms.NewEngine(dms.DefaultModel(), soc.DRAM()),
+		Router:  ate.NewRouter(cfg),
+		simTime: make([]float64, cfg.NumCores),
+	}
+	if mode == ModeDPU {
+		ctx.workers = cfg.NumCores
+	} else {
+		ctx.workers = runtime.GOMAXPROCS(0)
+		if ctx.workers > cfg.NumCores {
+			ctx.workers = cfg.NumCores
+		}
+	}
+	return ctx
+}
+
+// Workers returns the number of parallel workers (virtual dpCores in use).
+func (c *Context) Workers() int { return c.workers }
+
+// Reset clears all accounting for a fresh measurement.
+func (c *Context) Reset() {
+	c.SoC.Reset()
+	c.DMS.ResetTotals()
+	c.mu.Lock()
+	for i := range c.simTime {
+		c.simTime[i] = 0
+	}
+	c.busRead, c.busWrite = 0, 0
+	c.mu.Unlock()
+}
+
+// addSimTime records simulated elapsed seconds on a core.
+func (c *Context) addSimTime(core int, sec float64) {
+	c.mu.Lock()
+	c.simTime[core] += sec
+	c.mu.Unlock()
+}
+
+// SimElapsed returns the simulated elapsed time of everything executed so
+// far. Cores run in parallel (makespan = busiest core), but all cores share
+// the DDR interface: the elapsed time is also bounded below by the total
+// bus occupancy per direction.
+func (c *Context) SimElapsed() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m float64
+	for _, t := range c.simTime {
+		if t > m {
+			m = t
+		}
+	}
+	if c.busRead > m {
+		m = c.busRead
+	}
+	if c.busWrite > m {
+		m = c.busWrite
+	}
+	return m
+}
+
+// BusSeconds returns the accumulated DDR bus occupancy (read, write).
+func (c *Context) BusSeconds() (read, write float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.busRead, c.busWrite
+}
+
+// SimTotalBusy returns the sum of per-core simulated busy seconds.
+func (c *Context) SimTotalBusy() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s float64
+	for _, t := range c.simTime {
+		s += t
+	}
+	return s
+}
+
+// TaskCtx is the per-core execution state handed to operators: the core
+// (nil in ModeX86), its DMEM, and the transfer-time accumulator that the
+// relation accessor fills.
+type TaskCtx struct {
+	Ctx    *Context
+	CoreID int
+	Core   *dpu.Core // nil in ModeX86
+	DMEM   *mem.DMEM
+
+	transferSec float64
+	// NoOverlap disables compute/transfer overlap accounting for the
+	// current task (e.g. Fig 10 disables output double buffering).
+	NoOverlap bool
+
+	// Scratch arena for per-tile expression buffers (DMEM temporaries on
+	// the DPU). Reset at tile boundaries by the task source; buffers must
+	// not be retained across tiles.
+	arena    []int64
+	arenaOff int
+}
+
+// I64Scratch returns an n-element scratch buffer valid until the next
+// ResetScratch. Contents are zeroed.
+func (tc *TaskCtx) I64Scratch(n int) []int64 {
+	if tc.arenaOff+n > len(tc.arena) {
+		grow := 2 * (tc.arenaOff + n)
+		if grow < 1<<14 {
+			grow = 1 << 14
+		}
+		tc.arena = make([]int64, grow)
+		tc.arenaOff = 0
+	}
+	buf := tc.arena[tc.arenaOff : tc.arenaOff+n : tc.arenaOff+n]
+	tc.arenaOff += n
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// ResetScratch recycles all scratch buffers. Called by task sources before
+// emitting each tile.
+func (tc *TaskCtx) ResetScratch() { tc.arenaOff = 0 }
+
+// AddTransfer accumulates DMS transfer time for overlap accounting, and
+// bills the shared DDR bus.
+func (tc *TaskCtx) AddTransfer(t dms.Timing) {
+	tc.transferSec += t.Seconds
+	tc.Ctx.mu.Lock()
+	if t.Write {
+		tc.Ctx.busWrite += t.Seconds
+	} else {
+		tc.Ctx.busRead += t.Seconds
+	}
+	tc.Ctx.mu.Unlock()
+}
+
+// TransferSeconds returns the accumulated transfer time.
+func (tc *TaskCtx) TransferSeconds() float64 { return tc.transferSec }
+
+// WorkUnit is one schedulable piece of a task: typically "process this
+// chunk" or "join this partition pair". It runs pinned to a core.
+type WorkUnit func(tc *TaskCtx) error
+
+// RunParallel executes the work units on the core pool: worker w owns core
+// w exclusively (the actor model — no shared mutable state between cores;
+// communication goes through ATE or DMS). Units are assigned round-robin,
+// matching the compiler's static task scheduling: simulated load balance
+// must not depend on how fast the Go host happens to run each goroutine.
+// Per unit, the simulated elapsed time is max(compute, transfer) honoring
+// double-buffered overlap, or their sum when the unit disabled overlap.
+func (c *Context) RunParallel(units []WorkUnit) error {
+	if len(units) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, c.workers)
+	for w := 0; w < c.workers; w++ {
+		if w >= len(units) {
+			break
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tc := c.newTaskCtx(w)
+			for i := w; i < len(units); i += c.workers {
+				if errs[w] != nil {
+					return
+				}
+				errs[w] = c.runUnit(tc, units[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Context) newTaskCtx(w int) *TaskCtx {
+	tc := &TaskCtx{Ctx: c, CoreID: w}
+	if c.Mode == ModeDPU {
+		tc.Core = c.SoC.Core(w)
+		tc.DMEM = tc.Core.DMEM()
+	} else {
+		tc.DMEM = mem.NewDMEMWithCapacity(c.SoC.Config().DMEMBytes)
+	}
+	return tc
+}
+
+func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
+	tc.transferSec = 0
+	tc.NoOverlap = false
+	tc.DMEM.Reset()
+	var beforeCycles dpu.Cycles
+	if tc.Core != nil {
+		beforeCycles = tc.Core.Cycles()
+	}
+	err := u(tc)
+	if tc.Core != nil {
+		compute := c.SoC.Config().Seconds(tc.Core.Cycles() - beforeCycles)
+		transfer := tc.transferSec
+		var elapsed float64
+		if tc.NoOverlap {
+			elapsed = compute + transfer
+		} else if compute > transfer {
+			elapsed = compute
+		} else {
+			elapsed = transfer
+		}
+		c.addSimTime(tc.CoreID, elapsed)
+	}
+	if err != nil {
+		return fmt.Errorf("qef: work unit on core %d: %w", tc.CoreID, err)
+	}
+	return nil
+}
+
+// RunSerial executes one work unit on core 0 (coordinator work such as
+// final merges).
+func (c *Context) RunSerial(u WorkUnit) error {
+	tc := c.newTaskCtx(0)
+	return c.runUnit(tc, u)
+}

@@ -1,0 +1,33 @@
+package qef
+
+// Operator is a RAPID data processing operator (paper §5.4): operators are
+// defined by op_dmem_size, create, open, produce and close. Execution is
+// push-based: the task source (relation accessor or upstream operator)
+// calls Produce once per tile, and Close when the stream ends. Operators
+// forward tiles to their downstream operator inside the same task; results
+// at task boundaries are materialized to DRAM by a sink operator.
+type Operator interface {
+	// DMEMSize returns the DMEM bytes the operator needs for its internal
+	// state and output buffers at the given tile size (op_dmem_size). Task
+	// formation (§5.2) packs operators into tasks under this budget.
+	DMEMSize(tileRows int) int
+	// Open prepares per-core state before the first tile (open).
+	Open(tc *TaskCtx) error
+	// Produce consumes one tile (produce). The tile's buffers belong to the
+	// caller and may be reused after the call returns.
+	Produce(tc *TaskCtx, t *Tile) error
+	// Close flushes state at end of data (close).
+	Close(tc *TaskCtx) error
+}
+
+// Chain opens all operators, streams tiles from source through the chain
+// head, and closes in order. It is the execution of one task instance.
+func Chain(tc *TaskCtx, head Operator, source func(emit func(*Tile) error) error) error {
+	if err := head.Open(tc); err != nil {
+		return err
+	}
+	if err := source(func(t *Tile) error { return head.Produce(tc, t) }); err != nil {
+		return err
+	}
+	return head.Close(tc)
+}

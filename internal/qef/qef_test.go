@@ -1,0 +1,304 @@
+package qef
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
+	"rapid/internal/dms"
+)
+
+func TestContextModes(t *testing.T) {
+	dpuCtx := NewContext(ModeDPU)
+	if dpuCtx.Workers() != 32 {
+		t.Fatalf("DPU workers = %d", dpuCtx.Workers())
+	}
+	x86 := NewContext(ModeX86)
+	if x86.Workers() < 1 || x86.Workers() > 32 {
+		t.Fatalf("x86 workers = %d", x86.Workers())
+	}
+	if ModeDPU.String() != "dpu" || ModeX86.String() != "x86" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestRunParallelExecutesAll(t *testing.T) {
+	ctx := NewContext(ModeDPU)
+	var count atomic.Int64
+	units := make([]WorkUnit, 100)
+	for i := range units {
+		units[i] = func(tc *TaskCtx) error {
+			if tc.Core == nil {
+				return errors.New("DPU mode must pin cores")
+			}
+			tc.Core.Charge(1000)
+			count.Add(1)
+			return nil
+		}
+	}
+	if err := ctx.RunParallel(units); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("ran %d units", count.Load())
+	}
+	if ctx.SimElapsed() <= 0 || ctx.SimTotalBusy() < ctx.SimElapsed() {
+		t.Fatalf("sim times: elapsed=%g busy=%g", ctx.SimElapsed(), ctx.SimTotalBusy())
+	}
+	// Total busy time equals the work performed regardless of scheduling.
+	wantBusy := 100 * 1000.0 / 800e6
+	if b := ctx.SimTotalBusy(); b < wantBusy*0.99 || b > wantBusy*1.01 {
+		t.Fatalf("busy = %g, want ~%g", b, wantBusy)
+	}
+	ctx.Reset()
+	if ctx.SimElapsed() != 0 || ctx.SoC.TotalCycles() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	ctx := NewContext(ModeDPU)
+	boom := errors.New("boom")
+	units := []WorkUnit{
+		func(tc *TaskCtx) error { return nil },
+		func(tc *TaskCtx) error { return boom },
+		func(tc *TaskCtx) error { return nil },
+	}
+	if err := ctx.RunParallel(units); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverlapAccounting(t *testing.T) {
+	// Compute-bound unit: elapsed == compute; transfer hidden.
+	ctx := NewContext(ModeDPU)
+	err := ctx.RunSerial(func(tc *TaskCtx) error {
+		tc.Core.Charge(800e6) // 1 simulated second of compute
+		tc.AddTransfer(timing(0.2))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ctx.SimElapsed(); e < 0.99 || e > 1.01 {
+		t.Fatalf("overlapped elapsed = %g, want ~1.0", e)
+	}
+	// Transfer-bound.
+	ctx2 := NewContext(ModeDPU)
+	_ = ctx2.RunSerial(func(tc *TaskCtx) error {
+		tc.Core.Charge(80e6) // 0.1 s
+		tc.AddTransfer(timing(0.5))
+		return nil
+	})
+	if e := ctx2.SimElapsed(); e < 0.49 || e > 0.51 {
+		t.Fatalf("transfer-bound elapsed = %g, want ~0.5", e)
+	}
+	// NoOverlap sums both.
+	ctx3 := NewContext(ModeDPU)
+	_ = ctx3.RunSerial(func(tc *TaskCtx) error {
+		tc.NoOverlap = true
+		tc.Core.Charge(80e6)
+		tc.AddTransfer(timing(0.5))
+		return nil
+	})
+	if e := ctx3.SimElapsed(); e < 0.59 || e > 0.61 {
+		t.Fatalf("no-overlap elapsed = %g, want ~0.6", e)
+	}
+}
+
+func TestTileSelection(t *testing.T) {
+	cols := []coltypes.Data{coltypes.FromInt64s(coltypes.W4, []int64{1, 2, 3, 4})}
+	tile := NewTile(cols, 4)
+	if !tile.Dense() || tile.QualifyingRows() != 4 {
+		t.Fatal("dense tile")
+	}
+	rids := tile.SelRIDs()
+	if len(rids) != 4 || rids[3] != 3 {
+		t.Fatal("dense SelRIDs")
+	}
+	bv := bits.NewVector(4)
+	bv.Set(1)
+	bv.Set(3)
+	tile.Sel = bv
+	if tile.QualifyingRows() != 2 || tile.Dense() {
+		t.Fatal("bv selection")
+	}
+	var visited []int
+	tile.ForEachRow(func(i int) { visited = append(visited, i) })
+	if len(visited) != 2 || visited[0] != 1 || visited[1] != 3 {
+		t.Fatalf("ForEachRow = %v", visited)
+	}
+	tile.Sel = nil
+	tile.RIDs = []uint32{0, 2}
+	if tile.QualifyingRows() != 2 || tile.SelRIDs()[1] != 2 {
+		t.Fatal("rid selection")
+	}
+}
+
+func TestAccessorSequentialBothModes(t *testing.T) {
+	for _, mode := range []Mode{ModeDPU, ModeX86} {
+		ctx := NewContext(mode)
+		n := 1000
+		cola := coltypes.New(coltypes.W4, n)
+		colb := coltypes.New(coltypes.W8, n)
+		for i := 0; i < n; i++ {
+			cola.Set(i, int64(i))
+			colb.Set(i, int64(i*2))
+		}
+		var sum int64
+		var tiles int
+		err := ctx.RunSerial(func(tc *TaskCtx) error {
+			ra := NewAccessor(tc)
+			return ra.Sequential([]coltypes.Data{cola, colb}, 256, func(t *Tile) error {
+				tiles++
+				if t.N > 256 {
+					return errors.New("tile too big")
+				}
+				for i := 0; i < t.N; i++ {
+					if t.Cols[1].Get(i) != 2*t.Cols[0].Get(i) {
+						return errors.New("columns misaligned")
+					}
+					sum += t.Cols[0].Get(i)
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if tiles != 4 {
+			t.Fatalf("%v: tiles = %d", mode, tiles)
+		}
+		if sum != int64(n*(n-1)/2) {
+			t.Fatalf("%v: sum = %d", mode, sum)
+		}
+		if mode == ModeDPU && ctx.SimElapsed() <= 0 {
+			t.Fatal("DPU mode should account transfer time")
+		}
+	}
+}
+
+func TestAccessorSequentialEnforcesMinTile(t *testing.T) {
+	ctx := NewContext(ModeX86)
+	col := coltypes.New(coltypes.W4, 200)
+	tiles := 0
+	_ = ctx.RunSerial(func(tc *TaskCtx) error {
+		return NewAccessor(tc).Sequential([]coltypes.Data{col}, 10, func(t *Tile) error {
+			tiles++
+			if t.N > MinTileRows {
+				return errors.New("tile above clamped size")
+			}
+			return nil
+		})
+	})
+	// 200 rows at minimum 64-row tiles = 4 tiles.
+	if tiles != 4 {
+		t.Fatalf("tiles = %d", tiles)
+	}
+}
+
+func TestAccessorDMEMExhaustion(t *testing.T) {
+	// 32 columns of 8 bytes, 2048-row tiles, double buffered = 1 MiB:
+	// cannot fit in 32 KiB DMEM; the accessor must fail cleanly.
+	ctx := NewContext(ModeDPU)
+	cols := make([]coltypes.Data, 32)
+	for i := range cols {
+		cols[i] = coltypes.New(coltypes.W8, 4096)
+	}
+	err := ctx.RunSerial(func(tc *TaskCtx) error {
+		return NewAccessor(tc).Sequential(cols, 2048, func(t *Tile) error { return nil })
+	})
+	if err == nil {
+		t.Fatal("expected DMEM exhaustion")
+	}
+}
+
+func TestAccessorGather(t *testing.T) {
+	for _, mode := range []Mode{ModeDPU, ModeX86} {
+		ctx := NewContext(mode)
+		col := coltypes.FromInt64s(coltypes.W4, []int64{10, 20, 30, 40, 50})
+		err := ctx.RunSerial(func(tc *TaskCtx) error {
+			ra := NewAccessor(tc)
+			got, err := ra.GatherTile(col, []uint32{4, 0})
+			if err != nil {
+				return err
+			}
+			if got.Get(0) != 50 || got.Get(1) != 10 {
+				return errors.New("gather wrong")
+			}
+			bv := bits.NewVector(5)
+			bv.Set(1)
+			bv.Set(3)
+			dst, n, err := ra.GatherBitVector(col, bv)
+			if err != nil {
+				return err
+			}
+			if n != 2 || dst.Get(0) != 20 || dst.Get(1) != 40 {
+				return errors.New("bv gather wrong")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestAccessorWriteBack(t *testing.T) {
+	for _, mode := range []Mode{ModeDPU, ModeX86} {
+		ctx := NewContext(mode)
+		dst := []coltypes.Data{coltypes.New(coltypes.W4, 10)}
+		src := []coltypes.Data{coltypes.FromInt64s(coltypes.W4, []int64{7, 8, 9})}
+		err := ctx.RunSerial(func(tc *TaskCtx) error {
+			NewAccessor(tc).WriteBack(dst, 4, src, 3)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dst[0].Get(4) != 7 || dst[0].Get(6) != 9 || dst[0].Get(3) != 0 {
+			t.Fatalf("%v: writeback wrong: %v", mode, coltypes.ToInt64s(dst[0]))
+		}
+	}
+}
+
+// Operator plumbing: a trivial chain summing tile values.
+type sumOp struct {
+	total          int64
+	opened, closed bool
+}
+
+func (s *sumOp) DMEMSize(int) int { return 64 }
+func (s *sumOp) Open(tc *TaskCtx) error {
+	s.opened = true
+	return nil
+}
+func (s *sumOp) Produce(tc *TaskCtx, t *Tile) error {
+	t.ForEachRow(func(i int) { s.total += t.Cols[0].Get(i) })
+	return nil
+}
+func (s *sumOp) Close(tc *TaskCtx) error {
+	s.closed = true
+	return nil
+}
+
+func TestChain(t *testing.T) {
+	ctx := NewContext(ModeX86)
+	op := &sumOp{}
+	err := ctx.RunSerial(func(tc *TaskCtx) error {
+		return Chain(tc, op, func(emit func(*Tile) error) error {
+			cols := []coltypes.Data{coltypes.FromInt64s(coltypes.W8, []int64{1, 2, 3})}
+			return emit(NewTile(cols, 3))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.opened || !op.closed || op.total != 6 {
+		t.Fatalf("chain state: %+v", op)
+	}
+}
+
+func timing(sec float64) dms.Timing { return dms.Timing{Seconds: sec} }

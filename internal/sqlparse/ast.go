@@ -1,0 +1,143 @@
+package sqlparse
+
+// The SQL abstract syntax tree. Names are unresolved; the binder (bind.go)
+// maps them to typed plan columns.
+
+// SelectStmt is a full query.
+type SelectStmt struct {
+	Select  []SelectItem
+	From    []TableRef
+	Joins   []JoinClause
+	Where   AstPred
+	GroupBy []AstExpr
+	Having  AstPred
+	OrderBy []OrderItem
+	Limit   int // -1 = none
+	// Set operation chaining: SELECT ... UNION SELECT ...
+	SetOp    string // "", "UNION", "UNION ALL", "INTERSECT", "MINUS"
+	SetRight *SelectStmt
+}
+
+// SelectItem is one output expression.
+type SelectItem struct {
+	Expr AstExpr
+	As   string
+	Star bool // SELECT *
+}
+
+// TableRef is a FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinClause is an explicit JOIN ... ON.
+type JoinClause struct {
+	Kind  string // "INNER", "LEFT"
+	Table TableRef
+	On    AstPred
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr AstExpr
+	Desc bool
+}
+
+// AstExpr is an unbound scalar expression.
+type AstExpr interface{ astExpr() }
+
+// ColName is a possibly-qualified column reference.
+type ColName struct {
+	Table string // optional qualifier (alias or table name)
+	Name  string
+}
+
+// NumLit is an integer or decimal literal (text preserved for exactness).
+type NumLit struct{ Text string }
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// DateLit is DATE 'yyyy-mm-dd' possibly adjusted by interval arithmetic at
+// parse time.
+type DateLit struct{ Days int64 }
+
+// BinExpr is arithmetic.
+type BinExpr struct {
+	Op   string // + - * /
+	L, R AstExpr
+}
+
+// CaseExpr is CASE WHEN p THEN a ELSE b END.
+type CaseExpr struct {
+	Cond AstPred
+	Then AstExpr
+	Else AstExpr
+}
+
+// FuncExpr is an aggregate or window call: SUM/AVG/MIN/MAX/COUNT, or with
+// Over set, a window function (also ROW_NUMBER/RANK/DENSE_RANK).
+type FuncExpr struct {
+	Name string // upper-case
+	Arg  AstExpr
+	Star bool        // COUNT(*)
+	Over *OverClause // non-nil: window function
+}
+
+// OverClause is the OVER (PARTITION BY ... ORDER BY ...) specification.
+type OverClause struct {
+	PartitionBy []AstExpr
+	OrderBy     []OrderItem
+}
+
+func (*ColName) astExpr()  {}
+func (*NumLit) astExpr()   {}
+func (*StrLit) astExpr()   {}
+func (*DateLit) astExpr()  {}
+func (*BinExpr) astExpr()  {}
+func (*CaseExpr) astExpr() {}
+func (*FuncExpr) astExpr() {}
+
+// AstPred is an unbound predicate.
+type AstPred interface{ astPred() }
+
+// CmpPred compares two expressions.
+type CmpPred struct {
+	Op   string // = <> < <= > >=
+	L, R AstExpr
+}
+
+// BetweenP is e BETWEEN lo AND hi.
+type BetweenP struct {
+	E      AstExpr
+	Lo, Hi AstExpr
+}
+
+// InP is e IN (list) or e IN (subquery).
+type InP struct {
+	E    AstExpr
+	List []AstExpr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+// LikeP is e [NOT] LIKE 'pattern'.
+type LikeP struct {
+	E       AstExpr
+	Pattern string
+	Not     bool
+}
+
+// AndP / OrP / NotP combine predicates.
+type AndP struct{ Preds []AstPred }
+type OrP struct{ Preds []AstPred }
+type NotP struct{ P AstPred }
+
+func (*CmpPred) astPred()  {}
+func (*BetweenP) astPred() {}
+func (*InP) astPred()      {}
+func (*LikeP) astPred()    {}
+func (*AndP) astPred()     {}
+func (*OrP) astPred()      {}
+func (*NotP) astPred()     {}

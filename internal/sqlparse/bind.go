@@ -1,0 +1,1160 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/encoding"
+	"rapid/internal/plan"
+	"rapid/internal/storage"
+)
+
+// Catalog resolves table names to loaded RAPID tables.
+type Catalog interface {
+	Lookup(name string) (*storage.Table, error)
+}
+
+// Bind resolves a parsed statement against the catalog into a typed logical
+// plan, applying the host-database-style normalizations: predicate
+// classification (per-table filters vs join edges vs residual), greedy join
+// ordering (smallest first), IN-subquery to semi-join rewrite, aggregate
+// extraction and output projection.
+func Bind(stmt *SelectStmt, cat Catalog, scn uint64) (plan.Node, error) {
+	b := &binder{cat: cat, scn: scn}
+	return b.bindSelect(stmt)
+}
+
+type binder struct {
+	cat Catalog
+	scn uint64
+}
+
+// tableScope tracks one FROM table during binding.
+type tableScope struct {
+	alias   string
+	table   *storage.Table
+	colIdxs []int // table columns included in the scan
+	node    plan.Node
+	rows    int64
+}
+
+// scope is the evolving output schema during join construction: for every
+// position, the originating alias and column name.
+type scopeCol struct {
+	alias string
+	name  string
+	field plan.Field
+}
+
+func (b *binder) bindSelect(stmt *SelectStmt) (plan.Node, error) {
+	if stmt.SetOp != "" {
+		left := *stmt
+		left.SetOp, left.SetRight = "", nil
+		ln, err := b.bindSelect(&left)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := b.bindSelect(stmt.SetRight)
+		if err != nil {
+			return nil, err
+		}
+		kind := map[string]plan.SetOpKind{
+			"UNION": plan.Union, "UNION ALL": plan.UnionAll,
+			"INTERSECT": plan.Intersect, "MINUS": plan.Minus,
+		}[stmt.SetOp]
+		return &plan.SetOp{Kind: kind, Left: ln, Right: rn}, nil
+	}
+
+	// Resolve tables and referenced columns.
+	scopes, err := b.resolveTables(stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify conjuncts.
+	var conjuncts []AstPred
+	flattenAnd(stmt.Where, &conjuncts)
+	var edges []joinEdge
+	var residual []AstPred
+	var semis []*InP
+	perTable := map[string][]AstPred{}
+
+	classify := func(p AstPred, fromJoinOn string, joinAlias string) error {
+		if in, ok := p.(*InP); ok && in.Sub != nil {
+			semis = append(semis, in)
+			return nil
+		}
+		aliases := b.predAliases(p, scopes)
+		switch len(aliases) {
+		case 0:
+			residual = append(residual, p) // constant predicate
+		case 1:
+			perTable[aliases[0]] = append(perTable[aliases[0]], p)
+		case 2:
+			if cp, ok := p.(*CmpPred); ok && cp.Op == "=" {
+				lcol, lok := cp.L.(*ColName)
+				rcol, rok := cp.R.(*ColName)
+				if lok && rok {
+					la, lc := b.resolveAlias(lcol, scopes)
+					ra, rc := b.resolveAlias(rcol, scopes)
+					if la != "" && ra != "" && la != ra {
+						edges = append(edges, joinEdge{la: la, ra: ra, lc: lc, rc: rc, leftKind: fromJoinOn})
+						return nil
+					}
+				}
+			}
+			residual = append(residual, p)
+		default:
+			residual = append(residual, p)
+		}
+		return nil
+	}
+	for _, c := range conjuncts {
+		if err := classify(c, "", ""); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range stmt.Joins {
+		var onConj []AstPred
+		flattenAnd(j.On, &onConj)
+		for _, c := range onConj {
+			if err := classify(c, j.Kind, j.Table.Alias); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Per-table filters.
+	for alias, preds := range perTable {
+		sc := scopeOf(scopes, alias)
+		cols := scopeColsOf(sc)
+		for _, p := range preds {
+			bp, err := b.bindPred(p, cols)
+			if err != nil {
+				return nil, err
+			}
+			sc.node = &plan.Filter{Input: sc.node, Pred: bp}
+			sc.rows = sc.rows/3 + 1
+		}
+	}
+
+	// Join tree: explicit joins in statement order, then greedy over the
+	// remaining edges starting from the smallest table.
+	cur, curCols, err := b.buildJoinTree(stmt, scopes, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	// Semi-join rewrites for IN subqueries.
+	for _, in := range semis {
+		sub, err := b.bindSelect(in.Sub)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Schema()) != 1 {
+			return nil, fmt.Errorf("sqlparse: IN subquery must return one column")
+		}
+		col, ok := in.E.(*ColName)
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: IN subquery needs a column on the left")
+		}
+		idx, _, err := lookupCol(curCols, col)
+		if err != nil {
+			return nil, err
+		}
+		typ := plan.SemiJoin
+		if in.Not {
+			typ = plan.AntiJoin
+		}
+		cur = &plan.Join{Type: typ, Left: cur, Right: sub, LeftKeys: []int{idx}, RightKeys: []int{0}}
+	}
+
+	// Residual predicates.
+	for _, p := range residual {
+		bp, err := b.bindPred(p, curCols)
+		if err != nil {
+			return nil, err
+		}
+		cur = &plan.Filter{Input: cur, Pred: bp}
+	}
+
+	// Aggregation / window functions.
+	hasAgg := stmt.GroupBy != nil || stmt.Having != nil
+	hasWindow := false
+	for _, item := range stmt.Select {
+		if item.Star {
+			continue
+		}
+		if containsAgg(item.Expr) {
+			hasAgg = true
+		}
+		if containsWindow(item.Expr) {
+			hasWindow = true
+		}
+	}
+	if hasAgg && hasWindow {
+		return nil, fmt.Errorf("sqlparse: window functions cannot be combined with aggregation")
+	}
+
+	var outNode plan.Node
+	var outNames []string
+	switch {
+	case hasWindow:
+		outNode, outNames, err = b.bindWindows(stmt, cur, curCols)
+		if err != nil {
+			return nil, err
+		}
+	case hasAgg:
+		outNode, outNames, err = b.bindAggregate(stmt, cur, curCols)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		outNode, outNames, err = b.bindProjection(stmt, cur, curCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY over the output schema.
+	if len(stmt.OrderBy) > 0 {
+		items, err := b.bindOrderBy(stmt.OrderBy, outNode, outNames)
+		if err != nil {
+			return nil, err
+		}
+		outNode = &plan.Sort{Input: outNode, Keys: items}
+	}
+	if stmt.Limit >= 0 {
+		outNode = &plan.Limit{Input: outNode, K: stmt.Limit}
+	}
+	return outNode, nil
+}
+
+// resolveTables builds a scan (with column pruning) per FROM/JOIN table.
+func (b *binder) resolveTables(stmt *SelectStmt) ([]*tableScope, error) {
+	refs := append([]TableRef(nil), stmt.From...)
+	for _, j := range stmt.Joins {
+		refs = append(refs, j.Table)
+	}
+	// Referenced columns by alias (or unqualified).
+	used := map[string]map[string]bool{}
+	addCol := func(c *ColName) {
+		key := c.Table
+		if used[key] == nil {
+			used[key] = map[string]bool{}
+		}
+		used[key][c.Name] = true
+	}
+	walkStmtCols(stmt, addCol)
+
+	scopes := make([]*tableScope, 0, len(refs))
+	seen := map[string]bool{}
+	for _, r := range refs {
+		if seen[r.Alias] {
+			return nil, fmt.Errorf("sqlparse: duplicate table alias %q", r.Alias)
+		}
+		seen[r.Alias] = true
+		tbl, err := b.cat.Lookup(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		// Prune: include columns referenced by alias, plus unqualified
+		// names that exist in this table.
+		var cols []int
+		include := func(name string) {
+			idx := tbl.Schema().ColIndex(name)
+			if idx < 0 {
+				return
+			}
+			for _, c := range cols {
+				if c == idx {
+					return
+				}
+			}
+			cols = append(cols, idx)
+		}
+		for name := range used[r.Alias] {
+			include(name)
+		}
+		if r.Alias != r.Name {
+			for name := range used[r.Name] {
+				include(name)
+			}
+		}
+		for name := range used[""] {
+			include(name)
+		}
+		if len(cols) == 0 {
+			// SELECT * or nothing referenced: scan everything.
+			cols = nil
+		}
+		scan := plan.NewScan(tbl, b.scn, cols)
+		sc := &tableScope{alias: r.Alias, table: tbl, node: scan, rows: int64(tbl.Rows())}
+		if cols == nil {
+			sc.colIdxs = make([]int, tbl.Schema().NumCols())
+			for i := range sc.colIdxs {
+				sc.colIdxs[i] = i
+			}
+		} else {
+			sc.colIdxs = cols
+		}
+		scopes = append(scopes, sc)
+	}
+	// SELECT * support requires all columns.
+	for _, item := range stmt.Select {
+		if item.Star {
+			for _, sc := range scopes {
+				all := make([]int, sc.table.Schema().NumCols())
+				for i := range all {
+					all[i] = i
+				}
+				sc.colIdxs = all
+				sc.node = plan.NewScan(sc.table, b.scn, nil)
+			}
+			break
+		}
+	}
+	return scopes, nil
+}
+
+func scopeOf(scopes []*tableScope, alias string) *tableScope {
+	for _, s := range scopes {
+		if s.alias == alias {
+			return s
+		}
+	}
+	return nil
+}
+
+func scopeColsOf(sc *tableScope) []scopeCol {
+	fs := sc.node.Schema()
+	cols := make([]scopeCol, len(fs))
+	for i, f := range fs {
+		cols[i] = scopeCol{alias: sc.alias, name: f.Name, field: f}
+	}
+	return cols
+}
+
+// joinEdge is one equi-join condition between two table aliases.
+type joinEdge struct {
+	la, ra   string // aliases
+	lc, rc   string // column names
+	leftKind string // "INNER" or "LEFT" for explicit joins
+}
+
+// buildJoinTree folds the tables into a left-deep join tree.
+func (b *binder) buildJoinTree(stmt *SelectStmt, scopes []*tableScope, edges []joinEdge) (plan.Node, []scopeCol, error) {
+	if len(scopes) == 1 {
+		return scopes[0].node, scopeColsOf(scopes[0]), nil
+	}
+	joined := map[string]bool{}
+	// Start from the largest table as the probe/output side; joining
+	// smaller tables into it keeps build sides small.
+	start := scopes[0]
+	for _, s := range scopes[1:] {
+		if s.rows > start.rows {
+			start = s
+		}
+	}
+	// Explicit LEFT joins pin the left side: start from the first FROM
+	// table in that case.
+	for _, e := range edges {
+		if e.leftKind == "LEFT" {
+			start = scopes[0]
+			break
+		}
+	}
+	cur := start.node
+	curCols := scopeColsOf(start)
+	joined[start.alias] = true
+	remaining := len(scopes) - 1
+
+	edgeUsable := func(e joinEdge) (string, bool) {
+		if joined[e.la] && !joined[e.ra] {
+			return e.ra, true
+		}
+		if joined[e.ra] && !joined[e.la] {
+			return e.la, true
+		}
+		return "", false
+	}
+
+	// joinFanout estimates the output growth of joining table `alias`
+	// through its column `col`: rows / NDV(col). A primary-key edge gives
+	// ~1 (no growth); a foreign-key edge multiplies cardinality and is
+	// deferred — the host optimizer's logical join ordering.
+	joinFanout := func(alias, col string) float64 {
+		sc := scopeOf(scopes, alias)
+		if sc == nil {
+			return 1e18
+		}
+		idx := sc.table.Schema().ColIndex(col)
+		stats := sc.table.Stats()
+		if idx < 0 || stats == nil || idx >= len(stats.Cols) || stats.Cols[idx].NDV <= 0 {
+			return float64(sc.rows)
+		}
+		return float64(sc.rows) / float64(stats.Cols[idx].NDV)
+	}
+
+	for remaining > 0 {
+		// Pick the joinable table with the smallest fan-out (PK-FK edges
+		// first), breaking ties by table size.
+		var bestAlias string
+		bestFanout := 1e18
+		bestRows := int64(1) << 62
+		for _, e := range edges {
+			a, ok := edgeUsable(e)
+			if !ok {
+				continue
+			}
+			col := e.rc
+			if a == e.la {
+				col = e.lc
+			}
+			f := joinFanout(a, col)
+			sc := scopeOf(scopes, a)
+			if sc == nil {
+				continue
+			}
+			if f < bestFanout || (f == bestFanout && sc.rows < bestRows) {
+				bestFanout, bestRows, bestAlias = f, sc.rows, a
+			}
+		}
+		if bestAlias == "" {
+			return nil, nil, fmt.Errorf("sqlparse: cross join (no join condition connects all tables)")
+		}
+		next := scopeOf(scopes, bestAlias)
+		nextCols := scopeColsOf(next)
+		// Gather all usable edges to this table (composite keys).
+		var lk, rk []int
+		kind := plan.InnerJoin
+		for _, e := range edges {
+			var curAlias, curCol, nextCol string
+			switch {
+			case joined[e.la] && e.ra == bestAlias:
+				curAlias, curCol, nextCol = e.la, e.lc, e.rc
+			case joined[e.ra] && e.la == bestAlias:
+				curAlias, curCol, nextCol = e.ra, e.rc, e.lc
+			default:
+				continue
+			}
+			if e.leftKind == "LEFT" {
+				kind = plan.LeftOuterJoin
+			}
+			li, _, err := lookupCol(curCols, &ColName{Table: curAlias, Name: curCol})
+			if err != nil {
+				return nil, nil, err
+			}
+			ri, _, err := lookupCol(nextCols, &ColName{Table: bestAlias, Name: nextCol})
+			if err != nil {
+				return nil, nil, err
+			}
+			lk = append(lk, li)
+			rk = append(rk, ri)
+		}
+		if len(lk) > 2 {
+			lk, rk = lk[:2], rk[:2]
+		}
+		cur = &plan.Join{Type: kind, Left: cur, Right: next.node, LeftKeys: lk, RightKeys: rk}
+		curCols = append(curCols, nextCols...)
+		joined[bestAlias] = true
+		remaining--
+	}
+	return cur, curCols, nil
+}
+
+// bindProjection builds the non-aggregate SELECT output.
+func (b *binder) bindProjection(stmt *SelectStmt, input plan.Node, cols []scopeCol) (plan.Node, []string, error) {
+	var exprs []plan.Expr
+	var names []string
+	for _, item := range stmt.Select {
+		if item.Star {
+			for i, c := range cols {
+				exprs = append(exprs, &plan.ColRef{Idx: i, Name: c.name, T: c.field.Type, Dict: c.field.Dict})
+				names = append(names, c.name)
+			}
+			continue
+		}
+		e, err := b.bindExpr(item.Expr, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := item.As
+		if name == "" {
+			if c, ok := item.Expr.(*ColName); ok {
+				name = c.Name
+			} else {
+				name = e.String()
+			}
+		}
+		exprs = append(exprs, e)
+		names = append(names, name)
+	}
+	return &plan.Project{Input: input, Exprs: exprs, Names: names}, names, nil
+}
+
+// bindWindows lowers windowed SELECT items: each OVER call appends one
+// plan.Window column to the input, and a final projection selects the
+// output order. Window arguments, PARTITION BY and ORDER BY must be plain
+// columns.
+func (b *binder) bindWindows(stmt *SelectStmt, input plan.Node, cols []scopeCol) (plan.Node, []string, error) {
+	cur := input
+	baseCols := len(cols)
+	winIdx := map[*FuncExpr]int{} // window call -> appended column index
+	next := baseCols
+
+	colIdx := func(e AstExpr) (int, error) {
+		cn, ok := e.(*ColName)
+		if !ok {
+			return 0, fmt.Errorf("sqlparse: window clauses support plain columns only")
+		}
+		idx, _, err := lookupCol(cols, cn)
+		return idx, err
+	}
+	for _, item := range stmt.Select {
+		f, ok := item.Expr.(*FuncExpr)
+		if !ok || f.Over == nil {
+			if containsWindow(item.Expr) {
+				return nil, nil, fmt.Errorf("sqlparse: window calls must be top-level SELECT items")
+			}
+			continue
+		}
+		w := &plan.Window{Input: cur, Name: "win"}
+		switch f.Name {
+		case "ROW_NUMBER":
+			w.Func = plan.RowNumber
+		case "RANK":
+			w.Func = plan.Rank
+		case "DENSE_RANK":
+			w.Func = plan.DenseRank
+		case "SUM":
+			if len(f.Over.OrderBy) > 0 {
+				w.Func = plan.CumSum
+			} else {
+				w.Func = plan.WinTotalSum
+			}
+			vc, err := colIdx(f.Arg)
+			if err != nil {
+				return nil, nil, err
+			}
+			w.ValueCol = vc
+		default:
+			return nil, nil, fmt.Errorf("sqlparse: unsupported window function %s", f.Name)
+		}
+		for _, p := range f.Over.PartitionBy {
+			idx, err := colIdx(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			w.PartitionBy = append(w.PartitionBy, idx)
+		}
+		for _, o := range f.Over.OrderBy {
+			idx, err := colIdx(o.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			w.OrderBy = append(w.OrderBy, plan.SortItem{Col: idx, Desc: o.Desc})
+		}
+		cur = w
+		winIdx[f] = next
+		next++
+	}
+
+	// Final projection in SELECT order.
+	schema := cur.Schema()
+	var exprs []plan.Expr
+	var names []string
+	for _, item := range stmt.Select {
+		if item.Star {
+			return nil, nil, fmt.Errorf("sqlparse: SELECT * with window functions")
+		}
+		name := item.As
+		if f, ok := item.Expr.(*FuncExpr); ok && f.Over != nil {
+			idx := winIdx[f]
+			if name == "" {
+				name = strings.ToLower(f.Name)
+			}
+			exprs = append(exprs, &plan.ColRef{Idx: idx, Name: name, T: schema[idx].Type})
+			names = append(names, name)
+			continue
+		}
+		e, err := b.bindExpr(item.Expr, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		if name == "" {
+			if c, ok := item.Expr.(*ColName); ok {
+				name = c.Name
+			} else {
+				name = e.String()
+			}
+		}
+		exprs = append(exprs, e)
+		names = append(names, name)
+	}
+	return &plan.Project{Input: cur, Exprs: exprs, Names: names}, names, nil
+}
+
+// bindAggregate builds GroupBy + post-projection (+ HAVING).
+func (b *binder) bindAggregate(stmt *SelectStmt, input plan.Node, cols []scopeCol) (plan.Node, []string, error) {
+	// Group keys.
+	var keys []plan.Expr
+	keyOf := map[string]int{} // "alias.name" -> key index
+	for _, g := range stmt.GroupBy {
+		cn, ok := g.(*ColName)
+		if !ok {
+			return nil, nil, fmt.Errorf("sqlparse: GROUP BY supports plain columns only")
+		}
+		idx, sc, err := lookupCol(cols, cn)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyOf[sc.alias+"."+sc.name] = len(keys)
+		if cn.Table == "" {
+			keyOf["."+sc.name] = len(keys)
+		}
+		keys = append(keys, &plan.ColRef{Idx: idx, Name: sc.name, T: sc.field.Type, Dict: sc.field.Dict})
+	}
+
+	// Collect aggregates from SELECT, HAVING and ORDER BY.
+	var aggs []plan.AggExpr
+	aggIdx := map[*FuncExpr]int{}
+	addAgg := func(f *FuncExpr) error {
+		if _, done := aggIdx[f]; done {
+			return nil
+		}
+		var arg plan.Expr
+		kind := map[string]plan.AggKind{
+			"SUM": plan.Sum, "AVG": plan.Avg, "MIN": plan.Min, "MAX": plan.Max, "COUNT": plan.Count,
+		}[f.Name]
+		if f.Star {
+			kind = plan.CountStar
+		} else {
+			var err error
+			arg, err = b.bindExpr(f.Arg, cols)
+			if err != nil {
+				return err
+			}
+		}
+		aggIdx[f] = len(aggs)
+		aggs = append(aggs, plan.AggExpr{Kind: kind, Arg: arg, Name: fmt.Sprintf("agg%d", len(aggs))})
+		return nil
+	}
+	var collect func(e AstExpr) error
+	collect = func(e AstExpr) error {
+		switch ex := e.(type) {
+		case *FuncExpr:
+			return addAgg(ex)
+		case *BinExpr:
+			if err := collect(ex.L); err != nil {
+				return err
+			}
+			return collect(ex.R)
+		case *CaseExpr:
+			if err := collect(ex.Then); err != nil {
+				return err
+			}
+			return collect(ex.Else)
+		}
+		return nil
+	}
+	for _, item := range stmt.Select {
+		if item.Star {
+			return nil, nil, fmt.Errorf("sqlparse: SELECT * with aggregates")
+		}
+		if err := collect(item.Expr); err != nil {
+			return nil, nil, err
+		}
+	}
+	collectPredAggs(stmt.Having, func(f *FuncExpr) { _ = addAgg(f) })
+	for _, o := range stmt.OrderBy {
+		if err := collect(o.Expr); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	gb := &plan.GroupBy{Input: input, Keys: keys, Aggs: aggs}
+	gbSchema := gb.Schema()
+	// Post-agg scope: keys then aggs.
+	postCols := make([]scopeCol, len(gbSchema))
+	for i, f := range gbSchema {
+		postCols[i] = scopeCol{alias: "", name: f.Name, field: f}
+	}
+
+	// Bind a SELECT/HAVING expression against the post-agg schema: group
+	// key columns resolve to key positions, aggregates to agg positions.
+	var bindPost func(e AstExpr) (plan.Expr, error)
+	bindPost = func(e AstExpr) (plan.Expr, error) {
+		switch ex := e.(type) {
+		case *FuncExpr:
+			i, ok := aggIdx[ex]
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: aggregate not collected")
+			}
+			pos := len(keys) + i
+			return &plan.ColRef{Idx: pos, Name: gbSchema[pos].Name, T: gbSchema[pos].Type}, nil
+		case *ColName:
+			idx, sc, err := lookupCol(cols, ex)
+			if err != nil {
+				return nil, err
+			}
+			_ = idx
+			k, ok := keyOf[sc.alias+"."+sc.name]
+			if !ok {
+				k, ok = keyOf["."+sc.name]
+			}
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: column %s not in GROUP BY", sc.name)
+			}
+			return &plan.ColRef{Idx: k, Name: sc.name, T: gbSchema[k].Type, Dict: gbSchema[k].Dict}, nil
+		case *NumLit:
+			return bindNum(ex)
+		case *DateLit:
+			return &plan.Const{T: coltypes.Date(), Val: ex.Days}, nil
+		case *BinExpr:
+			l, err := bindPost(ex.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := bindPost(ex.R)
+			if err != nil {
+				return nil, err
+			}
+			return plan.NewArith(arithOp(ex.Op), l, r)
+		case *CaseExpr:
+			return nil, fmt.Errorf("sqlparse: CASE over aggregates unsupported")
+		}
+		return nil, fmt.Errorf("sqlparse: unsupported post-aggregate expression %T", e)
+	}
+
+	var node plan.Node = gb
+	// HAVING.
+	if stmt.Having != nil {
+		hp, err := b.bindPredWith(stmt.Having, postCols, bindPost)
+		if err != nil {
+			return nil, nil, err
+		}
+		node = &plan.Filter{Input: node, Pred: hp}
+	}
+	// Output projection in SELECT order.
+	var exprs []plan.Expr
+	var names []string
+	for _, item := range stmt.Select {
+		e, err := bindPost(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := item.As
+		if name == "" {
+			if c, ok := item.Expr.(*ColName); ok {
+				name = c.Name
+			} else if f, ok := item.Expr.(*FuncExpr); ok {
+				name = strings.ToLower(f.Name)
+			} else {
+				name = e.String()
+			}
+		}
+		exprs = append(exprs, e)
+		names = append(names, name)
+	}
+	return &plan.Project{Input: node, Exprs: exprs, Names: names}, names, nil
+}
+
+func (b *binder) bindOrderBy(items []OrderItem, node plan.Node, outNames []string) ([]plan.SortItem, error) {
+	schema := node.Schema()
+	out := make([]plan.SortItem, len(items))
+	for i, it := range items {
+		idx := -1
+		switch e := it.Expr.(type) {
+		case *ColName:
+			for j, n := range outNames {
+				if n == e.Name {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				for j, f := range schema {
+					if f.Name == e.Name {
+						idx = j
+						break
+					}
+				}
+			}
+		case *NumLit:
+			p, err := strconv.Atoi(e.Text)
+			if err == nil && p >= 1 && p <= len(schema) {
+				idx = p - 1
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("sqlparse: ORDER BY term %d does not match an output column", i+1)
+		}
+		out[i] = plan.SortItem{Col: idx, Desc: it.Desc}
+	}
+	return out, nil
+}
+
+// --- expression/predicate binding -------------------------------------------
+
+func (b *binder) bindExpr(e AstExpr, cols []scopeCol) (plan.Expr, error) {
+	switch ex := e.(type) {
+	case *ColName:
+		idx, sc, err := lookupCol(cols, ex)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.ColRef{Idx: idx, Name: sc.name, T: sc.field.Type, Dict: sc.field.Dict}, nil
+	case *NumLit:
+		return bindNum(ex)
+	case *StrLit:
+		return &plan.Const{T: coltypes.String(), Str: ex.Val}, nil
+	case *DateLit:
+		return &plan.Const{T: coltypes.Date(), Val: ex.Days}, nil
+	case *BinExpr:
+		l, err := b.bindExpr(ex.L, cols)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(ex.R, cols)
+		if err != nil {
+			return nil, err
+		}
+		return plan.NewArith(arithOp(ex.Op), l, r)
+	case *CaseExpr:
+		cond, err := b.bindPred(ex.Cond, cols)
+		if err != nil {
+			return nil, err
+		}
+		thenE, err := b.bindExpr(ex.Then, cols)
+		if err != nil {
+			return nil, err
+		}
+		elseE, err := b.bindExpr(ex.Else, cols)
+		if err != nil {
+			return nil, err
+		}
+		return plan.NewCase(cond, thenE, elseE)
+	case *FuncExpr:
+		return nil, fmt.Errorf("sqlparse: aggregate %s outside aggregation context", ex.Name)
+	}
+	return nil, fmt.Errorf("sqlparse: unsupported expression %T", e)
+}
+
+func bindNum(n *NumLit) (plan.Expr, error) {
+	d, err := encoding.ParseDecimal(n.Text)
+	if err != nil {
+		return nil, fmt.Errorf("sqlparse: bad number %q: %w", n.Text, err)
+	}
+	t := coltypes.Int()
+	if d.Scale > 0 {
+		t = coltypes.Decimal(d.Scale)
+	}
+	return &plan.Const{T: t, Val: d.Unscaled}, nil
+}
+
+func (b *binder) bindPred(p AstPred, cols []scopeCol) (plan.Pred, error) {
+	return b.bindPredWith(p, cols, func(e AstExpr) (plan.Expr, error) {
+		return b.bindExpr(e, cols)
+	})
+}
+
+func (b *binder) bindPredWith(p AstPred, cols []scopeCol, bindE func(AstExpr) (plan.Expr, error)) (plan.Pred, error) {
+	switch pr := p.(type) {
+	case *CmpPred:
+		l, err := bindE(pr.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindE(pr.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Cmp{Op: cmpOpOf(pr.Op), L: l, R: r}, nil
+	case *BetweenP:
+		e, err := bindE(pr.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bindE(pr.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bindE(pr.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.BetweenPred{E: e, Lo: lo, Hi: hi}, nil
+	case *InP:
+		if pr.Sub != nil {
+			return nil, fmt.Errorf("sqlparse: IN subquery in unsupported position")
+		}
+		e, err := bindE(pr.E)
+		if err != nil {
+			return nil, err
+		}
+		var list []*plan.Const
+		for _, item := range pr.List {
+			be, err := bindE(item)
+			if err != nil {
+				return nil, err
+			}
+			c, ok := be.(*plan.Const)
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: IN list items must be constants")
+			}
+			list = append(list, c)
+		}
+		var out plan.Pred = &plan.InPred{E: e, List: list}
+		if pr.Not {
+			out = &plan.NotPred{P: out}
+		}
+		return out, nil
+	case *LikeP:
+		e, err := bindE(pr.E)
+		if err != nil {
+			return nil, err
+		}
+		kind, needle := classifyLike(pr.Pattern)
+		return &plan.LikePred{E: e, Kind: kind, Pattern: needle, Negate: pr.Not}, nil
+	case *AndP:
+		out := &plan.AndPred{}
+		for _, s := range pr.Preds {
+			bs, err := b.bindPredWith(s, cols, bindE)
+			if err != nil {
+				return nil, err
+			}
+			out.Preds = append(out.Preds, bs)
+		}
+		return out, nil
+	case *OrP:
+		out := &plan.OrPred{}
+		for _, s := range pr.Preds {
+			bs, err := b.bindPredWith(s, cols, bindE)
+			if err != nil {
+				return nil, err
+			}
+			out.Preds = append(out.Preds, bs)
+		}
+		return out, nil
+	case *NotP:
+		inner, err := b.bindPredWith(pr.P, cols, bindE)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.NotPred{P: inner}, nil
+	}
+	return nil, fmt.Errorf("sqlparse: unsupported predicate %T", p)
+}
+
+// classifyLike splits a LIKE pattern into the supported shapes.
+func classifyLike(pattern string) (plan.LikeKind, string) {
+	pre := strings.HasPrefix(pattern, "%")
+	suf := strings.HasSuffix(pattern, "%")
+	needle := strings.Trim(pattern, "%")
+	switch {
+	case pre && suf:
+		return plan.LikeContains, needle
+	case pre:
+		return plan.LikeSuffix, needle
+	case suf:
+		return plan.LikePrefix, needle
+	default:
+		return plan.LikeExact, needle
+	}
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func flattenAnd(p AstPred, out *[]AstPred) {
+	if p == nil {
+		return
+	}
+	if a, ok := p.(*AndP); ok {
+		for _, s := range a.Preds {
+			flattenAnd(s, out)
+		}
+		return
+	}
+	*out = append(*out, p)
+}
+
+// predAliases returns the distinct table aliases a predicate references.
+func (b *binder) predAliases(p AstPred, scopes []*tableScope) []string {
+	set := map[string]bool{}
+	var walkE func(e AstExpr)
+	walkE = func(e AstExpr) {
+		switch ex := e.(type) {
+		case *ColName:
+			if a, _ := b.resolveAlias(ex, scopes); a != "" {
+				set[a] = true
+			}
+		case *BinExpr:
+			walkE(ex.L)
+			walkE(ex.R)
+		case *CaseExpr:
+			walkE(ex.Then)
+			walkE(ex.Else)
+			walkP(ex.Cond, walkE)
+		}
+	}
+	walkP(p, walkE)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	return out
+}
+
+func walkP(p AstPred, walkE func(AstExpr)) {
+	switch pr := p.(type) {
+	case *CmpPred:
+		walkE(pr.L)
+		walkE(pr.R)
+	case *BetweenP:
+		walkE(pr.E)
+		walkE(pr.Lo)
+		walkE(pr.Hi)
+	case *InP:
+		walkE(pr.E)
+		for _, i := range pr.List {
+			walkE(i)
+		}
+	case *LikeP:
+		walkE(pr.E)
+	case *AndP:
+		for _, s := range pr.Preds {
+			walkP(s, walkE)
+		}
+	case *OrP:
+		for _, s := range pr.Preds {
+			walkP(s, walkE)
+		}
+	case *NotP:
+		walkP(pr.P, walkE)
+	}
+}
+
+func collectPredAggs(p AstPred, add func(*FuncExpr)) {
+	if p == nil {
+		return
+	}
+	walkP(p, func(e AstExpr) {
+		var walk func(AstExpr)
+		walk = func(e AstExpr) {
+			switch ex := e.(type) {
+			case *FuncExpr:
+				add(ex)
+			case *BinExpr:
+				walk(ex.L)
+				walk(ex.R)
+			}
+		}
+		walk(e)
+	})
+}
+
+func containsAgg(e AstExpr) bool {
+	switch ex := e.(type) {
+	case *FuncExpr:
+		return ex.Over == nil // windowed calls are not aggregates
+	case *BinExpr:
+		return containsAgg(ex.L) || containsAgg(ex.R)
+	case *CaseExpr:
+		return containsAgg(ex.Then) || containsAgg(ex.Else)
+	}
+	return false
+}
+
+func containsWindow(e AstExpr) bool {
+	switch ex := e.(type) {
+	case *FuncExpr:
+		return ex.Over != nil
+	case *BinExpr:
+		return containsWindow(ex.L) || containsWindow(ex.R)
+	case *CaseExpr:
+		return containsWindow(ex.Then) || containsWindow(ex.Else)
+	}
+	return false
+}
+
+// resolveAlias maps a column name to its table alias (empty if unknown or
+// ambiguous).
+func (b *binder) resolveAlias(c *ColName, scopes []*tableScope) (alias, col string) {
+	if c.Table != "" {
+		if sc := scopeOf(scopes, c.Table); sc != nil {
+			return c.Table, c.Name
+		}
+		// Qualifier may be a table name used with a different alias.
+		for _, sc := range scopes {
+			if sc.table.Name() == c.Table {
+				return sc.alias, c.Name
+			}
+		}
+		return "", c.Name
+	}
+	found := ""
+	for _, sc := range scopes {
+		if sc.table.Schema().ColIndex(c.Name) >= 0 {
+			if found != "" {
+				return "", c.Name // ambiguous
+			}
+			found = sc.alias
+		}
+	}
+	return found, c.Name
+}
+
+// lookupCol resolves a column name against a combined scope.
+func lookupCol(cols []scopeCol, c *ColName) (int, *scopeCol, error) {
+	idx := -1
+	for i := range cols {
+		sc := &cols[i]
+		if sc.name != c.Name {
+			continue
+		}
+		if c.Table != "" && sc.alias != c.Table {
+			continue
+		}
+		if idx >= 0 {
+			return 0, nil, fmt.Errorf("sqlparse: ambiguous column %q", c.Name)
+		}
+		idx = i
+	}
+	if idx < 0 {
+		return 0, nil, fmt.Errorf("sqlparse: unknown column %q", c.Name)
+	}
+	return idx, &cols[idx], nil
+}
+
+func arithOp(op string) plan.ArithOp {
+	switch op {
+	case "+":
+		return plan.Add
+	case "-":
+		return plan.Sub
+	case "*":
+		return plan.Mul
+	default:
+		return plan.Div
+	}
+}
+
+func cmpOpOf(op string) plan.CmpOp {
+	switch op {
+	case "=":
+		return plan.EQ
+	case "<>":
+		return plan.NE
+	case "<":
+		return plan.LT
+	case "<=":
+		return plan.LE
+	case ">":
+		return plan.GT
+	default:
+		return plan.GE
+	}
+}

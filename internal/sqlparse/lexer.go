@@ -1,0 +1,160 @@
+// Package sqlparse is the SQL front end for the analytic subset RAPID
+// accepts: SELECT-FROM-WHERE-GROUP BY-HAVING-ORDER BY-LIMIT with joins
+// (comma-style and JOIN..ON), arithmetic, CASE, BETWEEN, IN (lists and
+// single-level subqueries, bound as semi-joins), LIKE, date literals and
+// interval arithmetic. The binder resolves names against loaded tables and
+// produces the typed logical plan of internal/plan — standing in for the
+// host database's parser and semantic analysis (paper §3.1).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"ASC": true, "DESC": true, "DATE": true, "INTERVAL": true,
+	"OVER": true, "PARTITION": true,
+	"SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "COUNT": true, "DISTINCT": true, "UNION": true, "ALL": true,
+	"INTERSECT": true, "MINUS": true, "EXISTS": true, "IS": true, "NULL": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexWord()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+		} else if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+	}
+}
+
+var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) && twoCharSymbols[l.src[l.pos:l.pos+2]] {
+		sym := l.src[l.pos : l.pos+2]
+		if sym == "!=" {
+			sym = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '+', '-', '*', '/', '<', '>', '=', '.', ';':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, start)
+	}
+}

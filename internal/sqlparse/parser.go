@@ -1,0 +1,647 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, got %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	// Select list.
+	for {
+		if p.accept(tokSymbol, "*") {
+			stmt.Select = append(stmt.Select, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				t, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.As = t.text
+			} else if p.at(tokIdent, "") {
+				item.As = p.next().text
+			}
+			stmt.Select = append(stmt.Select, item)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	// FROM.
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	// JOIN clauses.
+	for {
+		kind := ""
+		switch {
+		case p.accept(tokKeyword, "INNER"):
+			kind = "INNER"
+		case p.accept(tokKeyword, "LEFT"):
+			p.accept(tokKeyword, "OUTER")
+			kind = "LEFT"
+		case p.at(tokKeyword, "JOIN"):
+			kind = "INNER"
+		}
+		if kind == "" || !p.accept(tokKeyword, "JOIN") {
+			if kind != "" {
+				return nil, p.errf("expected JOIN")
+			}
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Kind: kind, Table: tr, On: on})
+	}
+	// WHERE.
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	// GROUP BY.
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	// HAVING.
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	// Set operations bind before ORDER BY/LIMIT (which apply to the whole).
+	if p.at(tokKeyword, "UNION") || p.at(tokKeyword, "INTERSECT") || p.at(tokKeyword, "MINUS") {
+		op := p.next().text
+		if op == "UNION" && p.accept(tokKeyword, "ALL") {
+			op = "UNION ALL"
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.SetOp = op
+		stmt.SetRight = right
+		return stmt, nil
+	}
+	// ORDER BY.
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				it.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, it)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	// LIMIT.
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = k
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: t.text, Alias: t.text}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+// Predicates: OR over AND over NOT over atoms.
+
+func (p *parser) parsePred() (AstPred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	preds := []AstPred{left}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, r)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return &OrP{Preds: preds}, nil
+}
+
+func (p *parser) parseAnd() (AstPred, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	preds := []AstPred{left}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, r)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return &AndP{Preds: preds}, nil
+}
+
+func (p *parser) parseNot() (AstPred, error) {
+	if p.accept(tokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotP{P: inner}, nil
+	}
+	return p.parsePredAtom()
+}
+
+func (p *parser) parsePredAtom() (AstPred, error) {
+	// Parenthesized predicate: try it, backtracking to expression parsing
+	// if the contents turn out to be an expression.
+	if p.at(tokSymbol, "(") {
+		save := p.pos
+		p.pos++
+		inner, err := p.parsePred()
+		if err == nil && p.accept(tokSymbol, ")") {
+			// It parsed as a predicate; but `(expr) op expr` also reaches
+			// here when expr is comparison-shaped. Check nothing
+			// comparison-like follows.
+			if !p.atCmpSymbol() {
+				return inner, nil
+			}
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// e BETWEEN lo AND hi
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenP{E: e, Lo: lo, Hi: hi}, nil
+	}
+	// e [NOT] IN / LIKE
+	neg := false
+	if p.at(tokKeyword, "NOT") && (p.toks[p.pos+1].text == "IN" || p.toks[p.pos+1].text == "LIKE") {
+		p.pos++
+		neg = true
+	}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.at(tokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &InP{E: e, Sub: sub, Not: neg}, nil
+		}
+		var list []AstExpr
+		for {
+			item, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InP{E: e, List: list, Not: neg}, nil
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeP{E: e, Pattern: t.text, Not: neg}, nil
+	}
+	// e op e
+	if !p.atCmpSymbol() {
+		return nil, p.errf("expected comparison, got %q", p.cur().text)
+	}
+	op := p.next().text
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpPred{Op: op, L: e, R: r}, nil
+}
+
+func (p *parser) atCmpSymbol() bool {
+	if p.cur().kind != tokSymbol {
+		return false
+	}
+	switch p.cur().text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// Expressions: additive over multiplicative over unary over atoms.
+
+func (p *parser) parseExpr() (AstExpr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.next().text
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		// Date interval arithmetic folds at parse time.
+		if d, ok := left.(*DateLit); ok {
+			if iv, ok2 := r.(*intervalLit); ok2 {
+				left = &DateLit{Days: applyInterval(d.Days, iv, op)}
+				continue
+			}
+		}
+		left = &BinExpr{Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (AstExpr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (AstExpr, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(*NumLit); ok {
+			return &NumLit{Text: "-" + n.Text}, nil
+		}
+		return &BinExpr{Op: "-", L: &NumLit{Text: "0"}, R: e}, nil
+	}
+	return p.parseAtom()
+}
+
+// intervalLit is parse-time only: INTERVAL 'n' MONTH etc.
+type intervalLit struct {
+	n    int
+	unit string
+}
+
+func (*intervalLit) astExpr() {}
+
+func (p *parser) parseAtom() (AstExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return &NumLit{Text: t.text}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &StrLit{Val: t.text}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		p.pos++
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		d, err := time.Parse("2006-01-02", s.text)
+		if err != nil {
+			return nil, p.errf("bad date literal %q", s.text)
+		}
+		return &DateLit{Days: int64(d.Unix() / 86400)}, nil
+	case t.kind == tokKeyword && t.text == "INTERVAL":
+		p.pos++
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(s.text)
+		if err != nil {
+			return nil, p.errf("bad interval %q", s.text)
+		}
+		unitTok := p.next()
+		// YEAR/MONTH/DAY are contextual (not reserved — columns may be
+		// named "day").
+		switch strings.ToUpper(unitTok.text) {
+		case "YEAR", "MONTH", "DAY":
+			return &intervalLit{n: n, unit: strings.ToUpper(unitTok.text)}, nil
+		}
+		return nil, p.errf("bad interval unit %q", unitTok.text)
+	case t.kind == tokKeyword && t.text == "CASE":
+		p.pos++
+		if _, err := p.expect(tokKeyword, "WHEN"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var els AstExpr = &NumLit{Text: "0"}
+		if p.accept(tokKeyword, "ELSE") {
+			els, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "END"); err != nil {
+			return nil, err
+		}
+		return &CaseExpr{Cond: cond, Then: then, Else: els}, nil
+	case t.kind == tokKeyword && (t.text == "SUM" || t.text == "AVG" || t.text == "MIN" || t.text == "MAX" || t.text == "COUNT"):
+		p.pos++
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if t.text == "COUNT" && p.accept(tokSymbol, "*") {
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &FuncExpr{Name: "COUNT", Star: true}, nil
+		}
+		p.accept(tokKeyword, "DISTINCT") // accepted, treated as plain
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		f := &FuncExpr{Name: t.text, Arg: arg}
+		if p.at(tokKeyword, "OVER") {
+			over, err := p.parseOver()
+			if err != nil {
+				return nil, err
+			}
+			f.Over = over
+		}
+		return f, nil
+	case t.kind == tokIdent:
+		p.pos++
+		// Window ranking functions parse as identifiers: row_number() OVER.
+		if (t.text == "row_number" || t.text == "rank" || t.text == "dense_rank") && p.at(tokSymbol, "(") {
+			p.pos++
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			over, err := p.parseOver()
+			if err != nil {
+				return nil, err
+			}
+			return &FuncExpr{Name: strings.ToUpper(t.text), Over: over}, nil
+		}
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColName{Table: t.text, Name: col.text}, nil
+		}
+		return &ColName{Name: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+// parseOver parses OVER ( [PARTITION BY cols] [ORDER BY items] ).
+func (p *parser) parseOver() (*OverClause, error) {
+	if _, err := p.expect(tokKeyword, "OVER"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	over := &OverClause{}
+	if p.accept(tokKeyword, "PARTITION") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			over.PartitionBy = append(over.PartitionBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				it.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			over.OrderBy = append(over.OrderBy, it)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return over, nil
+}
+
+func applyInterval(days int64, iv *intervalLit, op string) int64 {
+	t := time.Unix(days*86400, 0).UTC()
+	n := iv.n
+	if op == "-" {
+		n = -n
+	}
+	switch iv.unit {
+	case "YEAR":
+		t = t.AddDate(n, 0, 0)
+	case "MONTH":
+		t = t.AddDate(0, n, 0)
+	case "DAY":
+		t = t.AddDate(0, 0, n)
+	}
+	return t.Unix() / 86400
+}

@@ -1,0 +1,81 @@
+package sqlparse
+
+// walkStmtCols visits every column reference in the statement (including
+// subqueries' outer references are out of scope — subqueries get their own
+// binding pass). Used for scan column pruning.
+func walkStmtCols(stmt *SelectStmt, visit func(*ColName)) {
+	var walkE func(AstExpr)
+	walkE = func(e AstExpr) {
+		switch ex := e.(type) {
+		case *ColName:
+			visit(ex)
+		case *BinExpr:
+			walkE(ex.L)
+			walkE(ex.R)
+		case *CaseExpr:
+			walkE(ex.Then)
+			walkE(ex.Else)
+			walkPredCols(ex.Cond, walkE)
+		case *FuncExpr:
+			if ex.Arg != nil {
+				walkE(ex.Arg)
+			}
+			if ex.Over != nil {
+				for _, p := range ex.Over.PartitionBy {
+					walkE(p)
+				}
+				for _, o := range ex.Over.OrderBy {
+					walkE(o.Expr)
+				}
+			}
+		}
+	}
+	for _, item := range stmt.Select {
+		if !item.Star {
+			walkE(item.Expr)
+		}
+	}
+	walkPredCols(stmt.Where, walkE)
+	for _, j := range stmt.Joins {
+		walkPredCols(j.On, walkE)
+	}
+	for _, g := range stmt.GroupBy {
+		walkE(g)
+	}
+	walkPredCols(stmt.Having, walkE)
+	for _, o := range stmt.OrderBy {
+		walkE(o.Expr)
+	}
+}
+
+func walkPredCols(p AstPred, walkE func(AstExpr)) {
+	if p == nil {
+		return
+	}
+	switch pr := p.(type) {
+	case *CmpPred:
+		walkE(pr.L)
+		walkE(pr.R)
+	case *BetweenP:
+		walkE(pr.E)
+		walkE(pr.Lo)
+		walkE(pr.Hi)
+	case *InP:
+		walkE(pr.E)
+		for _, i := range pr.List {
+			walkE(i)
+		}
+	case *LikeP:
+		walkE(pr.E)
+	case *AndP:
+		for _, s := range pr.Preds {
+			walkPredCols(s, walkE)
+		}
+	case *OrP:
+		for _, s := range pr.Preds {
+			walkPredCols(s, walkE)
+		}
+	case *NotP:
+		walkPredCols(pr.P, walkE)
+	}
+}

@@ -1,0 +1,88 @@
+package storage
+
+// Table statistics (paper §3.4: "the RAPID metadata holds ... table
+// statistics"). The RAPID QComp cost model and the partition-scheme
+// optimizer consume these; the host database is the source on real systems,
+// here they are computed at load time.
+
+// ColStats summarizes one column.
+type ColStats struct {
+	Min, Max int64 // encoded domain bounds
+	NDV      int64 // number of distinct values (exact up to ndvExactLimit)
+	Exact    bool  // NDV is exact
+}
+
+// TableStats summarizes a table.
+type TableStats struct {
+	Rows int64
+	Cols []ColStats
+}
+
+// ndvExactLimit caps the exact distinct-count tracking per column.
+const ndvExactLimit = 1 << 21
+
+// statsBuilder accumulates statistics during load.
+type statsBuilder struct {
+	rows int64
+	cols []colStatsBuilder
+}
+
+type colStatsBuilder struct {
+	min, max int64
+	seen     map[int64]struct{}
+	approx   bool
+	any      bool
+}
+
+func newStatsBuilder(numCols int) *statsBuilder {
+	sb := &statsBuilder{cols: make([]colStatsBuilder, numCols)}
+	for i := range sb.cols {
+		sb.cols[i].seen = make(map[int64]struct{})
+	}
+	return sb
+}
+
+func (sb *statsBuilder) addRow(encoded []int64) {
+	sb.rows++
+	for i, v := range encoded {
+		c := &sb.cols[i]
+		if !c.any {
+			c.min, c.max, c.any = v, v, true
+		} else {
+			if v < c.min {
+				c.min = v
+			}
+			if v > c.max {
+				c.max = v
+			}
+		}
+		if !c.approx {
+			c.seen[v] = struct{}{}
+			if len(c.seen) > ndvExactLimit {
+				c.approx = true
+				c.seen = nil
+			}
+		}
+	}
+}
+
+func (sb *statsBuilder) build() *TableStats {
+	ts := &TableStats{Rows: sb.rows, Cols: make([]ColStats, len(sb.cols))}
+	for i := range sb.cols {
+		c := &sb.cols[i]
+		cs := ColStats{Min: c.min, Max: c.max}
+		if c.approx {
+			// Conservative estimate: domain-width bounded by row count.
+			cs.NDV = sb.rows
+			if width := c.max - c.min + 1; width > 0 && width < cs.NDV {
+				cs.NDV = width
+			}
+			cs.Exact = false
+		} else {
+			cs.NDV = int64(len(c.seen))
+			cs.Exact = true
+		}
+		ts.Cols[i] = cs
+	}
+	return ts
+}

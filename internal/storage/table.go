@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/encoding"
+)
+
+// ColumnMeta is the physical encoding chosen for one table column — the
+// per-column entry of the RAPID metadata (§3.4).
+type ColumnMeta struct {
+	Def   ColumnDef
+	Width coltypes.Width
+	Scale int8           // DSB common scale (KindDecimal)
+	Dict  *encoding.Dict // shared dictionary (KindString)
+	RLE   bool           // chunks stored RLE-compressed where worthwhile
+}
+
+// Table is a loaded base relation: schema, physical metadata, horizontally
+// partitioned columnar data, statistics and the SCN/update state of §3.3
+// and §4.3.
+type Table struct {
+	name   string
+	schema *Schema
+	meta   []ColumnMeta
+	parts  []*Partition
+	stats  *TableStats
+
+	mu      sync.RWMutex
+	baseSCN uint64 // SCN up to which changes are merged into base data
+	currSCN uint64 // SCN of the newest applied update unit
+	tracker *Tracker
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Meta returns the physical metadata of column i.
+func (t *Table) Meta(i int) ColumnMeta { return t.meta[i] }
+
+// Stats returns the load-time statistics.
+func (t *Table) Stats() *TableStats { return t.stats }
+
+// NumPartitions returns the partition count.
+func (t *Table) NumPartitions() int { return len(t.parts) }
+
+// Partition returns partition i.
+func (t *Table) Partition(i int) *Partition { return t.parts[i] }
+
+// Rows returns the base row count (excluding unmerged update units).
+func (t *Table) Rows() int {
+	n := 0
+	for _, p := range t.parts {
+		n += p.Rows()
+	}
+	return n
+}
+
+// SCN returns the newest change SCN applied to this table in RAPID. A query
+// is admissible only if every journal entry up to the query's SCN has been
+// propagated (paper §3.3); the host database compares against this value.
+func (t *Table) SCN() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.currSCN
+}
+
+// Tracker returns the update tracker.
+func (t *Table) Tracker() *Tracker {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tracker
+}
+
+// EncodeValue encodes a logical value into the physical representation of
+// column c, returning the encoded integer and, for decimals that do not fit
+// the common scale, the exact exception value.
+func (t *Table) EncodeValue(c int, v Value) (int64, *encoding.Decimal, error) {
+	m := &t.meta[c]
+	want := m.Def.Type.Kind
+	if v.Kind != want {
+		return 0, nil, fmt.Errorf("storage: column %s expects %v, got %v", m.Def.Name, want, v.Kind)
+	}
+	switch want {
+	case coltypes.KindString:
+		return int64(m.Dict.Add(v.Str)), nil, nil
+	case coltypes.KindDecimal:
+		if u, ok := v.Dec.Rescale(m.Scale); ok {
+			return u, nil, nil
+		}
+		d := v.Dec
+		// Best-effort truncation keeps ordering roughly right (§4.2).
+		approx := int64(0)
+		if diff := int(d.Scale - m.Scale); diff > 0 && diff <= encoding.MaxScale {
+			approx = d.Unscaled / encoding.Pow10(diff)
+		}
+		return approx, &d, nil
+	default:
+		return v.Int, nil, nil
+	}
+}
+
+// DecodeValue renders the encoded integer of column c back to a logical
+// value.
+func (t *Table) DecodeValue(c int, enc int64) Value {
+	m := &t.meta[c]
+	switch m.Def.Type.Kind {
+	case coltypes.KindString:
+		return StrValue(m.Dict.Value(int32(enc)))
+	case coltypes.KindDecimal:
+		return DecValue(encoding.Decimal{Unscaled: enc, Scale: m.Scale})
+	case coltypes.KindDate:
+		return Value{Kind: coltypes.KindDate, Int: enc}
+	case coltypes.KindBool:
+		return BoolValue(enc != 0)
+	default:
+		return IntValue(enc)
+	}
+}
+
+// StoredBytes returns the total columnar storage footprint.
+func (t *Table) StoredBytes() int {
+	n := 0
+	for _, p := range t.parts {
+		for _, ch := range p.chunks {
+			for _, v := range ch.cols {
+				n += v.StoredBytes()
+			}
+		}
+	}
+	return n
+}

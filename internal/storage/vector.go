@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"rapid/internal/coltypes"
+	"rapid/internal/encoding"
+)
+
+// VectorSizeBytes is the sweet-spot vector size of the RAPID DPU: 16 KiB
+// enables double buffering and DMS/compute overlap (paper §4.1).
+const VectorSizeBytes = 16 * 1024
+
+// DefaultChunkRows is the default number of rows per chunk: a 4-byte column
+// vector of a chunk is then exactly the 16 KiB sweet spot.
+const DefaultChunkRows = VectorSizeBytes / 4
+
+// Vector is one column of one chunk: a flat fixed-width array, optionally
+// held RLE-compressed, with a DSB exception table for values that do not fit
+// the column's common scale (paper §4.2).
+type Vector struct {
+	flat       coltypes.Data
+	rle        *encoding.RLE
+	exceptions map[int]encoding.Decimal // row-in-chunk -> exact value
+}
+
+// NewVector wraps flat column data.
+func NewVector(d coltypes.Data) *Vector { return &Vector{flat: d} }
+
+// NewRLEVector wraps RLE-compressed data.
+func NewRLEVector(r *encoding.RLE) *Vector { return &Vector{rle: r} }
+
+// Len returns the row count.
+func (v *Vector) Len() int {
+	if v.rle != nil {
+		return v.rle.Len()
+	}
+	return v.flat.Len()
+}
+
+// Width returns the physical element width.
+func (v *Vector) Width() coltypes.Width {
+	if v.rle != nil {
+		return v.rle.Width
+	}
+	return v.flat.Width()
+}
+
+// Compressed reports whether the vector is stored RLE.
+func (v *Vector) Compressed() bool { return v.rle != nil }
+
+// Data returns the decoded flat data. For RLE vectors this decodes into a
+// fresh buffer each call (scans decode into DMEM on the DPU).
+func (v *Vector) Data() coltypes.Data {
+	if v.rle != nil {
+		return v.rle.Decode()
+	}
+	return v.flat
+}
+
+// SetExceptions installs the DSB exception table.
+func (v *Vector) SetExceptions(ex map[int]encoding.Decimal) { v.exceptions = ex }
+
+// Exception returns the exact decimal for a row, if the row is an exception.
+func (v *Vector) Exception(row int) (encoding.Decimal, bool) {
+	d, ok := v.exceptions[row]
+	return d, ok
+}
+
+// HasExceptions reports whether the vector carries any exception values.
+func (v *Vector) HasExceptions() bool { return len(v.exceptions) > 0 }
+
+// StoredBytes returns the storage footprint of the vector.
+func (v *Vector) StoredBytes() int {
+	if v.rle != nil {
+		return v.rle.SizeBytes()
+	}
+	return v.flat.SizeBytes()
+}
+
+// Chunk is a horizontal slice of a partition: one Vector per table column.
+type Chunk struct {
+	rows int
+	cols []*Vector
+}
+
+// NewChunk builds a chunk from per-column vectors, all of the same length.
+func NewChunk(cols []*Vector) *Chunk {
+	rows := 0
+	if len(cols) > 0 {
+		rows = cols[0].Len()
+		for i, c := range cols {
+			if c.Len() != rows {
+				panic("storage: ragged chunk")
+			}
+			_ = i
+		}
+	}
+	return &Chunk{rows: rows, cols: cols}
+}
+
+// Rows returns the chunk row count.
+func (c *Chunk) Rows() int { return c.rows }
+
+// NumCols returns the column count.
+func (c *Chunk) NumCols() int { return len(c.cols) }
+
+// Col returns column i of the chunk.
+func (c *Chunk) Col(i int) *Vector { return c.cols[i] }
+
+// Partition is a horizontal partition of a table: an ordered list of chunks.
+type Partition struct {
+	chunks []*Chunk
+}
+
+// NumChunks returns the chunk count.
+func (p *Partition) NumChunks() int { return len(p.chunks) }
+
+// Chunk returns chunk i.
+func (p *Partition) Chunk(i int) *Chunk { return p.chunks[i] }
+
+// Rows returns the partition row count.
+func (p *Partition) Rows() int {
+	n := 0
+	for _, c := range p.chunks {
+		n += c.rows
+	}
+	return n
+}
+
+// AppendChunk adds a chunk to the partition.
+func (p *Partition) AppendChunk(c *Chunk) { p.chunks = append(p.chunks, c) }

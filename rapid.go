@@ -1,0 +1,279 @@
+// Package rapid is a Go reproduction of RAPID, the in-memory analytical
+// query processing engine of Balkesen et al., SIGMOD 2018 ("RAPID:
+// In-Memory Analytical Query Processing Engine with Extreme Performance per
+// Watt").
+//
+// The package exposes the full system: a host RDBMS ("System X") holding
+// the source-of-truth row data, and the RAPID columnar engine that
+// analytical queries are offloaded to. The RAPID engine runs either as a
+// cycle-accounted simulation of the paper's 32-core DPU (EngineRapidDPU) or
+// natively as fast vectorized Go (EngineRapidX86 — the paper's
+// software-only configuration).
+//
+// Quick start:
+//
+//	db := rapid.Open()
+//	db.CreateTable("t", rapid.IntCol("id"), rapid.DecimalCol("amount", 2))
+//	db.Insert("t", [][]rapid.Value{{rapid.Int(1), rapid.Decimal("9.99")}})
+//	db.Load("t") // build the RAPID replica
+//	res, err := db.Query(`SELECT SUM(amount) FROM t`)
+package rapid
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/encoding"
+	"rapid/internal/hostdb"
+	"rapid/internal/qef"
+	"rapid/internal/storage"
+)
+
+// Value is a logical cell value.
+type Value = storage.Value
+
+// Value constructors.
+
+// Int builds an integer value.
+func Int(v int64) Value { return storage.IntValue(v) }
+
+// Decimal parses a decimal literal ("12.34"); it panics on malformed input
+// (use ParseDecimal for error handling).
+func Decimal(s string) Value { return storage.DecString(s) }
+
+// ParseDecimal parses a decimal literal.
+func ParseDecimal(s string) (Value, error) {
+	d, err := encoding.ParseDecimal(s)
+	if err != nil {
+		return Value{}, err
+	}
+	return storage.DecValue(d), nil
+}
+
+// String builds a string value.
+func String(s string) Value { return storage.StrValue(s) }
+
+// Date builds a date value from year, month, day.
+func Date(y, m, d int) Value { return storage.DateValue(y, m, d) }
+
+// ParseDate parses "YYYY-MM-DD".
+func ParseDate(s string) (Value, error) { return storage.ParseDate(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return storage.BoolValue(b) }
+
+// Column declares a table column.
+type Column = storage.ColumnDef
+
+// Column constructors.
+
+// IntCol declares a 64-bit integer column.
+func IntCol(name string) Column { return Column{Name: name, Type: coltypes.Int()} }
+
+// DecimalCol declares a fixed-point decimal column with the given scale
+// (digits after the point); stored DSB-encoded (paper §4.2).
+func DecimalCol(name string, scale int) Column {
+	return Column{Name: name, Type: coltypes.Decimal(int8(scale))}
+}
+
+// DateCol declares a date column (stored as day numbers).
+func DateCol(name string) Column { return Column{Name: name, Type: coltypes.Date()} }
+
+// StringCol declares a dictionary-encoded string column.
+func StringCol(name string) Column { return Column{Name: name, Type: coltypes.String()} }
+
+// BoolCol declares a boolean column.
+func BoolCol(name string) Column { return Column{Name: name, Type: coltypes.Bool()} }
+
+// Engine selects where a query executes.
+type Engine int
+
+const (
+	// EngineAuto uses the cost-based offload decision (paper §3.1).
+	EngineAuto Engine = iota
+	// EngineHost forces the System X row engine.
+	EngineHost
+	// EngineRapidDPU forces RAPID on the simulated DPU (cycle-accounted).
+	EngineRapidDPU
+	// EngineRapidX86 forces RAPID's software-only native execution.
+	EngineRapidX86
+)
+
+// Options tunes query execution.
+type Options struct {
+	Engine Engine
+	// FailOnInadmissible errors instead of falling back when pending
+	// changes have not been propagated to RAPID (paper §3.3).
+	FailOnInadmissible bool
+}
+
+// DB is a RAPID-accelerated database: the System X host plus loaded RAPID
+// replicas.
+type DB struct {
+	host *hostdb.Database
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{host: hostdb.New()} }
+
+// Host exposes the underlying host database (advanced use).
+func (db *DB) Host() *hostdb.Database { return db.host }
+
+// CreateTable registers a table.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	schema, err := storage.NewSchema(cols...)
+	if err != nil {
+		return err
+	}
+	_, err = db.host.CreateTable(name, schema)
+	return err
+}
+
+// Insert appends rows to a table. Changes are journaled for RAPID
+// propagation when the table is loaded.
+func (db *DB) Insert(table string, rows [][]Value) error {
+	_, err := db.host.Insert(table, rows)
+	return err
+}
+
+// Update changes a single cell by host row index.
+func (db *DB) Update(table string, row, col int, val Value) error {
+	_, err := db.host.Update(table, row, col, val)
+	return err
+}
+
+// Delete removes a row by host row index.
+func (db *DB) Delete(table string, row int) error {
+	_, err := db.host.Delete(table, row)
+	return err
+}
+
+// Load builds the RAPID columnar replica of a table (the LOAD command of
+// paper §4.4). Queries can only offload fragments whose tables are loaded.
+func (db *DB) Load(table string) error {
+	_, err := db.host.Load(table, hostdb.LoadOptions{ScanThreads: 4})
+	return err
+}
+
+// Checkpoint propagates pending changes of a table to its RAPID replica.
+func (db *DB) Checkpoint(table string) error { return db.host.Checkpoint(table) }
+
+// StartBackgroundCheckpointer launches periodic change propagation
+// (paper §3.3); stop it with StopBackgroundCheckpointer.
+func (db *DB) StartBackgroundCheckpointer(interval time.Duration) {
+	db.host.StartBackgroundCheckpointer(interval)
+}
+
+// StopBackgroundCheckpointer stops background propagation.
+func (db *DB) StopBackgroundCheckpointer() { db.host.StopBackgroundCheckpointer() }
+
+// Query runs a SQL query with the default (cost-based) engine choice.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryWith(sql, Options{})
+}
+
+// QueryWith runs a SQL query with explicit options.
+func (db *DB) QueryWith(sql string, opts Options) (*Result, error) {
+	qo := hostdb.QueryOptions{
+		FailOnInadmissible: opts.FailOnInadmissible,
+		RapidMode:          qef.ModeDPU,
+	}
+	switch opts.Engine {
+	case EngineHost:
+		qo.Mode = hostdb.ForceHost
+	case EngineRapidDPU:
+		qo.Mode = hostdb.ForceOffload
+		qo.RapidMode = qef.ModeDPU
+	case EngineRapidX86:
+		qo.Mode = hostdb.ForceOffload
+		qo.RapidMode = qef.ModeX86
+	default:
+		qo.Mode = hostdb.CostBased
+		qo.RapidMode = qef.ModeX86
+	}
+	r, err := db.host.Query(sql, qo)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{r: r}, nil
+}
+
+// Result is a query result.
+type Result struct {
+	r *hostdb.QueryResult
+}
+
+// Rows returns the result row count.
+func (r *Result) Rows() int { return r.r.Rel.Rows() }
+
+// NumCols returns the column count.
+func (r *Result) NumCols() int { return r.r.Rel.NumCols() }
+
+// ColumnNames returns the output column names.
+func (r *Result) ColumnNames() []string {
+	names := make([]string, r.NumCols())
+	for i := range names {
+		names[i] = r.r.Rel.Cols[i].Name
+	}
+	return names
+}
+
+// Get renders cell (row, col) as a string.
+func (r *Result) Get(row, col int) string { return r.r.Rel.Render(row, col) }
+
+// GetInt returns the raw encoded integer of cell (row, col).
+func (r *Result) GetInt(row, col int) int64 { return r.r.Rel.Cols[col].Data.Get(row) }
+
+// Offloaded reports whether the query ran on RAPID.
+func (r *Result) Offloaded() bool { return r.r.Offloaded }
+
+// FellBack reports whether RAPID execution was attempted but fell back to
+// the host engine.
+func (r *Result) FellBack() bool { return r.r.FellBack }
+
+// RapidFraction returns the share of elapsed time spent inside RAPID
+// (the Fig 15 metric).
+func (r *Result) RapidFraction() float64 { return r.r.RapidFraction() }
+
+// SimulatedSeconds returns the DPU-simulated execution time (EngineRapidDPU
+// only; 0 otherwise).
+func (r *Result) SimulatedSeconds() float64 { return r.r.RapidSimSeconds }
+
+// Explain returns the bound logical plan.
+func (r *Result) Explain() string { return r.r.Explain }
+
+// Table renders the whole result as an aligned text table.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	names := r.ColumnNames()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, r.Rows())
+	for i := 0; i < r.Rows(); i++ {
+		cells[i] = make([]string, len(names))
+		for c := range names {
+			cells[i][c] = r.Get(i, c)
+			if len(cells[i][c]) > widths[c] {
+				widths[c] = len(cells[i][c])
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for c, v := range vals {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[c], v)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(names)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return sb.String()
+}

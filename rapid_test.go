@@ -1,0 +1,186 @@
+package rapid
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func exampleDB(t testing.TB) *DB {
+	t.Helper()
+	db := Open()
+	err := db.CreateTable("sales",
+		IntCol("id"),
+		StringCol("region"),
+		DateCol("day"),
+		DecimalCol("amount", 2),
+		BoolCol("online"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"north", "south", "east", "west"}
+	var rows [][]Value
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []Value{
+			Int(int64(i)),
+			String(regions[i%4]),
+			Date(2023, 1+(i%12), 1+(i%28)),
+			Decimal(fmt.Sprintf("%d.%02d", i%500, i%100)),
+			Bool(i%2 == 0),
+		})
+	}
+	if err := db.Insert("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("sales"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := exampleDB(t)
+	for _, engine := range []Engine{EngineAuto, EngineHost, EngineRapidDPU, EngineRapidX86} {
+		res, err := db.QueryWith(`
+			SELECT region, COUNT(*) AS n, SUM(amount) AS total
+			FROM sales WHERE day >= DATE '2023-06-01'
+			GROUP BY region ORDER BY region`, Options{Engine: engine})
+		if err != nil {
+			t.Fatalf("engine %d: %v", engine, err)
+		}
+		if res.Rows() != 4 {
+			t.Fatalf("engine %d: rows = %d", engine, res.Rows())
+		}
+		if res.Get(0, 0) != "east" { // lexicographic region order
+			t.Fatalf("engine %d: first region = %s", engine, res.Get(0, 0))
+		}
+		if engine == EngineHost && res.Offloaded() {
+			t.Fatal("EngineHost must not offload")
+		}
+		if engine == EngineRapidDPU {
+			if !res.Offloaded() {
+				t.Fatal("EngineRapidDPU must offload")
+			}
+			if res.SimulatedSeconds() <= 0 {
+				t.Fatal("DPU engine must report simulated time")
+			}
+		}
+	}
+}
+
+func TestPublicAPIValues(t *testing.T) {
+	// Decimals normalize trailing zeros at parse time.
+	if Int(5).String() != "5" || Decimal("1.50").String() != "1.5" {
+		t.Fatal("value render")
+	}
+	if String("x").Str != "x" || !Bool(true).Equal(Bool(true)) {
+		t.Fatal("value basics")
+	}
+	d, err := ParseDate("2024-02-29")
+	if err != nil || d.String() != "2024-02-29" {
+		t.Fatalf("ParseDate: %v %s", err, d)
+	}
+	if _, err := ParseDate("nope"); err == nil {
+		t.Fatal("bad date must fail")
+	}
+	v, err := ParseDecimal("3.14")
+	if err != nil || v.String() != "3.14" {
+		t.Fatal("ParseDecimal")
+	}
+	if _, err := ParseDecimal("x"); err == nil {
+		t.Fatal("bad decimal must fail")
+	}
+}
+
+func TestPublicAPIUpdatesAndCheckpoint(t *testing.T) {
+	db := exampleDB(t)
+	if err := db.Insert("sales", [][]Value{{
+		Int(99999), String("north"), Date(2023, 12, 31), Decimal("1000.00"), Bool(false),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Inadmissible offload falls back transparently...
+	res, err := db.QueryWith(`SELECT COUNT(*) FROM sales`, Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack() || res.GetInt(0, 0) != 2001 {
+		t.Fatalf("fallback: fellback=%v count=%d", res.FellBack(), res.GetInt(0, 0))
+	}
+	// ...or fails when asked to.
+	if _, err := db.QueryWith(`SELECT COUNT(*) FROM sales`,
+		Options{Engine: EngineRapidX86, FailOnInadmissible: true}); err == nil {
+		t.Fatal("expected admissibility error")
+	}
+	// Checkpoint, then offload sees the row.
+	if err := db.Checkpoint("sales"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := db.QueryWith(`SELECT COUNT(*) FROM sales`, Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Offloaded() || res2.GetInt(0, 0) != 2001 {
+		t.Fatal("post-checkpoint offload broken")
+	}
+	// Update and delete flow through too.
+	if err := db.Update("sales", 0, 3, Decimal("9.99")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("sales", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint("sales"); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := db.QueryWith(`SELECT COUNT(*) FROM sales`, Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.GetInt(0, 0) != 2000 {
+		t.Fatalf("after delete: %d", res3.GetInt(0, 0))
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.QueryWith(`SELECT region, COUNT(*) AS n FROM sales GROUP BY region ORDER BY region LIMIT 2`,
+		Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.ColumnNames()
+	if len(names) != 2 || names[0] != "region" || names[1] != "n" {
+		t.Fatalf("names = %v", names)
+	}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "region") || !strings.Contains(tbl, "east") {
+		t.Fatalf("table render:\n%s", tbl)
+	}
+	if res.Explain() == "" {
+		t.Fatal("explain empty")
+	}
+	if res.RapidFraction() <= 0 {
+		t.Fatal("rapid fraction")
+	}
+	if res.NumCols() != 2 {
+		t.Fatal("NumCols")
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("bad", IntCol("a"), IntCol("a")); err == nil {
+		t.Fatal("duplicate column must fail")
+	}
+	if err := db.Insert("missing", nil); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	if err := db.Load("missing"); err == nil {
+		t.Fatal("load missing must fail")
+	}
+	if _, err := db.Query("SELECT 1 FROM nowhere"); err == nil {
+		t.Fatal("query on missing table must fail")
+	}
+}
