@@ -1,0 +1,78 @@
+// rapid-fuzz is the standalone soak driver for the qgen differential and
+// metamorphic harness: it generates seeded random schemas, data and SQL,
+// executes every query on the hostdb row interpreter, RAPID ModeX86, RAPID
+// ModeDPU and an alternate partitioned/RLE layout, and stops (or keeps
+// counting with -keep-going) on the first mismatch, printing a replayable
+// minimized reproducer.
+//
+// Usage:
+//
+//	rapid-fuzz [-n 10000] [-seed 1] [-keep-going] [-quiet]
+//
+// Any failure is replayable with:
+//
+//	go test ./internal/qgen -run Differential -qgen.seed=<seed>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rapid/internal/qgen"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of generated queries to check")
+	seed := flag.Int64("seed", 1, "master seed; fixed seed = identical run")
+	keepGoing := flag.Bool("keep-going", false, "report every mismatch instead of stopping at the first")
+	quiet := flag.Bool("quiet", false, "suppress the periodic progress line")
+	flag.Parse()
+
+	const perScenario = 20
+	start := time.Now()
+	executed, rejected, failures := 0, 0, 0
+
+	report := func(m *qgen.Mismatch, r *qgen.Runner) {
+		m.Minimized = r.Minimize(m.SQL)
+		fmt.Println(m.Reproducer())
+		failures++
+		if !*keepGoing {
+			os.Exit(1)
+		}
+	}
+
+	for scen := 0; executed < *n; scen++ {
+		g := qgen.New(*seed + int64(scen)*1_000_003)
+		r, err := qgen.NewRunner(g.NewScenario())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %d: %v\n", scen, err)
+			os.Exit(2)
+		}
+		for i := 0; i < perScenario && executed < *n; i++ {
+			q := g.NextQuery()
+			if m := r.Check(q); m != nil {
+				report(m, r)
+			}
+			if m := r.CheckTLP(q); m != nil {
+				report(m, r)
+			}
+			if m := r.CheckTautology(q); m != nil {
+				report(m, r)
+			}
+			executed++
+		}
+		rejected += r.Rejected
+		if !*quiet && scen%50 == 49 {
+			fmt.Printf("%8d queries, %d scenarios, %d rejected, %d failures, %.1fs\n",
+				executed, scen+1, rejected, failures, time.Since(start).Seconds())
+		}
+	}
+
+	fmt.Printf("done: %d queries checked (%d rejected consistently, %d failures) in %.1fs\n",
+		executed, rejected, failures, time.Since(start).Seconds())
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

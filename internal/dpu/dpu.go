@@ -14,6 +14,7 @@ package dpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rapid/internal/mem"
 )
@@ -78,16 +79,18 @@ func (c Config) CyclesPerSecond() float64 { return c.FreqHz }
 
 // Core is one dpCore: an ID, its macro, its private DMEM and a cycle
 // counter. A Core is owned by a single goroutine at a time (the actor model
-// of the QEF guarantees this), so it needs no internal locking.
+// of the QEF guarantees this), but the counters are atomic so that
+// cross-core observers — the ATE router charging on message delivery, the
+// bench harness reading makespans mid-run — always see consistent values.
 type Core struct {
 	id    int
 	macro int
 	dmem  *mem.DMEM
 
-	cycles Cycles
+	cycles atomic.Int64
 	// Pipeline statistics for the vectorization experiments (Fig 13).
-	branchMisses int64
-	instructions int64
+	branchMisses atomic.Int64
+	instructions atomic.Int64
 }
 
 // ID returns the core index within the SoC.
@@ -104,33 +107,33 @@ func (co *Core) Charge(cy Cycles) {
 	if cy < 0 {
 		panic("dpu: negative cycle charge")
 	}
-	co.cycles += cy
+	co.cycles.Add(int64(cy))
 }
 
 // ChargeBranchMiss records a mispredicted branch and its pipeline penalty.
 func (co *Core) ChargeBranchMiss(n int64) {
-	co.branchMisses += n
-	co.cycles += Cycles(n) * BranchMissPenalty
+	co.branchMisses.Add(n)
+	co.cycles.Add(n * int64(BranchMissPenalty))
 }
 
 // CountInstructions adds to the retired-instruction counter (statistics
 // only; cycle cost is charged separately).
-func (co *Core) CountInstructions(n int64) { co.instructions += n }
+func (co *Core) CountInstructions(n int64) { co.instructions.Add(n) }
 
 // Cycles returns the core's accumulated cycle count.
-func (co *Core) Cycles() Cycles { return co.cycles }
+func (co *Core) Cycles() Cycles { return Cycles(co.cycles.Load()) }
 
 // BranchMisses returns the core's accumulated branch misprediction count.
-func (co *Core) BranchMisses() int64 { return co.branchMisses }
+func (co *Core) BranchMisses() int64 { return co.branchMisses.Load() }
 
 // Instructions returns the retired-instruction count.
-func (co *Core) Instructions() int64 { return co.instructions }
+func (co *Core) Instructions() int64 { return co.instructions.Load() }
 
 // Reset zeroes the counters and the DMEM allocator.
 func (co *Core) Reset() {
-	co.cycles = 0
-	co.branchMisses = 0
-	co.instructions = 0
+	co.cycles.Store(0)
+	co.branchMisses.Store(0)
+	co.instructions.Store(0)
 	co.dmem.Reset()
 }
 
@@ -184,8 +187,8 @@ func (s *SoC) DRAM() *mem.DRAM { return s.dram }
 func (s *SoC) MaxCoreCycles() Cycles {
 	var m Cycles
 	for _, co := range s.cores {
-		if co.cycles > m {
-			m = co.cycles
+		if c := Cycles(co.cycles.Load()); c > m {
+			m = c
 		}
 	}
 	return m
@@ -195,7 +198,7 @@ func (s *SoC) MaxCoreCycles() Cycles {
 func (s *SoC) TotalCycles() Cycles {
 	var t Cycles
 	for _, co := range s.cores {
-		t += co.cycles
+		t += Cycles(co.cycles.Load())
 	}
 	return t
 }
@@ -204,7 +207,7 @@ func (s *SoC) TotalCycles() Cycles {
 func (s *SoC) TotalBranchMisses() int64 {
 	var t int64
 	for _, co := range s.cores {
-		t += co.branchMisses
+		t += co.branchMisses.Load()
 	}
 	return t
 }
@@ -213,7 +216,7 @@ func (s *SoC) TotalBranchMisses() int64 {
 func (s *SoC) TotalInstructions() int64 {
 	var t int64
 	for _, co := range s.cores {
-		t += co.instructions
+		t += co.instructions.Load()
 	}
 	return t
 }

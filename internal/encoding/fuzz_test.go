@@ -1,0 +1,88 @@
+package encoding
+
+import (
+	"testing"
+
+	"rapid/internal/coltypes"
+)
+
+// FuzzDictRLERoundTrip drives the two §4.2 encoding layers from raw bytes:
+// RLE must decode to exactly the vector it encoded at every column width,
+// and the dictionary must intern/decode consistently under interleaved adds
+// and repeated lookups.
+func FuzzDictRLERoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 1, 1, 255, 255, 0, 0, 0, 7})
+	f.Add([]byte("abca bcab cabc"))
+	f.Add([]byte{0x80, 0x7f, 0xff, 0x01, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		widths := []coltypes.Width{coltypes.W1, coltypes.W2, coltypes.W4, coltypes.W8}
+		w := widths[len(raw)%len(widths)]
+
+		// Build a vector from the bytes, sign-extended and clamped to the
+		// width's domain so Set never rejects the value.
+		d := coltypes.New(w, len(raw))
+		for i, b := range raw {
+			v := int64(int8(b)) // exercise negatives
+			if v < w.MinInt() {
+				v = w.MinInt()
+			}
+			if v > w.MaxInt() {
+				v = w.MaxInt()
+			}
+			d.Set(i, v)
+		}
+
+		r := EncodeRLE(d)
+		if r.Len() != d.Len() {
+			t.Fatalf("width %d: RLE.Len = %d, want %d", w, r.Len(), d.Len())
+		}
+		dec := r.Decode()
+		for i := 0; i < d.Len(); i++ {
+			if dec.Get(i) != d.Get(i) {
+				t.Fatalf("width %d: row %d decoded %d, want %d", w, i, dec.Get(i), d.Get(i))
+			}
+		}
+		// Run structure sanity: runs cover the rows exactly, and adjacent
+		// runs never share a value (otherwise they'd be one run).
+		total := 0
+		for i, l := range r.Lengths {
+			if l <= 0 {
+				t.Fatalf("width %d: non-positive run length %d", w, l)
+			}
+			total += int(l)
+			if i > 0 && r.Values[i] == r.Values[i-1] {
+				t.Fatalf("width %d: adjacent runs share value %d", w, r.Values[i])
+			}
+		}
+		if total != d.Len() {
+			t.Fatalf("width %d: runs cover %d rows, want %d", w, total, d.Len())
+		}
+
+		// Dictionary: intern 3-byte windows of the input, then verify every
+		// code decodes back to its string and re-adding is idempotent.
+		dict := NewDict()
+		var codes []int32
+		var strs []string
+		for i := 0; i+3 <= len(raw); i += 3 {
+			s := string(raw[i : i+3])
+			codes = append(codes, dict.Add(s))
+			strs = append(strs, s)
+		}
+		for i, c := range codes {
+			if got := dict.Value(c); got != strs[i] {
+				t.Fatalf("dict.Value(%d) = %q, want %q", c, got, strs[i])
+			}
+			if got := dict.Code(strs[i]); got != c {
+				t.Fatalf("dict.Code(%q) = %d, want %d", strs[i], got, c)
+			}
+			if again := dict.Add(strs[i]); again != c {
+				t.Fatalf("dict.Add(%q) again = %d, want stable code %d", strs[i], again, c)
+			}
+		}
+		if dict.Code("\x00never-interned\x01") != -1 {
+			t.Fatalf("dict.Code on absent string should be -1")
+		}
+	})
+}

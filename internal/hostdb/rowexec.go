@@ -221,12 +221,23 @@ func rescaleVal(v int64, from, to int8) int64 {
 	}
 }
 
+// dictVal decodes a dictionary code, rendering out-of-range codes as the
+// empty string. In the NULL-free engine a left-outer join pads unmatched
+// probe rows with code 0, which an empty build-side dictionary cannot
+// decode; the padding compares like '' everywhere.
+func dictVal(d *encoding.Dict, code int64) string {
+	if code < 0 || code >= int64(d.Len()) {
+		return ""
+	}
+	return d.Value(int32(code))
+}
+
 // strOf renders a string-typed expression's value for comparisons.
 func strOf(e plan.Expr, row []int64) (string, bool) {
 	switch ex := e.(type) {
 	case *plan.ColRef:
 		if ex.T.Kind == coltypes.KindString && ex.Dict != nil {
-			return ex.Dict.Value(int32(row[ex.Idx])), true
+			return dictVal(ex.Dict, row[ex.Idx]), true
 		}
 	case *plan.Const:
 		if ex.T.Kind == coltypes.KindString {
@@ -640,7 +651,7 @@ func (s *sortIter) Start() error {
 			var less, eq bool
 			if k.Col < len(s.fields) && s.fields[k.Col].Type.Kind == coltypes.KindString && s.fields[k.Col].Dict != nil {
 				d := s.fields[k.Col].Dict
-				av, bv := d.Value(int32(rows[a][k.Col])), d.Value(int32(rows[b][k.Col]))
+				av, bv := dictVal(d, rows[a][k.Col]), dictVal(d, rows[b][k.Col])
 				less, eq = av < bv, av == bv
 			} else {
 				av, bv := rows[a][k.Col], rows[b][k.Col]

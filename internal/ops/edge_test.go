@@ -1,0 +1,234 @@
+package ops
+
+import (
+	"testing"
+
+	"rapid/internal/qef"
+)
+
+// Edge-condition coverage for the relation-to-relation operators: empty
+// inputs, degenerate constant keys, duplicate rows in set operations, and
+// the LIMIT 0 / tie boundaries of top-k. All shapes the qgen harness
+// generates routinely; pinned here at the operator level.
+
+func emptyRel(names ...string) *Relation {
+	cols := make([][]int64, len(names))
+	for i := range cols {
+		cols[i] = nil
+	}
+	return intRel(names, cols...)
+}
+
+func TestHashJoinEmptyInputs(t *testing.T) {
+	bothModes(t, func(t *testing.T, ctx *qef.Context) {
+		probe := intRel([]string{"pk", "pv"}, []int64{1, 2, 3}, []int64{10, 20, 30})
+		build := intRel([]string{"bk", "bv"}, []int64{2, 5}, []int64{200, 500})
+		spec := func(typ JoinType) JoinSpec {
+			return JoinSpec{
+				Type: typ, BuildKeys: []int{0}, ProbeKeys: []int{0},
+				BuildPayload: []int{1}, ProbePayload: []int{0, 1},
+				Scheme: PartScheme{Rounds: []int{4}}, Vectorized: true,
+			}
+		}
+		cases := []struct {
+			name         string
+			build, probe *Relation
+			typ          JoinType
+			rows         int
+		}{
+			{"inner/empty-build", emptyRel("bk", "bv"), probe, InnerJoin, 0},
+			{"inner/empty-probe", build, emptyRel("pk", "pv"), InnerJoin, 0},
+			{"inner/both-empty", emptyRel("bk", "bv"), emptyRel("pk", "pv"), InnerJoin, 0},
+			{"semi/empty-build", emptyRel("bk", "bv"), probe, SemiJoin, 0},
+			{"anti/empty-build", emptyRel("bk", "bv"), probe, AntiJoin, 3},
+			{"outer/empty-build", emptyRel("bk", "bv"), probe, LeftOuterJoin, 3},
+			{"outer/empty-probe", build, emptyRel("pk", "pv"), LeftOuterJoin, 0},
+		}
+		for _, tc := range cases {
+			sp := spec(tc.typ)
+			if tc.typ == SemiJoin || tc.typ == AntiJoin {
+				sp.BuildPayload = nil
+			}
+			out, err := HashJoin(ctx, tc.build, tc.probe, sp)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if out.Rows() != tc.rows {
+				t.Fatalf("%s: rows = %d, want %d", tc.name, out.Rows(), tc.rows)
+			}
+		}
+		// Left-outer against an empty build pads the build payload with 0.
+		out, err := HashJoin(ctx, emptyRel("bk", "bv"), probe, spec(LeftOuterJoin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < out.Rows(); i++ {
+			if pad := out.Cols[2].Data.Get(i); pad != 0 {
+				t.Fatalf("row %d: padding = %d, want 0", i, pad)
+			}
+		}
+	})
+}
+
+func TestRelationOpsOnEmptyInput(t *testing.T) {
+	bothModes(t, func(t *testing.T, ctx *qef.Context) {
+		empty := emptyRel("a", "b")
+
+		sorted, err := SortRelation(ctx, empty, []SortKey{{Col: 0}})
+		if err != nil || sorted.Rows() != 0 {
+			t.Fatalf("sort empty: rows=%d err=%v", sorted.Rows(), err)
+		}
+		top, err := TopK(ctx, empty, []SortKey{{Col: 1, Desc: true}}, 5)
+		if err != nil || top.Rows() != 0 {
+			t.Fatalf("topk empty: rows=%d err=%v", top.Rows(), err)
+		}
+		win, err := Window(ctx, empty, WindowSpec{Func: WinRowNumber, PartitionBy: []int{0}, OrderBy: []SortKey{{Col: 1}}})
+		if err != nil || win.Rows() != 0 {
+			t.Fatalf("window empty: rows=%d err=%v", win.Rows(), err)
+		}
+		if win.NumCols() != 3 {
+			t.Fatalf("window empty: cols=%d, want input+1", win.NumCols())
+		}
+		grp, err := GroupByPartitioned(ctx, emptyRel("g", "v"), []int{0},
+			[]AggSpec{{Kind: AggSum, Expr: &ColRef{Idx: 1}, Name: "s"}},
+			PartScheme{Rounds: []int{4}}, 64)
+		if err != nil || grp.Rows() != 0 {
+			t.Fatalf("group empty: rows=%d err=%v", grp.Rows(), err)
+		}
+		for _, kind := range []SetOpKind{SetUnion, SetUnionAll, SetIntersect, SetMinus} {
+			out, err := SetOp(ctx, empty, emptyRel("a", "b"), kind)
+			if err != nil || out.Rows() != 0 {
+				t.Fatalf("%v on empty: rows=%d err=%v", kind, out.Rows(), err)
+			}
+		}
+		// One side empty: UNION keeps the non-empty side's distinct rows.
+		some := intRel([]string{"a", "b"}, []int64{1, 1, 2}, []int64{5, 5, 6})
+		u, err := SetOp(ctx, some, emptyRel("a", "b"), SetUnion)
+		if err != nil || u.Rows() != 2 {
+			t.Fatalf("union with empty: rows=%d err=%v", u.Rows(), err)
+		}
+		m, err := SetOp(ctx, emptyRel("a", "b"), some, SetMinus)
+		if err != nil || m.Rows() != 0 {
+			t.Fatalf("minus from empty: rows=%d err=%v", m.Rows(), err)
+		}
+	})
+}
+
+func TestSetOpsDuplicateKeys(t *testing.T) {
+	bothModes(t, func(t *testing.T, ctx *qef.Context) {
+		// a = {1,1,2,3,3,3}, b = {2,2,4}: duplicates on both sides must
+		// collapse under set semantics and survive under UNION ALL.
+		a := intRel([]string{"v"}, []int64{1, 1, 2, 3, 3, 3})
+		b := intRel([]string{"v"}, []int64{2, 2, 4})
+		cases := []struct {
+			kind SetOpKind
+			rows int
+		}{
+			{SetUnion, 4},     // {1,2,3,4}
+			{SetUnionAll, 9},  // bag concat
+			{SetIntersect, 1}, // {2}
+			{SetMinus, 2},     // {1,3}
+		}
+		for _, tc := range cases {
+			out, err := SetOp(ctx, a, b, tc.kind)
+			if err != nil {
+				t.Fatalf("%v: %v", tc.kind, err)
+			}
+			if out.Rows() != tc.rows {
+				t.Fatalf("%v: rows = %d, want %d", tc.kind, out.Rows(), tc.rows)
+			}
+		}
+		// Identical inputs: INTERSECT and UNION both yield the distinct set,
+		// MINUS empties.
+		i2, _ := SetOp(ctx, a, a, SetIntersect)
+		m2, _ := SetOp(ctx, a, a, SetMinus)
+		if i2.Rows() != 3 || m2.Rows() != 0 {
+			t.Fatalf("self setops: intersect=%d minus=%d", i2.Rows(), m2.Rows())
+		}
+	})
+}
+
+func TestTopKLimitZeroAndTies(t *testing.T) {
+	bothModes(t, func(t *testing.T, ctx *qef.Context) {
+		rel := intRel([]string{"k", "v"},
+			[]int64{5, 5, 5, 5, 1, 1, 9},
+			[]int64{0, 1, 2, 3, 4, 5, 6})
+
+		zero, err := TopK(ctx, rel, []SortKey{{Col: 0}}, 0)
+		if err != nil || zero.Rows() != 0 {
+			t.Fatalf("k=0: rows=%d err=%v", zero.Rows(), err)
+		}
+		if zero.NumCols() != 2 {
+			t.Fatalf("k=0: cols=%d", zero.NumCols())
+		}
+
+		// k cuts through a tie group (four 5s, cut at 3): exactly k rows
+		// come back and they are the smallest keys.
+		top, err := TopK(ctx, rel, []SortKey{{Col: 0}}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top.Rows() != 3 {
+			t.Fatalf("k=3 with ties: rows = %d", top.Rows())
+		}
+		want := []int64{1, 1, 5}
+		for i, w := range want {
+			if got := top.Cols[0].Data.Get(i); got != w {
+				t.Fatalf("row %d key = %d, want %d", i, got, w)
+			}
+		}
+
+		// k beyond the row count degrades to a full sort.
+		all, err := TopK(ctx, rel, []SortKey{{Col: 0, Desc: true}}, 100)
+		if err != nil || all.Rows() != rel.Rows() {
+			t.Fatalf("k>n: rows=%d err=%v", all.Rows(), err)
+		}
+		if all.Cols[0].Data.Get(0) != 9 {
+			t.Fatalf("k>n: first key = %d, want 9", all.Cols[0].Data.Get(0))
+		}
+
+		// Limit is a plain prefix.
+		if l := Limit(rel, 0); l.Rows() != 0 {
+			t.Fatalf("Limit 0: rows=%d", l.Rows())
+		}
+		if l := Limit(rel, 2); l.Rows() != 2 {
+			t.Fatalf("Limit 2: rows=%d", l.Rows())
+		}
+		if l := Limit(rel, 100); l.Rows() != rel.Rows() {
+			t.Fatalf("Limit>n: rows=%d", l.Rows())
+		}
+	})
+}
+
+func TestGroupByConstantKey(t *testing.T) {
+	bothModes(t, func(t *testing.T, ctx *qef.Context) {
+		// Every row lands in one group: the degenerate skew case for the
+		// partitioned strategy (all rows hash to a single partition).
+		n := 5000
+		rel := intRel([]string{"g", "v"},
+			seq(n, func(i int) int64 { return 7 }),
+			seq(n, func(i int) int64 { return int64(i) }))
+		out, err := GroupByPartitioned(ctx, rel, []int{0},
+			[]AggSpec{
+				{Kind: AggSum, Expr: &ColRef{Idx: 1}, Name: "s"},
+				{Kind: AggCountStar, Name: "c"},
+			},
+			PartScheme{Rounds: []int{16}}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Rows() != 1 {
+			t.Fatalf("groups = %d, want 1", out.Rows())
+		}
+		if k := out.Cols[0].Data.Get(0); k != 7 {
+			t.Fatalf("key = %d", k)
+		}
+		wantSum := int64(n) * int64(n-1) / 2
+		if s := out.Cols[1].Data.Get(0); s != wantSum {
+			t.Fatalf("sum = %d, want %d", s, wantSum)
+		}
+		if c := out.Cols[2].Data.Get(0); c != int64(n) {
+			t.Fatalf("count = %d, want %d", c, n)
+		}
+	})
+}

@@ -167,7 +167,13 @@ func (g *groupCollector) relation(keyCols []Col, outNames []string) *Relation {
 	cols := make([]Col, 0, g.nKeys+len(g.specs))
 	for k := 0; k < g.nKeys; k++ {
 		c := keyCols[k]
-		c.Data = coltypes.I64(append([]int64(nil), g.kcols[k]...))
+		// g.kcols stays nil when the input had no rows (no partition ever
+		// produced a group); emit empty key columns, not a panic.
+		var kv []int64
+		if k < len(g.kcols) {
+			kv = g.kcols[k]
+		}
+		c.Data = coltypes.I64(append([]int64(nil), kv...))
 		cols = append(cols, c)
 	}
 	for s, spec := range g.specs {

@@ -91,6 +91,12 @@ func (r *Relation) Render(row, col int) string {
 	switch c.Type.Kind {
 	case coltypes.KindString:
 		if c.Dict != nil {
+			if v < 0 || v >= int64(c.Dict.Len()) {
+				// Left-outer padding in the NULL-free engine: unmatched
+				// probe rows carry code 0, which an empty build-side
+				// dictionary cannot decode. Render the padding as ''.
+				return ""
+			}
 			return c.Dict.Value(int32(v))
 		}
 		return fmt.Sprintf("#%d", v)

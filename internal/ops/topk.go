@@ -14,7 +14,12 @@ import (
 func TopK(ctx *qef.Context, rel *Relation, keys []SortKey, k int) (*Relation, error) {
 	n := rel.Rows()
 	if k <= 0 {
-		k = 1
+		out := make([]Col, len(rel.Cols))
+		for c, rc := range rel.Cols {
+			out[c] = rc
+			out[c].Data = rc.Data.Slice(0, 0)
+		}
+		return MustRelation(out), nil
 	}
 	if n <= k {
 		return SortRelation(ctx, rel, keys)

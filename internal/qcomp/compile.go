@@ -1,6 +1,7 @@
 package qcomp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -152,9 +153,17 @@ func (p *pipelineNode) explain(sb *strings.Builder, depth int) {
 // opReqs describes the pipeline to the task former for tile sizing.
 func (p *pipelineNode) opReqs() []OpReq {
 	rowBytes := 8 * len(p.cols)
+	// The scan double-buffers every SOURCE column in DMEM; a projection may
+	// narrow p.cols well below that, so size the scan from what it streams,
+	// not from the pipeline's output width.
+	scanned := len(p.scanCols)
+	if p.snap == nil && p.input != nil {
+		scanned = len(p.input.fields())
+	}
+	scanRowBytes := 8 * scanned
 	reqs := []OpReq{{
 		Name:           "scan",
-		DMEMSize:       func(rows int) int { return 2 * rows * rowBytes },
+		DMEMSize:       func(rows int) int { return 2 * rows * scanRowBytes },
 		OutBytesPerRow: rowBytes,
 		Selectivity:    1,
 	}}
@@ -254,6 +263,9 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 		err = ops.RelationScan(ctx, inputRel, tileRows, chainFor)
 	}
 	if err != nil {
+		if p.terminal == termGroupBy && errors.Is(err, ops.ErrGroupOverflow) {
+			return p.executeGroupPartFallback(ctx)
+		}
 		return nil, err
 	}
 
@@ -273,6 +285,28 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	}
 }
 
+// executeGroupPartFallback is the §5.4 runtime adaptation: the statistics
+// underestimated the group count and the low-NDV DMEM table overflowed, so
+// materialize the pipeline input and re-group with the partitioned high-NDV
+// strategy (which re-partitions itself on further overflow).
+func (p *pipelineNode) executeGroupPartFallback(ctx *qef.Context) (*ops.Relation, error) {
+	in := *p
+	in.terminal = termCollect
+	ndv := int64(p.maxGroups) * 4
+	if p.est > ndv {
+		ndv = p.est
+	}
+	gp := &groupPartNode{
+		input:     &in,
+		groupCols: p.groupCols,
+		specs:     p.aggSpecs,
+		finals:    p.finals,
+		out:       p.outFields,
+		ndv:       ndv,
+	}
+	return gp.execute(ctx)
+}
+
 // finalizeScalar maps lowered agg states to the requested output columns.
 func (p *pipelineNode) finalizeScalar(res *ops.ScalarAggResult) (*ops.Relation, error) {
 	cols := make([]ops.Col, len(p.finals))
@@ -288,9 +322,15 @@ func (p *pipelineNode) finalizeScalar(res *ops.ScalarAggResult) (*ops.Relation, 
 		case plan.Sum:
 			v = res.Value(f.specIdx, ops.AggSum)
 		case plan.Min:
-			v = res.Value(f.specIdx, ops.AggMin)
+			// Over zero rows the state still holds the +Inf/-Inf identity
+			// sentinels; emit 0 like the row interpreter's empty-input row.
+			if res.State(f.specIdx).Count != 0 {
+				v = res.Value(f.specIdx, ops.AggMin)
+			}
 		case plan.Max:
-			v = res.Value(f.specIdx, ops.AggMax)
+			if res.State(f.specIdx).Count != 0 {
+				v = res.Value(f.specIdx, ops.AggMax)
+			}
 		default:
 			v = res.Value(f.specIdx, ops.AggCount)
 		}

@@ -48,9 +48,22 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 		}
 		return nil
 	}
-	// ModeDPU: allocate double buffers in DMEM and run the DMS loop.
+	// ModeDPU: allocate double buffers in DMEM and run the DMS loop. Wide
+	// rows shrink the tile until every column's double buffer fits the
+	// scratchpad (§6.4 resilience: degrade the vector size, don't abort);
+	// only a tile below the minimum propagates exhaustion.
 	a.tc.DMEM.Mark()
 	defer a.tc.DMEM.Release()
+	rowBytes := 0
+	for _, c := range cols {
+		rowBytes += c.Width().Bytes()
+	}
+	for tileRows > MinTileRows && 2*tileRows*rowBytes > a.tc.DMEM.Free() {
+		tileRows /= 2
+	}
+	if tileRows < MinTileRows {
+		tileRows = MinTileRows
+	}
 	bufs := make([]coltypes.Data, len(cols))
 	for i, c := range cols {
 		if err := a.tc.DMEM.Alloc(2 * tileRows * c.Width().Bytes()); err != nil {

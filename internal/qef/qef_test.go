@@ -200,10 +200,11 @@ func TestAccessorSequentialEnforcesMinTile(t *testing.T) {
 }
 
 func TestAccessorDMEMExhaustion(t *testing.T) {
-	// 32 columns of 8 bytes, 2048-row tiles, double buffered = 1 MiB:
-	// cannot fit in 32 KiB DMEM; the accessor must fail cleanly.
+	// 40 columns of 8 bytes need 40960 bytes of double buffers even at the
+	// 64-row minimum tile: beyond the 32 KiB DMEM, so after degrading the
+	// tile all the way down the accessor must still fail cleanly.
 	ctx := NewContext(ModeDPU)
-	cols := make([]coltypes.Data, 32)
+	cols := make([]coltypes.Data, 40)
 	for i := range cols {
 		cols[i] = coltypes.New(coltypes.W8, 4096)
 	}
@@ -212,6 +213,38 @@ func TestAccessorDMEMExhaustion(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected DMEM exhaustion")
+	}
+}
+
+func TestAccessorDegradesTileUnderPressure(t *testing.T) {
+	// 32 columns of 8 bytes fit exactly at the 64-row minimum tile
+	// (2*64*256 = 32 KiB): instead of failing on the requested 2048-row
+	// tile, the accessor shrinks it (§6.4 graceful degradation) and streams
+	// every row.
+	ctx := NewContext(ModeDPU)
+	const rows = 4096
+	cols := make([]coltypes.Data, 32)
+	for i := range cols {
+		cols[i] = coltypes.New(coltypes.W8, rows)
+	}
+	maxTile, seen := 0, 0
+	err := ctx.RunSerial(func(tc *TaskCtx) error {
+		return NewAccessor(tc).Sequential(cols, 2048, func(t *Tile) error {
+			if t.N > maxTile {
+				maxTile = t.N
+			}
+			seen += t.N
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("expected degraded success, got %v", err)
+	}
+	if maxTile != MinTileRows {
+		t.Fatalf("tile = %d, want shrunk to %d", maxTile, MinTileRows)
+	}
+	if seen != rows {
+		t.Fatalf("streamed %d rows, want %d", seen, rows)
 	}
 }
 

@@ -1,0 +1,192 @@
+package qgen
+
+import "rapid/internal/sqlparse"
+
+// Minimize greedily shrinks a failing query at the AST level: it applies
+// structural reductions (drop clauses, split conjunctions, drop select
+// items or joins) and keeps a candidate whenever the differential check
+// still reports a mismatch. Candidates that no longer parse or bind are
+// rejected consistently by every engine and therefore dropped naturally.
+func (r *Runner) Minimize(sql string) string {
+	cur := sql
+	budget := 150
+	for {
+		improved := false
+		for _, cand := range shrinkVariants(cur) {
+			if budget <= 0 {
+				return cur
+			}
+			budget--
+			if r.CheckSQL(cand) != nil {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// shrinkVariants produces one-step reductions of the query. Each candidate
+// comes from a fresh parse so mutations never alias.
+func shrinkVariants(sql string) []string {
+	base, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	mutate := func(fn func(*sqlparse.SelectStmt) bool) {
+		s, perr := sqlparse.Parse(sql)
+		if perr != nil {
+			return
+		}
+		if fn(s) {
+			out = append(out, renderStmt(s))
+		}
+	}
+
+	// Set operation: keep each side alone.
+	if base.SetRight != nil {
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.SetOp, s.SetRight = "", nil
+			return true
+		})
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			*s = *s.SetRight
+			return true
+		})
+	}
+
+	// WHERE: drop entirely, then each structural simplification.
+	if base.Where != nil {
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.Where = nil
+			return true
+		})
+		for i := 0; i < countSimplifications(base.Where); i++ {
+			i := i
+			mutate(func(s *sqlparse.SelectStmt) bool {
+				n := i
+				if p, ok := simplifyPred(s.Where, &n); ok {
+					s.Where = p
+					return true
+				}
+				return false
+			})
+		}
+	}
+
+	if base.Having != nil {
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.Having = nil
+			return true
+		})
+	}
+	if len(base.OrderBy) > 0 || base.Limit >= 0 {
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.OrderBy, s.Limit = nil, -1
+			return true
+		})
+	}
+	if base.Limit >= 0 {
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.Limit = -1
+			return true
+		})
+	}
+	if len(base.GroupBy) > 0 {
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.GroupBy = nil
+			return true
+		})
+	}
+
+	// Drop each join.
+	for j := range base.Joins {
+		j := j
+		mutate(func(s *sqlparse.SelectStmt) bool {
+			s.Joins = append(s.Joins[:j], s.Joins[j+1:]...)
+			return true
+		})
+	}
+
+	// Drop each select item; replace compound expressions by operands.
+	if len(base.Select) > 1 {
+		for i := range base.Select {
+			i := i
+			mutate(func(s *sqlparse.SelectStmt) bool {
+				s.Select = append(s.Select[:i], s.Select[i+1:]...)
+				return true
+			})
+		}
+	}
+	for i, it := range base.Select {
+		if it.Star {
+			continue
+		}
+		for k := range subExprs(it.Expr) {
+			i, k := i, k
+			mutate(func(s *sqlparse.SelectStmt) bool {
+				subs := subExprs(s.Select[i].Expr)
+				if k >= len(subs) {
+					return false
+				}
+				s.Select[i].Expr = subs[k]
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// countSimplifications returns how many one-step predicate reductions exist.
+func countSimplifications(p sqlparse.AstPred) int {
+	switch pr := p.(type) {
+	case *sqlparse.AndP:
+		return len(pr.Preds)
+	case *sqlparse.OrP:
+		return len(pr.Preds)
+	case *sqlparse.NotP:
+		return 1
+	}
+	return 0
+}
+
+// simplifyPred returns the n-th one-step reduction of p, decrementing n
+// through the possibilities.
+func simplifyPred(p sqlparse.AstPred, n *int) (sqlparse.AstPred, bool) {
+	switch pr := p.(type) {
+	case *sqlparse.AndP:
+		if *n < len(pr.Preds) {
+			return pr.Preds[*n], true
+		}
+	case *sqlparse.OrP:
+		if *n < len(pr.Preds) {
+			return pr.Preds[*n], true
+		}
+	case *sqlparse.NotP:
+		if *n == 0 {
+			return pr.P, true
+		}
+	}
+	return nil, false
+}
+
+// subExprs returns the immediate operands of a compound expression.
+func subExprs(e sqlparse.AstExpr) []sqlparse.AstExpr {
+	switch ex := e.(type) {
+	case *sqlparse.BinExpr:
+		return []sqlparse.AstExpr{ex.L, ex.R}
+	case *sqlparse.CaseExpr:
+		return []sqlparse.AstExpr{ex.Then, ex.Else}
+	case *sqlparse.FuncExpr:
+		if ex.Arg != nil {
+			if _, ok := ex.Arg.(*sqlparse.ColName); ok && ex.Over == nil {
+				return nil // MIN(a) → a rarely simplifies usefully
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package qgen
+
+import (
+	"testing"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/storage"
+)
+
+// regressScenario is a minimal fixed table used to pin engine bugs the
+// harness surfaced; the SQL below is the minimized reproducer in each case.
+func regressScenario() *Scenario {
+	return &Scenario{
+		Seed: 0,
+		Tables: []*Table{{
+			Name: "t0",
+			Cols: []Column{
+				{Name: "k0", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+				{Name: "a0", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+			},
+			Rows: [][]storage.Value{
+				{storage.IntValue(3), storage.IntValue(30)},
+				{storage.IntValue(1), storage.IntValue(10)},
+				{storage.IntValue(2), storage.IntValue(20)},
+			},
+		}},
+	}
+}
+
+// Regression: ORDER BY ... LIMIT 0 returned 1 row on RAPID (qcomp fuses
+// Sort+Limit into TopK, and ops.TopK clamped k <= 0 up to 1) while the host
+// correctly returned none.
+func TestRegressLimitZeroWithOrderBy(t *testing.T) {
+	r, err := NewRunner(regressScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := r.CheckSQL("SELECT a0 FROM t0 ORDER BY a0 LIMIT 0"); m != nil {
+		t.Fatalf("%s", m.Reproducer())
+	}
+}
+
+// Regression: MIN/MAX over an empty input leaked the int64 identity
+// sentinels (MaxInt64/MinInt64) out of qcomp's scalar finalization; the
+// host row engine emits a zero row for scalar aggregates over no input.
+func TestRegressMinMaxOverEmptyInput(t *testing.T) {
+	r, err := NewRunner(regressScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := r.CheckSQL("SELECT MIN(a0), MAX(a0), SUM(a0), COUNT(a0), AVG(a0) FROM t0 WHERE a0 > 100"); m != nil {
+		t.Fatalf("%s", m.Reproducer())
+	}
+}
+
+// Regression: a scan of a wide table feeding a narrow projection exhausted
+// DMEM on ModeDPU. Task formation sized the scan's double buffers from the
+// pipeline's post-projection width (1 column) while the relation accessor
+// allocated buffers for every streamed source column, so three or more wide
+// columns overflowed the 32 KiB scratchpad and the forced offload fell back
+// to the host. ModeX86 was unaffected (zero-copy path).
+func TestRegressWideScanNarrowProjection(t *testing.T) {
+	sc := &Scenario{
+		Seed: 0,
+		Tables: []*Table{
+			{
+				Name: "t0",
+				Cols: []Column{
+					{Name: "k0", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+					{Name: "a0", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+					{Name: "b0", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+					{Name: "c0", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+				},
+				Rows: [][]storage.Value{
+					{storage.IntValue(1), storage.IntValue(10), storage.IntValue(11), storage.IntValue(12)},
+					{storage.IntValue(2), storage.IntValue(20), storage.IntValue(21), storage.IntValue(22)},
+					{storage.IntValue(2), storage.IntValue(25), storage.IntValue(26), storage.IntValue(27)},
+				},
+			},
+			{
+				Name: "t1",
+				Cols: []Column{
+					{Name: "k1", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+				},
+				Rows: [][]storage.Value{
+					{storage.IntValue(2)},
+					{storage.IntValue(3)},
+				},
+			},
+		},
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"SELECT a0 FROM t0 LEFT JOIN t1 ON (k0 = k1)",
+		"SELECT a0 FROM t0 JOIN t1 ON (k0 = k1)",
+	} {
+		if m := r.CheckSQL(sql); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
+	}
+}
+
+// Regression: GROUP BY with more distinct groups than the optimizer
+// predicted made the low-NDV in-pipeline group table overflow fatally
+// ("ops: group table overflow") instead of adapting. A tautological filter
+// shrank the row estimate (and with it maxGroups) while every row survived,
+// so both RAPID modes failed and ForceOffload silently fell back. The
+// runtime now retries with the partitioned high-NDV strategy.
+func TestRegressGroupTableOverflowFallback(t *testing.T) {
+	const n = 400
+	rows := make([][]storage.Value, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []storage.Value{storage.IntValue(int64(i % 20)), storage.IntValue(int64(i))}
+	}
+	sc := &Scenario{
+		Seed: 0,
+		Tables: []*Table{{
+			Name: "t0",
+			Cols: []Column{
+				{Name: "k0", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+				{Name: "a0", Kind: KInt, Type: coltypes.Int(), Hi: 999},
+			},
+			Rows: rows,
+		}},
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := r.CheckSQL("SELECT k0, a0, SUM(1) FROM t0 WHERE (a0 BETWEEN a0 AND a0) GROUP BY k0, a0"); m != nil {
+		t.Fatalf("%s", m.Reproducer())
+	}
+}
+
+// Regression: LEFT JOIN against an EMPTY build side with a string payload
+// column panicked ("encoding: dict code 0 out of range"). Unmatched probe
+// rows pad the build payload with code 0, which an empty dictionary cannot
+// decode; both rendering the result and evaluating a string predicate over
+// the padded rows in the host row interpreter hit Dict.Value. Out-of-range
+// codes now decode as '' (the NULL-free engine's padding value).
+func TestRegressEmptyBuildSideStringPayload(t *testing.T) {
+	sc := &Scenario{
+		Seed: 0,
+		Tables: []*Table{
+			{
+				Name: "t0",
+				Cols: []Column{
+					{Name: "k0", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+					{Name: "b0", Kind: KStrLow, Type: coltypes.String(), Strs: []string{"cedar", "elm"}},
+				},
+				Rows: nil, // empty build side: its dictionary has no codes
+			},
+			{
+				Name: "t1",
+				Cols: []Column{
+					{Name: "k1", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+					{Name: "a1", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+				},
+				Rows: [][]storage.Value{
+					{storage.IntValue(1), storage.IntValue(10)},
+					{storage.IntValue(2), storage.IntValue(20)},
+				},
+			},
+		},
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"SELECT b0, a1 FROM t1 LEFT JOIN t0 ON (k1 = k0)",
+		"SELECT a1 FROM t1 LEFT JOIN t0 ON (k1 = k0) WHERE ((b0 = 'cedar') OR (a1 <= 15))",
+	} {
+		if m := r.CheckSQL(sql); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
+	}
+}
+
+// Regression: the binder pushed single-table WHERE conjuncts below the join
+// unconditionally. For the nullable side of a LEFT JOIN that is wrong —
+// filtering the build input first turns probe rows that lose their match
+// into padded output rows instead of dropping them. Likewise a WHERE
+// equality spanning the nullable side was merged into the join keys. Found
+// by the TLP check (Q vs partition union on the same engine), so this pins
+// exact row counts on the host lane rather than a cross-engine diff.
+func TestRegressLeftJoinWherePushdown(t *testing.T) {
+	sc := &Scenario{
+		Seed: 0,
+		Tables: []*Table{
+			{
+				Name: "t1",
+				Cols: []Column{
+					{Name: "k1", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+					{Name: "a1", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+				},
+				Rows: [][]storage.Value{
+					{storage.IntValue(1), storage.IntValue(7)},
+					{storage.IntValue(5), storage.IntValue(9)},
+				},
+			},
+			{
+				Name: "t2",
+				Cols: []Column{
+					{Name: "k2", Kind: KInt, Type: coltypes.Int(), Hi: 20},
+					{Name: "b2", Kind: KInt, Type: coltypes.Int(), Hi: 99},
+				},
+				Rows: [][]storage.Value{
+					{storage.IntValue(5), storage.IntValue(8)},
+				},
+			},
+		},
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sql  string
+		rows int
+	}{
+		// Only the padded row (k2 = 0) passes NOT BETWEEN; pushing the
+		// filter into t2 empties the build side and pads BOTH probe rows.
+		{"SELECT k1, k2 FROM t1 LEFT JOIN t2 ON (k1 = k2) WHERE (NOT (k2 BETWEEN 2 AND 12))", 1},
+		// a1 = b2 holds for no joined row (7 vs padding 0, 9 vs 8); merged
+		// into the join keys it instead pads both rows and drops the filter.
+		{"SELECT k1 FROM t1 LEFT JOIN t2 ON (k1 = k2) WHERE (a1 = b2)", 0},
+	}
+	for _, tc := range cases {
+		if m := r.CheckSQL(tc.sql); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
+		res, err := r.primary.Query(tc.sql, engines[0].opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if got := res.Rel.Rows(); got != tc.rows {
+			t.Fatalf("%s: got %d rows, want %d", tc.sql, got, tc.rows)
+		}
+	}
+}
+
+// Regression companion for the parser EOF fix: predicates and IS NULL fold
+// through the whole differential stack.
+func TestRegressIsNullFolding(t *testing.T) {
+	r, err := NewRunner(regressScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"SELECT a0 FROM t0 WHERE a0 IS NULL",
+		"SELECT a0 FROM t0 WHERE a0 IS NOT NULL",
+		"SELECT a0 FROM t0 WHERE (a0 + 1) IS NULL OR a0 > 15",
+	} {
+		if m := r.CheckSQL(sql); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package qgen
+
+import (
+	"fmt"
+	"strings"
+
+	"rapid/internal/sqlparse"
+)
+
+// renderStmt turns a parsed statement back into SQL. Round-tripping through
+// sqlparse is what lets the minimizer shrink failing queries at the AST
+// level instead of by string surgery.
+func renderStmt(s *sqlparse.SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(renderExpr(it.Expr))
+		if it.As != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.As)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, tr := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(renderTableRef(tr))
+	}
+	for _, j := range s.Joins {
+		if j.Kind == "LEFT" {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		b.WriteString(renderTableRef(j.Table))
+		b.WriteString(" ON ")
+		b.WriteString(renderPred(j.On))
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(renderPred(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(e))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(renderPred(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.SetOp != "" && s.SetRight != nil {
+		b.WriteString(" ")
+		b.WriteString(s.SetOp)
+		b.WriteString(" ")
+		b.WriteString(renderStmt(s.SetRight))
+	}
+	return b.String()
+}
+
+func renderTableRef(tr sqlparse.TableRef) string {
+	if tr.Alias != "" && tr.Alias != tr.Name {
+		return tr.Name + " " + tr.Alias
+	}
+	return tr.Name
+}
+
+func renderExpr(e sqlparse.AstExpr) string {
+	switch ex := e.(type) {
+	case *sqlparse.ColName:
+		if ex.Table != "" {
+			return ex.Table + "." + ex.Name
+		}
+		return ex.Name
+	case *sqlparse.NumLit:
+		return ex.Text
+	case *sqlparse.StrLit:
+		return "'" + ex.Val + "'"
+	case *sqlparse.DateLit:
+		return "DATE '" + dateStr(ex.Days) + "'"
+	case *sqlparse.BinExpr:
+		return "(" + renderExpr(ex.L) + " " + ex.Op + " " + renderExpr(ex.R) + ")"
+	case *sqlparse.CaseExpr:
+		return "CASE WHEN " + renderPred(ex.Cond) +
+			" THEN " + renderExpr(ex.Then) +
+			" ELSE " + renderExpr(ex.Else) + " END"
+	case *sqlparse.FuncExpr:
+		var b strings.Builder
+		b.WriteString(ex.Name)
+		b.WriteString("(")
+		if ex.Star {
+			b.WriteString("*")
+		} else if ex.Arg != nil {
+			b.WriteString(renderExpr(ex.Arg))
+		}
+		b.WriteString(")")
+		if ex.Over != nil {
+			b.WriteString(" OVER (")
+			if len(ex.Over.PartitionBy) > 0 {
+				b.WriteString("PARTITION BY ")
+				for i, p := range ex.Over.PartitionBy {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(renderExpr(p))
+				}
+			}
+			if len(ex.Over.OrderBy) > 0 {
+				if len(ex.Over.PartitionBy) > 0 {
+					b.WriteString(" ")
+				}
+				b.WriteString("ORDER BY ")
+				for i, o := range ex.Over.OrderBy {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(renderExpr(o.Expr))
+					if o.Desc {
+						b.WriteString(" DESC")
+					}
+				}
+			}
+			b.WriteString(")")
+		}
+		return b.String()
+	}
+	return "?"
+}
+
+func renderPred(p sqlparse.AstPred) string {
+	switch pr := p.(type) {
+	case *sqlparse.CmpPred:
+		return "(" + renderExpr(pr.L) + " " + pr.Op + " " + renderExpr(pr.R) + ")"
+	case *sqlparse.BetweenP:
+		return "(" + renderExpr(pr.E) + " BETWEEN " + renderExpr(pr.Lo) +
+			" AND " + renderExpr(pr.Hi) + ")"
+	case *sqlparse.InP:
+		var b strings.Builder
+		b.WriteString("(")
+		b.WriteString(renderExpr(pr.E))
+		if pr.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if pr.Sub != nil {
+			b.WriteString(renderStmt(pr.Sub))
+		} else {
+			for i, it := range pr.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(renderExpr(it))
+			}
+		}
+		b.WriteString("))")
+		return b.String()
+	case *sqlparse.LikeP:
+		not := ""
+		if pr.Not {
+			not = "NOT "
+		}
+		return "(" + renderExpr(pr.E) + " " + not + "LIKE '" + pr.Pattern + "')"
+	case *sqlparse.IsNullP:
+		not := ""
+		if pr.Not {
+			not = "NOT "
+		}
+		return "(" + renderExpr(pr.E) + " IS " + not + "NULL)"
+	case *sqlparse.AndP:
+		parts := make([]string, len(pr.Preds))
+		for i, s := range pr.Preds {
+			parts[i] = renderPred(s)
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
+	case *sqlparse.OrP:
+		parts := make([]string, len(pr.Preds))
+		for i, s := range pr.Preds {
+			parts[i] = renderPred(s)
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	case *sqlparse.NotP:
+		return "(NOT " + renderPred(pr.P) + ")"
+	}
+	return "(1 = 1)"
+}

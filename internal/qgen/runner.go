@@ -1,0 +1,348 @@
+package qgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rapid/internal/hostdb"
+	"rapid/internal/ops"
+	"rapid/internal/qef"
+	"rapid/internal/storage"
+)
+
+// engineSpec is one execution lane of the differential check.
+type engineSpec struct {
+	name string
+	alt  bool // run against the alternate-layout database
+	opts hostdb.QueryOptions
+}
+
+// engines: the hostdb row interpreter is the oracle; both RAPID modes run on
+// the primary layout, and ModeX86 additionally runs on a database loaded
+// with different qcomp/storage knobs (partitioned, tiny chunks, RLE) so
+// physical-plan equivalence is checked on every query.
+var engines = []engineSpec{
+	{name: "host", opts: hostdb.QueryOptions{Mode: hostdb.ForceHost}},
+	{name: "x86", opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true}},
+	{name: "dpu", opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU, FailOnInadmissible: true}},
+	{name: "x86/partitioned", alt: true, opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true}},
+}
+
+// Runner owns the two databases loaded from a scenario and executes checks.
+type Runner struct {
+	Sc      *Scenario
+	primary *hostdb.Database
+	alt     *hostdb.Database
+
+	// Executed counts engine executions; Rejected counts queries that every
+	// engine consistently refused (parse/bind errors), which is fine — the
+	// generator probes error paths too.
+	Executed int
+	Rejected int
+}
+
+// NewRunner builds both databases and loads every table: the primary with
+// default layout, the alternate with hash partitioning on the join key,
+// small chunks and RLE enabled.
+func NewRunner(sc *Scenario) (*Runner, error) {
+	r := &Runner{Sc: sc, primary: hostdb.New(), alt: hostdb.New()}
+	for _, spec := range []struct {
+		db   *hostdb.Database
+		opts hostdb.LoadOptions
+	}{
+		{r.primary, hostdb.LoadOptions{}},
+		{r.alt, hostdb.LoadOptions{Partitions: 4, PartitionKey: 0, ChunkRows: 7, TryRLE: true}},
+	} {
+		for _, t := range sc.Tables {
+			schema := make([]storage.ColumnDef, len(t.Cols))
+			for i, c := range t.Cols {
+				schema[i] = storage.ColumnDef{Name: c.Name, Type: c.Type}
+			}
+			if _, err := spec.db.CreateTable(t.Name, storage.MustSchema(schema...)); err != nil {
+				return nil, err
+			}
+			if len(t.Rows) > 0 {
+				if _, err := spec.db.Insert(t.Name, t.Rows); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := spec.db.Load(t.Name, spec.opts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// engineRun is one engine's outcome for a query.
+type engineRun struct {
+	name string
+	rel  *ops.Relation
+	err  error
+}
+
+func (r *Runner) runAll(sql string) []engineRun {
+	out := make([]engineRun, len(engines))
+	for i, e := range engines {
+		db := r.primary
+		if e.alt {
+			db = r.alt
+		}
+		res, err := db.Query(sql, e.opts)
+		r.Executed++
+		switch {
+		case err != nil:
+			out[i] = engineRun{name: e.name, err: err}
+		case res.FellBack:
+			// ForceOffload fell back: RAPID execution itself failed while
+			// the host could run the plan — that is a real engine bug.
+			out[i] = engineRun{name: e.name, err: fmt.Errorf("RAPID execution fell back to host")}
+		default:
+			out[i] = engineRun{name: e.name, rel: res.Rel}
+		}
+	}
+	return out
+}
+
+// bag renders every row of a relation and returns the sorted multiset.
+func bag(rel *ops.Relation) []string {
+	n := rel.Rows()
+	rows := make([]string, n)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.Reset()
+		for c := 0; c < rel.NumCols(); c++ {
+			sb.WriteString(rel.Render(i, c))
+			sb.WriteByte(0)
+		}
+		rows[i] = sb.String()
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func diffBags(a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("row count %d vs %d", len(a), len(b))
+	}
+	shown := 0
+	var sb strings.Builder
+	for i := range a {
+		if a[i] != b[i] {
+			fmt.Fprintf(&sb, "row %d: %q vs %q; ", i,
+				strings.ReplaceAll(a[i], "\x00", "|"), strings.ReplaceAll(b[i], "\x00", "|"))
+			if shown++; shown >= 5 {
+				sb.WriteString("...")
+				break
+			}
+		}
+	}
+	return sb.String()
+}
+
+func (r *Runner) mismatch(check, sql, detail string) *Mismatch {
+	return &Mismatch{Seed: r.Sc.Seed, SQL: sql, Check: check, Detail: detail, Scenario: r.Sc}
+}
+
+// CheckSQL runs the bare differential check on a SQL string: every engine
+// must agree with the host on the rendered result bag, or every engine must
+// reject the query. Returns nil when consistent.
+func (r *Runner) CheckSQL(sql string) *Mismatch {
+	runs := r.runAll(sql)
+	host := runs[0]
+	if host.err != nil {
+		var okEngines []string
+		for _, e := range runs[1:] {
+			if e.err == nil {
+				okEngines = append(okEngines, e.name)
+			}
+		}
+		if len(okEngines) > 0 {
+			return r.mismatch("differential", sql, fmt.Sprintf(
+				"host rejected the query (%v) but %v executed it", host.err, okEngines))
+		}
+		r.Rejected++
+		return nil
+	}
+	hostBag := bag(host.rel)
+	for _, e := range runs[1:] {
+		if e.err != nil {
+			return r.mismatch("differential", sql, fmt.Sprintf(
+				"host executed the query but %s failed: %v", e.name, e.err))
+		}
+		if e.rel.NumCols() != host.rel.NumCols() {
+			return r.mismatch("differential", sql, fmt.Sprintf(
+				"column count host=%d %s=%d", host.rel.NumCols(), e.name, e.rel.NumCols()))
+		}
+		if d := diffBags(hostBag, bag(e.rel)); d != "" {
+			return r.mismatch("differential", sql, fmt.Sprintf("host vs %s: %s", e.name, d))
+		}
+	}
+	return nil
+}
+
+// Check runs the full per-query validation: the differential check plus
+// ordering and limit verification when the query declares them.
+func (r *Runner) Check(q *Query) *Mismatch {
+	sql := q.SQL()
+	if m := r.CheckSQL(sql); m != nil {
+		return m
+	}
+	if len(q.SortKeys) == 0 && q.limit < 0 {
+		return nil
+	}
+	runs := r.runAll(sql)
+	for _, e := range runs {
+		if e.err != nil {
+			return nil // consistently rejected; already accounted above
+		}
+		if q.limit >= 0 && e.rel.Rows() > q.limit {
+			return r.mismatch("limit", sql, fmt.Sprintf(
+				"%s returned %d rows with LIMIT %d", e.name, e.rel.Rows(), q.limit))
+		}
+		if err := checkSorted(e.rel, q.SortKeys); err != nil {
+			return r.mismatch("order", sql, fmt.Sprintf("%s: %v", e.name, err))
+		}
+	}
+	return nil
+}
+
+// checkSorted verifies the relation is ordered on the given output
+// positions. Keys are guaranteed non-string by the generator, so the raw
+// int64 encodings (ints, day numbers, unscaled decimals, bools) order
+// correctly.
+func checkSorted(rel *ops.Relation, keys []SortChk) error {
+	for row := 1; row < rel.Rows(); row++ {
+		for _, k := range keys {
+			a := rel.Cols[k.Pos].Data.Get(row - 1)
+			b := rel.Cols[k.Pos].Data.Get(row)
+			if k.Desc {
+				a, b = b, a
+			}
+			if a < b {
+				break
+			}
+			if a > b {
+				return fmt.Errorf("rows %d,%d violate ORDER BY position %d", row-1, row, k.Pos+1)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTLP verifies ternary-logic partitioning on every engine: for a
+// predicate p := e > c, the base query's bag must equal the union of the
+// bags of Q WHERE p, Q WHERE NOT p and Q WHERE e IS NULL. In this NULL-free
+// engine the third branch is constant-empty but still exercises the
+// parse/bind/fold path.
+func (r *Runner) CheckTLP(q *Query) *Mismatch {
+	if !q.TLPable() {
+		return nil
+	}
+	ints := intCols(q.scope)
+	if len(ints) == 0 {
+		return nil
+	}
+	c := ints[g0(r.Sc.Seed, len(ints))]
+	cutoff := c.Hi / 2
+	branches := []string{
+		fmt.Sprintf("((%s) > (%d))", c.Name, cutoff),
+		fmt.Sprintf("(NOT ((%s) > (%d)))", c.Name, cutoff),
+		fmt.Sprintf("((%s) IS NULL)", c.Name),
+	}
+	base := q.SQL()
+	for _, e := range engines {
+		if e.alt {
+			continue
+		}
+		bres, err := r.primary.Query(base, e.opts)
+		r.Executed++
+		if err != nil || bres.FellBack {
+			return nil // base inconsistencies are caught by Check
+		}
+		baseBag := bag(bres.Rel)
+		var parts []string
+		for _, br := range branches {
+			pres, perr := r.primary.Query(q.WithConjunct(br), e.opts)
+			r.Executed++
+			if perr == nil && pres.FellBack {
+				perr = fmt.Errorf("RAPID execution fell back to host")
+			}
+			if perr != nil {
+				return r.mismatch("tlp", base, fmt.Sprintf(
+					"%s: base executed but branch %q failed: %v", e.name, br, perr))
+			}
+			parts = append(parts, bag(pres.Rel)...)
+		}
+		sort.Strings(parts)
+		if d := diffBags(baseBag, parts); d != "" {
+			return r.mismatch("tlp", base, fmt.Sprintf(
+				"%s: Q vs (Q WHERE p ⊎ Q WHERE NOT p ⊎ Q WHERE p IS NULL): %s", e.name, d))
+		}
+	}
+	return nil
+}
+
+// g0 derives a deterministic small index from the scenario seed.
+func g0(seed int64, n int) int {
+	if seed < 0 {
+		seed = -seed
+	}
+	return int(seed % int64(n))
+}
+
+// tautologies over an int column c: each must preserve any query's bag.
+func tautologies(c *Column) []string {
+	return []string{
+		"(1 = 1)",
+		fmt.Sprintf("(%s = %s)", c.Name, c.Name),
+		fmt.Sprintf("((%s) IS NOT NULL)", c.Name),
+		fmt.Sprintf("(%s BETWEEN %s AND %s)", c.Name, c.Name, c.Name),
+	}
+}
+
+// CheckTautology verifies that ANDing a tautological conjunct preserves the
+// result bag on host and ModeX86, and that a contradictory conjunct yields
+// engine-consistent results.
+func (r *Runner) CheckTautology(q *Query) *Mismatch {
+	if !q.TautologyOK() {
+		return nil
+	}
+	ints := intCols(q.scope)
+	if len(ints) == 0 {
+		return nil
+	}
+	c := ints[g0(r.Sc.Seed+1, len(ints))]
+	taut := tautologies(c)[g0(r.Sc.Seed, 4)]
+	base := q.SQL()
+	for _, e := range engines[:2] { // host + x86
+		bres, err := r.primary.Query(base, e.opts)
+		r.Executed++
+		if err != nil || bres.FellBack {
+			return nil
+		}
+		tres, terr := r.primary.Query(q.WithConjunct(taut), e.opts)
+		r.Executed++
+		if terr == nil && tres.FellBack {
+			terr = fmt.Errorf("RAPID execution fell back to host")
+		}
+		if terr != nil {
+			return r.mismatch("tautology", base, fmt.Sprintf(
+				"%s: base executed but tautology-extended %q failed: %v", e.name, taut, terr))
+		}
+		if d := diffBags(bag(bres.Rel), bag(tres.Rel)); d != "" {
+			return r.mismatch("tautology", base, fmt.Sprintf(
+				"%s: AND %s changed the result: %s", e.name, taut, d))
+		}
+	}
+	// Contradiction: run the full differential check on the contradictory
+	// query (aggregates over the emptied input still produce a row; the
+	// engines must agree on it).
+	contra := []string{"(1 = 0)", fmt.Sprintf("((%s) IS NULL)", c.Name)}[g0(r.Sc.Seed, 2)]
+	if m := r.CheckSQL(q.WithConjunct(contra)); m != nil {
+		m.Check = "contradiction"
+		return m
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package qgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/encoding"
+	"rapid/internal/storage"
+)
+
+// ColKind is the generator's notion of a column flavor; it drives both data
+// generation and which predicates/expressions a column can appear in.
+type ColKind int
+
+const (
+	KInt     ColKind = iota // uniform integers
+	KIntSkew                // heavily skewed integers (hot values)
+	KDec                    // decimal with scale 1..3
+	KStrLow                 // low-NDV string (dictionary/RLE friendly)
+	KStrHigh                // high-NDV string
+	KDate                   // dates
+	KBool                   // booleans
+)
+
+// Column is one generated column plus the metadata the SQL generator needs
+// to produce type-correct constants.
+type Column struct {
+	Name string
+	Kind ColKind
+	Type coltypes.Type
+	Hi   int64    // upper bound for int constants
+	Base int64    // day-number base for date constants
+	Strs []string // constant pool for string columns
+}
+
+// Sortable reports whether ORDER BY on this column agrees across engines.
+// String columns sort by dictionary code on RAPID but lexicographically on
+// the host, so the generator never orders by them.
+func (c *Column) Sortable() bool { return c.Kind != KStrLow && c.Kind != KStrHigh }
+
+// IsInt reports whether the column holds plain integers.
+func (c *Column) IsInt() bool { return c.Kind == KInt || c.Kind == KIntSkew }
+
+// IsStr reports whether the column is a string column.
+func (c *Column) IsStr() bool { return c.Kind == KStrLow || c.Kind == KStrHigh }
+
+// Table is one generated table with its full data set.
+type Table struct {
+	Name string
+	Cols []Column // Cols[0] is always an int join key with a small domain
+	Rows [][]storage.Value
+}
+
+// Scenario is a complete generated database: tables, schemas and data.
+type Scenario struct {
+	Seed   int64
+	Tables []*Table
+}
+
+// Dump renders the scenario (schema and data) for reproducer reports. Row
+// dumps are truncated; the seed regenerates them exactly.
+func (s *Scenario) Dump() string {
+	var b strings.Builder
+	for _, t := range s.Tables {
+		fmt.Fprintf(&b, "table %s (%d rows):", t.Name, len(t.Rows))
+		for _, c := range t.Cols {
+			fmt.Fprintf(&b, " %s %s", c.Name, c.Type)
+		}
+		b.WriteByte('\n')
+		for i, row := range t.Rows {
+			if i >= 12 {
+				fmt.Fprintf(&b, "  ... %d more rows (regenerate from seed)\n", len(t.Rows)-i)
+				break
+			}
+			b.WriteString("  ")
+			for j, v := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(renderValue(t.Cols[j], v))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func renderValue(c Column, v storage.Value) string {
+	switch c.Type.Kind {
+	case coltypes.KindString:
+		return "'" + v.Str + "'"
+	case coltypes.KindDecimal:
+		return v.Dec.String()
+	case coltypes.KindDate:
+		return dateStr(v.Int)
+	default:
+		return fmt.Sprintf("%d", v.Int)
+	}
+}
+
+// strPool is the word list low-NDV string columns draw from; plain
+// identifiers, no quoting hazards.
+var strPool = []string{
+	"ash", "birch", "cedar", "dogwood", "elm", "fir", "ginkgo",
+	"hazel", "ivy", "juniper", "kapok", "larch", "maple", "nutmeg",
+}
+
+// NewScenario generates 1-3 tables with random schemas and data: empty and
+// tiny tables, skewed and sorted columns (RLE-friendly), low- and high-NDV
+// dictionary strings, decimals and dates.
+func (g *Generator) NewScenario() *Scenario {
+	sc := &Scenario{Seed: g.seed}
+	nt := 1 + g.intn(3)
+	for i := 0; i < nt; i++ {
+		sc.Tables = append(sc.Tables, g.genTable(i))
+	}
+	g.sc = sc
+	return sc
+}
+
+func (g *Generator) genTable(idx int) *Table {
+	t := &Table{Name: fmt.Sprintf("t%d", idx)}
+	// Join key: small overlapping int domain so joins actually match.
+	t.Cols = append(t.Cols, Column{
+		Name: fmt.Sprintf("k%d", idx), Kind: KInt, Type: coltypes.Int(), Hi: 20,
+	})
+	extras := 2 + g.intn(4)
+	for j := 0; j < extras; j++ {
+		name := fmt.Sprintf("%c%d", 'a'+j, idx)
+		t.Cols = append(t.Cols, g.genColumn(name))
+	}
+
+	var rows int
+	switch r := g.rng.Float64(); {
+	case r < 0.10:
+		rows = 0
+	case r < 0.25:
+		rows = 1 + g.intn(5)
+	default:
+		rows = 20 + g.intn(381)
+	}
+
+	// Generate per-column vectors so some can be sorted independently
+	// (long runs exercise RLE), then zip into rows.
+	colVals := make([][]storage.Value, len(t.Cols))
+	for c := range t.Cols {
+		vals := make([]storage.Value, rows)
+		for r := 0; r < rows; r++ {
+			vals[r] = g.genValue(&t.Cols[c])
+		}
+		if g.chance(0.25) {
+			sort.Slice(vals, func(a, b int) bool { return vals[a].Int < vals[b].Int })
+		}
+		colVals[c] = vals
+	}
+	t.Rows = make([][]storage.Value, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]storage.Value, len(t.Cols))
+		for c := range t.Cols {
+			row[c] = colVals[c][r]
+		}
+		t.Rows[r] = row
+	}
+	return t
+}
+
+func (g *Generator) genColumn(name string) Column {
+	switch g.intn(7) {
+	case 0, 1: // plain ints are the workhorse
+		hi := []int64{9, 99, 999}[g.intn(3)]
+		return Column{Name: name, Kind: KInt, Type: coltypes.Int(), Hi: hi}
+	case 2:
+		return Column{Name: name, Kind: KIntSkew, Type: coltypes.Int(), Hi: 99}
+	case 3:
+		scale := int8(1 + g.intn(3))
+		return Column{Name: name, Kind: KDec, Type: coltypes.Decimal(scale), Hi: 99999}
+	case 4:
+		n := 3 + g.intn(4)
+		pool := make([]string, n)
+		off := g.intn(len(strPool))
+		for i := range pool {
+			pool[i] = strPool[(off+i)%len(strPool)]
+		}
+		return Column{Name: name, Kind: KStrLow, Type: coltypes.String(), Strs: pool}
+	case 5:
+		pool := make([]string, 40)
+		for i := range pool {
+			pool[i] = fmt.Sprintf("v%03d", g.intn(900))
+		}
+		return Column{Name: name, Kind: KStrHigh, Type: coltypes.String(), Strs: pool}
+	case 6:
+		if g.chance(0.5) {
+			return Column{Name: name, Kind: KDate, Type: coltypes.Date(), Base: 18500 + int64(g.intn(400))}
+		}
+		return Column{Name: name, Kind: KBool, Type: coltypes.Bool()}
+	}
+	panic("unreachable")
+}
+
+func (g *Generator) genValue(c *Column) storage.Value {
+	switch c.Kind {
+	case KInt:
+		v := int64(g.intn(int(c.Hi) + 1))
+		if g.chance(0.15) {
+			v = -v
+		}
+		return storage.IntValue(v)
+	case KIntSkew:
+		if g.chance(0.75) {
+			return storage.IntValue(int64(g.intn(3)) * 7) // hot values 0/7/14
+		}
+		return storage.IntValue(int64(g.intn(int(c.Hi) + 1)))
+	case KDec:
+		return storage.DecValue(encoding.Decimal{
+			Unscaled: int64(g.intn(int(c.Hi))), Scale: c.Type.Scale,
+		})
+	case KStrLow, KStrHigh:
+		return storage.StrValue(g.pick(c.Strs))
+	case KDate:
+		return storage.Value{Kind: coltypes.KindDate, Int: c.Base + int64(g.intn(120))}
+	case KBool:
+		return storage.BoolValue(g.chance(0.5))
+	}
+	panic("unreachable")
+}
+
+// constFor renders a random constant literal compatible with the column.
+func (g *Generator) constFor(c *Column) string {
+	switch c.Kind {
+	case KInt, KIntSkew:
+		return fmt.Sprintf("%d", g.intn(int(c.Hi)+1))
+	case KDec:
+		return encoding.Decimal{Unscaled: int64(g.intn(int(c.Hi))), Scale: c.Type.Scale}.String()
+	case KStrLow, KStrHigh:
+		return "'" + g.pick(c.Strs) + "'"
+	case KDate:
+		return "DATE '" + dateStr(c.Base+int64(g.intn(120))) + "'"
+	case KBool:
+		return fmt.Sprintf("%d", g.intn(2))
+	}
+	panic("unreachable")
+}

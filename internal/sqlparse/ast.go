@@ -129,6 +129,15 @@ type LikeP struct {
 	Not     bool
 }
 
+// IsNullP is e IS [NOT] NULL. The engine's value domain has no NULL (every
+// column is NOT NULL and all expressions are total), so the binder folds it
+// to a constant predicate; it exists so three-valued-logic query shapes
+// (e.g. TLP partitioning) parse and execute.
+type IsNullP struct {
+	E   AstExpr
+	Not bool
+}
+
 // AndP / OrP / NotP combine predicates.
 type AndP struct{ Preds []AstPred }
 type OrP struct{ Preds []AstPred }
@@ -138,6 +147,7 @@ func (*CmpPred) astPred()  {}
 func (*BetweenP) astPred() {}
 func (*InP) astPred()      {}
 func (*LikeP) astPred()    {}
+func (*IsNullP) astPred()  {}
 func (*AndP) astPred()     {}
 func (*OrP) astPred()      {}
 func (*NotP) astPred()     {}

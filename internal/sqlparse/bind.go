@@ -81,6 +81,16 @@ func (b *binder) bindSelect(stmt *SelectStmt) (plan.Node, error) {
 	var semis []*InP
 	perTable := map[string][]AstPred{}
 
+	// Aliases on the nullable side of a LEFT JOIN. WHERE predicates on such
+	// a table must run above the join: filtering its scan instead would turn
+	// probe rows that lose their only match into padded output rows.
+	nullableAlias := map[string]bool{}
+	for _, j := range stmt.Joins {
+		if j.Kind == "LEFT" {
+			nullableAlias[j.Table.Alias] = true
+		}
+	}
+
 	classify := func(p AstPred, fromJoinOn string, joinAlias string) error {
 		if in, ok := p.(*InP); ok && in.Sub != nil {
 			semis = append(semis, in)
@@ -91,9 +101,18 @@ func (b *binder) bindSelect(stmt *SelectStmt) (plan.Node, error) {
 		case 0:
 			residual = append(residual, p) // constant predicate
 		case 1:
-			perTable[aliases[0]] = append(perTable[aliases[0]], p)
+			if fromJoinOn == "" && nullableAlias[aliases[0]] {
+				residual = append(residual, p)
+			} else {
+				perTable[aliases[0]] = append(perTable[aliases[0]], p)
+			}
 		case 2:
-			if cp, ok := p.(*CmpPred); ok && cp.Op == "=" {
+			// A WHERE equality involving a LEFT JOIN's nullable side must
+			// not become a join edge either — merged into the join keys it
+			// would pad rows the filter should drop.
+			whereOnNullable := fromJoinOn == "" &&
+				(nullableAlias[aliases[0]] || nullableAlias[aliases[1]])
+			if cp, ok := p.(*CmpPred); ok && cp.Op == "=" && !whereOnNullable {
 				lcol, lok := cp.L.(*ColName)
 				rcol, rok := cp.R.(*ColName)
 				if lok && rok {
@@ -919,6 +938,20 @@ func (b *binder) bindPredWith(p AstPred, cols []scopeCol, bindE func(AstExpr) (p
 		}
 		kind, needle := classifyLike(pr.Pattern)
 		return &plan.LikePred{E: e, Kind: kind, Pattern: needle, Negate: pr.Not}, nil
+	case *IsNullP:
+		// The value domain has no NULL (every column is NOT NULL and all
+		// expressions are total), so IS NULL is constant false and
+		// IS NOT NULL constant true. Still bind the operand so invalid
+		// column references are rejected.
+		if _, err := bindE(pr.E); err != nil {
+			return nil, err
+		}
+		op := plan.NE // IS NULL: never true
+		if pr.Not {
+			op = plan.EQ // IS NOT NULL: always true
+		}
+		c := coltypes.Int()
+		return &plan.Cmp{Op: op, L: &plan.Const{T: c, Val: 1}, R: &plan.Const{T: c, Val: 1}}, nil
 	case *AndP:
 		out := &plan.AndPred{}
 		for _, s := range pr.Preds {
@@ -1023,6 +1056,8 @@ func walkP(p AstPred, walkE func(AstExpr)) {
 			walkE(i)
 		}
 	case *LikeP:
+		walkE(pr.E)
+	case *IsNullP:
 		walkE(pr.E)
 	case *AndP:
 		for _, s := range pr.Preds {

@@ -30,8 +30,17 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; the trailing EOF token is
+// never consumed so cur() stays in bounds after arbitrary token sequences.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) at(kind tokKind, text string) bool {
 	t := p.cur()
@@ -304,6 +313,14 @@ func (p *parser) parsePredAtom() (AstPred, error) {
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
+	}
+	// e IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullP{E: e, Not: neg}, nil
 	}
 	// e BETWEEN lo AND hi
 	if p.accept(tokKeyword, "BETWEEN") {

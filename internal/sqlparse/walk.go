@@ -67,6 +67,8 @@ func walkPredCols(p AstPred, walkE func(AstExpr)) {
 		}
 	case *LikeP:
 		walkE(pr.E)
+	case *IsNullP:
+		walkE(pr.E)
 	case *AndP:
 		for _, s := range pr.Preds {
 			walkPredCols(s, walkE)
