@@ -5,15 +5,21 @@
 // Usage:
 //
 //	rapid-bench [-sf 0.01] [-reps 3] [-micro-rows 2097152] [-skip-tpch]
+//	            [-profile out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"rapid/internal/bench"
+	"rapid/internal/hostdb"
+	"rapid/internal/obs"
+	"rapid/internal/qef"
+	"rapid/internal/tpch"
 )
 
 func main() {
@@ -22,6 +28,7 @@ func main() {
 	microRows := flag.Int("micro-rows", 1<<21, "input rows for micro-benchmarks")
 	skipTPCH := flag.Bool("skip-tpch", false, "run only the micro-benchmarks")
 	ablations := flag.Bool("ablations", true, "run the design-choice ablation studies")
+	profilePath := flag.String("profile", "", "write per-operator ModeDPU profiles of every TPC-H query as JSON to this file")
 	flag.Parse()
 
 	fmt.Println("RAPID reproduction benchmark suite")
@@ -46,7 +53,7 @@ func main() {
 		}
 	}
 
-	if *skipTPCH {
+	if *skipTPCH && *profilePath == "" {
 		return
 	}
 	fmt.Printf("building TPC-H workload at SF %.3f...\n", *sf)
@@ -57,12 +64,50 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("loaded in %.1fs\n\n", time.Since(start).Seconds())
-	runs, err := bench.RunQueries(db, *reps)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "queries:", err)
-		os.Exit(1)
+	if !*skipTPCH {
+		runs, err := bench.RunQueries(db, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "queries:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RunFig16(runs))
+		fmt.Println(bench.RunFig15(runs))
+		fmt.Println(bench.RunFig14(runs))
 	}
-	fmt.Println(bench.RunFig16(runs))
-	fmt.Println(bench.RunFig15(runs))
-	fmt.Println(bench.RunFig14(runs))
+	if *profilePath != "" {
+		if err := writeProfiles(db, *profilePath); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("per-operator profiles written to %s\n", *profilePath)
+	}
+}
+
+// writeProfiles runs every TPC-H query once in ModeDPU with profiling on,
+// checks the accounting invariants, and dumps the per-operator summaries.
+func writeProfiles(db *hostdb.Database, path string) error {
+	type entry struct {
+		Query   string      `json:"query"`
+		Profile obs.Summary `json:"profile"`
+	}
+	opts := hostdb.QueryOptions{
+		Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU,
+		FailOnInadmissible: true, Profile: true,
+	}
+	var out []entry
+	for _, q := range tpch.Queries() {
+		res, err := db.Query(q.SQL, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.Name, err)
+		}
+		if err := res.Profile.CheckInvariants(); err != nil {
+			return fmt.Errorf("%s: invariants: %w", q.Name, err)
+		}
+		out = append(out, entry{Query: q.Name, Profile: res.Profile.Summary()})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -7,6 +7,8 @@
 //
 // Shell commands: \q quit, \tables, \engine <mode>, \explain <sql>,
 // \queries (list TPC-H queries), \run <name> (run one by name).
+// Prefix any query with EXPLAIN ANALYZE to get the per-operator profile
+// (cycles, DMS bytes, rows/tiles) of the RAPID execution.
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 	}
 	fmt.Println("ready. tables:", strings.Join(tpch.TableNames(), ", "))
 	fmt.Println(`enter SQL terminated by ';', or \q to quit, \queries for samples`)
+	fmt.Println(`prefix a query with EXPLAIN ANALYZE for a per-operator profile`)
 
 	opts := optsFor(*engine)
 	scanner := bufio.NewScanner(os.Stdin)
@@ -150,4 +153,8 @@ func exec(db *hostdb.Database, sql string, opts hostdb.QueryOptions, explainOnly
 		fmt.Printf(" (simulated DPU time: %.3f ms)", res.RapidSimSeconds*1e3)
 	}
 	fmt.Println()
+	if res.Profile != nil {
+		fmt.Println()
+		fmt.Print(res.Profile.Format())
+	}
 }

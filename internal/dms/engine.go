@@ -19,8 +19,9 @@ type Engine struct {
 	model Model
 	dram  *mem.DRAM
 
-	mu     sync.Mutex
-	totals Timing
+	mu          sync.Mutex
+	totalsRead  Timing
+	totalsWrite Timing
 }
 
 // NewEngine creates a DMS over the given DRAM arena.
@@ -31,18 +32,29 @@ func NewEngine(model Model, dram *mem.DRAM) *Engine {
 // Model returns the engine's timing model.
 func (e *Engine) Model() Model { return e.model }
 
-// Totals returns the cumulative timing over all operations.
+// Totals returns the cumulative timing over all operations (both
+// directions merged).
 func (e *Engine) Totals() Timing {
+	rd, wr := e.TotalsByDir()
+	rd.Add(wr)
+	return rd
+}
+
+// TotalsByDir returns the cumulative timing split by transfer direction:
+// DRAM→DMEM reads and DMEM→DRAM writes. The split is what the profiling
+// invariants reconcile per-operator byte attributions against.
+func (e *Engine) TotalsByDir() (read, write Timing) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.totals
+	return e.totalsRead, e.totalsWrite
 }
 
 // ResetTotals zeroes the cumulative counters.
 func (e *Engine) ResetTotals() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.totals = Timing{}
+	e.totalsRead = Timing{}
+	e.totalsWrite = Timing{}
 }
 
 func (e *Engine) account(t Timing) {
@@ -50,7 +62,11 @@ func (e *Engine) account(t Timing) {
 		e.dram.AddTraffic(int(t.Bytes))
 	}
 	e.mu.Lock()
-	e.totals.Add(t)
+	if t.Write {
+		e.totalsWrite.Add(t)
+	} else {
+		e.totalsRead.Add(t)
+	}
 	e.mu.Unlock()
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"rapid/internal/coltypes"
 	"rapid/internal/encoding"
+	"rapid/internal/obs"
 	"rapid/internal/storage"
 )
 
@@ -23,12 +24,33 @@ type Database struct {
 	tables map[string]*HostTable
 	scn    uint64
 
+	metrics *obs.Registry
+
 	stopCheckpointer chan struct{}
 }
 
-// New creates an empty database.
+// New creates an empty database with its own metrics registry.
 func New() *Database {
-	return &Database{tables: make(map[string]*HostTable)}
+	return NewWithMetrics(nil)
+}
+
+// NewWithMetrics creates an empty database sharing the given metrics
+// registry (nil allocates a fresh one).
+func NewWithMetrics(reg *obs.Registry) *Database {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Database{tables: make(map[string]*HostTable), metrics: reg}
+}
+
+// Metrics returns the database's metrics registry.
+func (db *Database) Metrics() *obs.Registry { return db.metrics }
+
+// checkpointLagGauge tracks journal entries not yet propagated to RAPID.
+// Updated incrementally at every journal mutation: the obvious recompute
+// via PendingJournal would need the table lock the mutators already hold.
+func (db *Database) checkpointLagGauge() *obs.Gauge {
+	return db.metrics.Gauge("hostdb_checkpoint_lag_entries")
 }
 
 // HostTable is one row-store table plus its RAPID replica state.
@@ -176,6 +198,8 @@ func (db *Database) Insert(table string, rows [][]storage.Value) (uint64, error)
 	scn := db.NextSCN()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	journaled := 0
+	defer func() { db.checkpointLagGauge().Add(int64(journaled)) }()
 	for _, vals := range rows {
 		enc, err := t.encodeRow(vals)
 		if err != nil {
@@ -184,6 +208,7 @@ func (db *Database) Insert(table string, rows [][]storage.Value) (uint64, error)
 		t.rows = append(t.rows, enc)
 		if t.rapid != nil {
 			t.journal = append(t.journal, journalEntry{scn: scn, insert: enc, delRow: -1, updRow: -1})
+			journaled++
 		}
 	}
 	return scn, nil
@@ -213,6 +238,7 @@ func (db *Database) Update(table string, row, col int, val storage.Value) (uint6
 	t.rows[row][col] = enc[col]
 	if t.rapid != nil {
 		t.journal = append(t.journal, journalEntry{scn: scn, delRow: -1, updRow: row, updCol: col, updVal: enc[col]})
+		db.checkpointLagGauge().Add(1)
 	}
 	return scn, nil
 }
@@ -232,6 +258,7 @@ func (db *Database) Delete(table string, row int) (uint64, error) {
 	}
 	if t.rapid != nil {
 		t.journal = append(t.journal, journalEntry{scn: scn, delRow: row, updRow: -1})
+		db.checkpointLagGauge().Add(1)
 	}
 	// Tombstone rather than compact so journal row indices stay stable.
 	t.rows[row] = nil
@@ -313,6 +340,7 @@ func (db *Database) Load(table string, opts LoadOptions) (*storage.Table, error)
 		return nil, err
 	}
 	t.rapid = rapid
+	db.checkpointLagGauge().Add(-int64(len(t.journal)))
 	t.journal = nil
 	return rapid, nil
 }
@@ -369,6 +397,8 @@ func (db *Database) Checkpoint(table string) error {
 		}
 		start = end
 	}
+	db.checkpointLagGauge().Add(-int64(len(t.journal)))
+	db.metrics.Counter("hostdb_checkpoints_total").Inc()
 	t.journal = nil
 	return nil
 }

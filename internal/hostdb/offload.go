@@ -2,9 +2,11 @@ package hostdb
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"rapid/internal/coltypes"
+	"rapid/internal/obs"
 	"rapid/internal/ops"
 	"rapid/internal/plan"
 	"rapid/internal/power"
@@ -39,6 +41,10 @@ type QueryOptions struct {
 	// InjectRapidFailure simulates a RAPID node failure mid-query to
 	// exercise the fallback path.
 	InjectRapidFailure bool
+	// Profile enables per-operator profiling of the RAPID execution; the
+	// finished profile is returned in QueryResult.Profile. Also set by the
+	// EXPLAIN ANALYZE prefix.
+	Profile bool
 }
 
 // QueryResult is the outcome of one query.
@@ -61,6 +67,9 @@ type QueryResult struct {
 	EstRapidSec float64
 	EstHostSec  float64
 	Explain     string
+	// Profile is the per-operator profile of the RAPID execution; non-nil
+	// only when profiling was requested and the query ran on RAPID.
+	Profile *obs.Profile
 }
 
 // RapidFraction returns the share of elapsed wall time spent in RAPID.
@@ -87,9 +96,52 @@ func (c catalogAdapter) Lookup(name string) (*storage.Table, error) {
 	return rt, nil
 }
 
+// stripExplainAnalyze detects the EXPLAIN ANALYZE prefix (two words,
+// case-insensitive; bare EXPLAIN is handled by the callers' plan output)
+// and returns the inner query.
+func stripExplainAnalyze(sql string) (string, bool) {
+	rest := strings.TrimSpace(sql)
+	fields := strings.Fields(rest)
+	if len(fields) >= 2 && strings.EqualFold(fields[0], "EXPLAIN") && strings.EqualFold(fields[1], "ANALYZE") {
+		idx := strings.Index(strings.ToUpper(rest), "ANALYZE") + len("ANALYZE")
+		return strings.TrimSpace(rest[idx:]), true
+	}
+	return sql, false
+}
+
 // Query parses, plans and executes a SQL query, deciding offload cost-based
-// per §3.1 and enforcing the SCN admissibility rule of §3.3.
+// per §3.1 and enforcing the SCN admissibility rule of §3.3. An
+// `EXPLAIN ANALYZE <query>` prefix executes the inner query with
+// per-operator profiling and returns the profile in the result. Engine-wide
+// query counters land in the database's metrics registry.
 func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
+	if inner, ok := stripExplainAnalyze(sql); ok {
+		sql = inner
+		opts.Profile = true
+	}
+	res, err := db.query(sql, opts)
+	m := db.metrics
+	m.Counter("hostdb_queries_total").Inc()
+	switch {
+	case err != nil:
+		m.Counter("hostdb_queries_failed").Inc()
+	case res.Offloaded:
+		m.Counter("hostdb_queries_offloaded").Inc()
+		if res.FellBack {
+			// Not reachable today (FellBack implies !Offloaded), kept so the
+			// counters stay truthful if the retry semantics ever change.
+			m.Counter("hostdb_queries_fellback").Inc()
+		}
+	default:
+		if res.FellBack {
+			m.Counter("hostdb_queries_fellback").Inc()
+		}
+		m.Counter("hostdb_queries_host").Inc()
+	}
+	return res, err
+}
+
+func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
 	hostStart := time.Now()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -121,13 +173,14 @@ func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
 			return nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
 		}
 		if admissible {
-			rel, rapidWall, simSec, x86Sec, rerr := db.runRapid(node, opts)
+			rel, rapidWall, simSec, x86Sec, prof, rerr := db.runRapid(node, opts)
 			if rerr == nil {
 				res.Rel = rel
 				res.Offloaded = true
 				res.RapidWall = rapidWall
 				res.RapidSimSeconds = simSec
 				res.X86ModelSeconds = x86Sec
+				res.Profile = prof
 				res.HostWall = time.Since(hostStart) - rapidWall
 				return res, nil
 			}
@@ -173,23 +226,50 @@ func walkScans(n plan.Node, fn func(*plan.Scan)) {
 // runRapid is the RAPID operator (§3.1): it serializes the fragment plan to
 // the RAPID node (here: compiles it), triggers execution, and receives the
 // result relation "over the network".
-func (db *Database) runRapid(node plan.Node, opts QueryOptions) (*ops.Relation, time.Duration, float64, float64, error) {
+func (db *Database) runRapid(node plan.Node, opts QueryOptions) (*ops.Relation, time.Duration, float64, float64, *obs.Profile, error) {
 	if opts.InjectRapidFailure {
-		return nil, 0, 0, 0, fmt.Errorf("hostdb: injected RAPID node failure")
+		return nil, 0, 0, 0, nil, fmt.Errorf("hostdb: injected RAPID node failure")
 	}
 	compiled, err := qcomp.Compile(node)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, 0, nil, err
 	}
 	ctx := qef.NewContext(opts.RapidMode)
+	ctx.Metrics = db.metrics
+	var prof *obs.Profile
+	if opts.Profile {
+		prof = obs.NewProfile(opts.RapidMode.String(), ctx.SoC.Config().NumCores, compiled.SpanDefs())
+		ctx.Prof = prof
+	}
 	start := time.Now()
 	rel, err := compiled.Execute(ctx)
 	wall := time.Since(start)
 	if err != nil {
-		return nil, wall, 0, 0, err
+		return nil, wall, 0, 0, nil, err
+	}
+	simSec := ctx.SimElapsed()
+	if prof != nil {
+		busR, busW := ctx.BusSeconds()
+		cores := ctx.SoC.Cores()
+		coreCy := make([]int64, len(cores))
+		for i, co := range cores {
+			coreCy[i] = int64(co.Cycles())
+		}
+		rdT, wrT := ctx.DMS.TotalsByDir()
+		prof.Finalize(obs.Totals{
+			WallSeconds:     wall.Seconds(),
+			SimSeconds:      simSec,
+			BusReadSeconds:  busR,
+			BusWriteSeconds: busW,
+			CoreCycles:      coreCy,
+			DMSReadBytes:    rdT.Bytes,
+			DMSWriteBytes:   wrT.Bytes,
+			DMSReadSeconds:  rdT.Seconds,
+			DMSWriteSeconds: wrT.Seconds,
+		})
 	}
 	x86Sec := power.X86ModelSeconds(float64(ctx.SoC.TotalCycles()), ctx.DMS.Totals().Bytes)
-	return rel, wall, ctx.SimElapsed(), x86Sec, nil
+	return rel, wall, simSec, x86Sec, prof, nil
 }
 
 // runHost executes the plan on the System X row engine and materializes the

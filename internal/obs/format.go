@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the profile as the EXPLAIN ANALYZE table: one row per
+// operator (indented by data-flow depth), a "total" footer with the
+// whole-query counters the spans reconcile against, and a summary line
+// with the time totals. Columns are pipe-separated with raw integers so
+// the output is machine-parseable as well as readable.
+func (p *Profile) Format() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE (%s, %d cores", p.Mode, p.Cores)
+	if p.adapted {
+		b.WriteString(", plan adapted at runtime")
+	}
+	b.WriteString(")\n")
+
+	depth := make([]int, len(p.Defs))
+	for i, d := range p.Defs {
+		if d.Parent >= 0 && d.Parent < len(depth) {
+			depth[i] = depth[d.Parent] + 1
+		}
+	}
+
+	rows := make([][]string, 0, len(p.Defs)+2)
+	rows = append(rows, []string{"operator", "cycles", "rd_bytes", "wr_bytes", "rows_in", "rows_out", "tiles_in", "tiles_out", "wall_ms"})
+	for i, d := range p.Defs {
+		s := p.spans[i]
+		name := strings.Repeat("  ", depth[i]) + d.Name
+		if d.Detail != "" {
+			name += " " + d.Detail
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", s.Cycles()),
+			fmt.Sprintf("%d", s.ReadBytes()),
+			fmt.Sprintf("%d", s.WriteBytes()),
+			fmt.Sprintf("%d", s.RowsIn()),
+			fmt.Sprintf("%d", s.RowsOut()),
+			fmt.Sprintf("%d", s.TilesIn()),
+			fmt.Sprintf("%d", s.TilesOut()),
+			fmt.Sprintf("%.3f", float64(s.WallNs())/1e6),
+		})
+	}
+	rows = append(rows, []string{
+		"total",
+		fmt.Sprintf("%d", p.TotalCycles()),
+		fmt.Sprintf("%d", p.totals.DMSReadBytes),
+		fmt.Sprintf("%d", p.totals.DMSWriteBytes),
+		"", "", "", "",
+		fmt.Sprintf("%.3f", p.totals.WallSeconds*1e3),
+	})
+
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for i, r := range rows {
+		for c, cell := range r {
+			if c > 0 {
+				b.WriteString(" | ")
+			}
+			if c == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[c], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[c], cell)
+			}
+		}
+		b.WriteString("\n")
+		if i == 0 {
+			for c, w := range widths {
+				if c > 0 {
+					b.WriteString("-+-")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "sim %.6gs  bus_rd %.6gs  bus_wr %.6gs  wall %.3fms\n",
+		p.totals.SimSeconds, p.totals.BusReadSeconds, p.totals.BusWriteSeconds,
+		p.totals.WallSeconds*1e3)
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func twoSpanProfile() *Profile {
+	defs := []SpanDef{
+		{ID: 0, Parent: -1, Name: "GroupBy", Conserves: true},
+		{ID: 1, Parent: 0, Name: "Scan(t)"},
+	}
+	return NewProfile("ModeDPU", 2, defs)
+}
+
+func TestProfileInvariantsHold(t *testing.T) {
+	p := twoSpanProfile()
+	scan, gb := p.Span(1), p.Span(0)
+	scan.AddCycles(0, 100)
+	scan.AddCycles(1, 50)
+	scan.AddTransfer(0, false, 4096, 1e-6)
+	scan.TickIn(0, 256)
+	scan.TickOut(0, 200)
+	gb.AddCycles(0, 40)
+	gb.TickIn(0, 200)
+	gb.AddRowsOut(4)
+	gb.AddTransfer(1, true, 128, 1e-7)
+	p.Finalize(Totals{
+		SimSeconds:      2e-6,
+		BusReadSeconds:  1e-6,
+		BusWriteSeconds: 1e-7,
+		CoreCycles:      []int64{140, 50},
+		DMSReadBytes:    4096,
+		DMSWriteBytes:   128,
+		DMSReadSeconds:  1e-6,
+		DMSWriteSeconds: 1e-7,
+	})
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	out := p.Format()
+	for _, want := range []string{"GroupBy", "Scan(t)", "total", "190"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+	sum := p.Summary()
+	if sum.TotalCycles != 190 || len(sum.Ops) != 2 {
+		t.Fatalf("summary: %+v", sum)
+	}
+}
+
+func TestProfileInvariantViolationsDetected(t *testing.T) {
+	mk := func(mut func(p *Profile)) error {
+		p := twoSpanProfile()
+		p.Span(1).AddCycles(0, 10)
+		p.Span(1).AddRowsOut(5)
+		p.Span(0).AddRowsIn(5)
+		mut(p)
+		return p.CheckInvariants()
+	}
+	cases := []struct {
+		name string
+		mut  func(p *Profile)
+		want string
+	}{
+		{"cycle mismatch", func(p *Profile) {
+			p.Finalize(Totals{CoreCycles: []int64{11, 0}})
+		}, "cycle spans"},
+		{"byte mismatch", func(p *Profile) {
+			p.Finalize(Totals{CoreCycles: []int64{10, 0}, DMSReadBytes: 1})
+		}, "read bytes"},
+		{"sim below bus", func(p *Profile) {
+			p.Finalize(Totals{CoreCycles: []int64{10, 0}, SimSeconds: 1e-9, BusReadSeconds: 1e-3})
+		}, "below bus"},
+		{"row mismatch", func(p *Profile) {
+			p.Span(0).AddRowsIn(1)
+			p.Finalize(Totals{CoreCycles: []int64{10, 0}})
+		}, "rows-in"},
+	}
+	for _, tc := range cases {
+		err := mk(tc.mut)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// Adapted profiles relax only the row invariant.
+	err := mk(func(p *Profile) {
+		p.Span(0).AddRowsIn(1)
+		p.MarkAdapted()
+		p.Finalize(Totals{CoreCycles: []int64{10, 0}})
+	})
+	if err != nil {
+		t.Errorf("adapted profile should skip row conservation: %v", err)
+	}
+	if err := mk(func(p *Profile) {}); err == nil {
+		t.Error("unfinalized profile must fail invariants")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var p *Profile
+	s := p.Span(3)
+	s.AddCycles(0, 1)
+	s.AddWallNs(0, 1)
+	s.AddTransfer(0, true, 1, 1)
+	s.TickIn(0, 1)
+	s.TickOut(0, 1)
+	s.AddRowsIn(1)
+	s.AddRowsOut(1)
+	p.MarkAdapted()
+	p.Finalize(Totals{})
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Format() != "" {
+		t.Error("nil profile should format empty")
+	}
+
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Add(2)
+	if r.Snapshot() != nil || r.Counter("x").Value() != 0 {
+		t.Error("nil registry must be inert")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Snapshot()["g"]; got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	r.Gauge("g").Set(5)
+	if got := r.Gauge("g").Value(); got != 5 {
+		t.Fatalf("gauge after Set = %d", got)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "c" || names[1] != "g" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,403 @@
+// Package obs is the engine observability layer: per-query profiles with
+// per-operator attribution of dpCore cycles, DMS transfers and row flow
+// (the decomposition behind the paper's §7 per-kernel evaluation), plus an
+// engine-wide metrics registry of counters and gauges.
+//
+// A Profile is created per query execution from the compiler's operator
+// span definitions. During execution the QEF attributes accounting deltas
+// to the currently-active span; after execution the whole-query totals are
+// frozen in, and CheckInvariants verifies that the decomposition exactly
+// reconciles with them — per core for cycles, per direction for DMS bytes.
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpanDef is one operator span declared at plan time: a stable operator ID,
+// its parent in the data-flow tree (-1 for the root) and display metadata.
+type SpanDef struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"`
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	// Conserves marks a row-conservation contract: this operator's rows-in
+	// must equal the summed rows-out of its children in the span tree.
+	Conserves bool `json:"conserves,omitempty"`
+}
+
+// OpSpan accumulates one operator's measurements. Storage is per core so
+// concurrent work units never contend: core w writes only slot w, and the
+// orchestrator (which runs strictly between parallel phases) uses slot 0.
+// All methods are nil-receiver safe so call sites need no profiling checks.
+type OpSpan struct {
+	cycles     []int64
+	wallNs     []int64
+	readBytes  []int64
+	writeBytes []int64
+	readSec    []float64
+	writeSec   []float64
+	rowsIn     []int64
+	rowsOut    []int64
+	tilesIn    []int64
+	tilesOut   []int64
+}
+
+func newOpSpan(cores int) *OpSpan {
+	return &OpSpan{
+		cycles:     make([]int64, cores),
+		wallNs:     make([]int64, cores),
+		readBytes:  make([]int64, cores),
+		writeBytes: make([]int64, cores),
+		readSec:    make([]float64, cores),
+		writeSec:   make([]float64, cores),
+		rowsIn:     make([]int64, cores),
+		rowsOut:    make([]int64, cores),
+		tilesIn:    make([]int64, cores),
+		tilesOut:   make([]int64, cores),
+	}
+}
+
+// AddCycles attributes a dpCore cycle delta measured on the given core.
+func (s *OpSpan) AddCycles(core int, cy int64) {
+	if s == nil {
+		return
+	}
+	s.cycles[core] += cy
+}
+
+// AddWallNs attributes native wall time (ModeX86) measured on a worker.
+func (s *OpSpan) AddWallNs(core int, ns int64) {
+	if s == nil {
+		return
+	}
+	s.wallNs[core] += ns
+}
+
+// AddTransfer attributes one DMS operation.
+func (s *OpSpan) AddTransfer(core int, write bool, bytes int64, sec float64) {
+	if s == nil {
+		return
+	}
+	if write {
+		s.writeBytes[core] += bytes
+		s.writeSec[core] += sec
+	} else {
+		s.readBytes[core] += bytes
+		s.readSec[core] += sec
+	}
+}
+
+// TickIn counts one tile of rows entering the operator.
+func (s *OpSpan) TickIn(core int, rows int64) {
+	if s == nil {
+		return
+	}
+	s.rowsIn[core] += rows
+	s.tilesIn[core]++
+}
+
+// TickOut counts one tile of rows leaving the operator.
+func (s *OpSpan) TickOut(core int, rows int64) {
+	if s == nil {
+		return
+	}
+	s.rowsOut[core] += rows
+	s.tilesOut[core]++
+}
+
+// AddRowsIn counts materialized input rows (orchestrator-side, no tile).
+func (s *OpSpan) AddRowsIn(rows int64) {
+	if s == nil {
+		return
+	}
+	s.rowsIn[0] += rows
+}
+
+// AddRowsOut counts materialized output rows (orchestrator-side, no tile).
+func (s *OpSpan) AddRowsOut(rows int64) {
+	if s == nil {
+		return
+	}
+	s.rowsOut[0] += rows
+}
+
+func sum64(v []int64) int64 {
+	var t int64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+func sumF(v []float64) float64 {
+	var t float64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Cycles returns the span's total attributed cycles.
+func (s *OpSpan) Cycles() int64 { return sum64(s.cycles) }
+
+// WallNs returns the span's total attributed native nanoseconds.
+func (s *OpSpan) WallNs() int64 { return sum64(s.wallNs) }
+
+// ReadBytes returns total DMS read bytes attributed to the span.
+func (s *OpSpan) ReadBytes() int64 { return sum64(s.readBytes) }
+
+// WriteBytes returns total DMS write bytes attributed to the span.
+func (s *OpSpan) WriteBytes() int64 { return sum64(s.writeBytes) }
+
+// ReadSeconds returns total DMS read seconds attributed to the span.
+func (s *OpSpan) ReadSeconds() float64 { return sumF(s.readSec) }
+
+// WriteSeconds returns total DMS write seconds attributed to the span.
+func (s *OpSpan) WriteSeconds() float64 { return sumF(s.writeSec) }
+
+// RowsIn returns total input rows.
+func (s *OpSpan) RowsIn() int64 { return sum64(s.rowsIn) }
+
+// RowsOut returns total output rows.
+func (s *OpSpan) RowsOut() int64 { return sum64(s.rowsOut) }
+
+// TilesIn returns total input tiles.
+func (s *OpSpan) TilesIn() int64 { return sum64(s.tilesIn) }
+
+// TilesOut returns total output tiles.
+func (s *OpSpan) TilesOut() int64 { return sum64(s.tilesOut) }
+
+// Totals are the whole-query counters frozen into a profile after
+// execution; CheckInvariants reconciles the spans against them.
+type Totals struct {
+	WallSeconds     float64
+	SimSeconds      float64
+	BusReadSeconds  float64
+	BusWriteSeconds float64
+	CoreCycles      []int64 // per-core counter deltas for the query
+	DMSReadBytes    int64
+	DMSWriteBytes   int64
+	DMSReadSeconds  float64
+	DMSWriteSeconds float64
+}
+
+// Profile is the per-query observability record: the span tree plus the
+// whole-query totals.
+type Profile struct {
+	Mode  string
+	Cores int
+	Defs  []SpanDef
+
+	spans []*OpSpan
+
+	// adapted records a runtime plan adaptation (e.g. the §5.4 group-by
+	// overflow fallback): parts of the plan re-executed, so row-conservation
+	// edges are no longer exact. Cycle and byte conservation still hold.
+	adapted bool
+
+	finalized bool
+	totals    Totals
+}
+
+// NewProfile allocates a profile with one span per definition. Span slot
+// storage is preallocated here — the per-tile execution path only does
+// arithmetic on it.
+func NewProfile(mode string, cores int, defs []SpanDef) *Profile {
+	p := &Profile{Mode: mode, Cores: cores, Defs: defs}
+	p.spans = make([]*OpSpan, len(defs))
+	for i := range p.spans {
+		p.spans[i] = newOpSpan(cores)
+	}
+	return p
+}
+
+// Span returns the span for an operator ID; nil for out-of-range IDs or a
+// nil profile, so callers can thread "profiling off" without checks.
+func (p *Profile) Span(id int) *OpSpan {
+	if p == nil || id < 0 || id >= len(p.spans) {
+		return nil
+	}
+	return p.spans[id]
+}
+
+// MarkAdapted records a runtime plan adaptation (relaxes row invariants).
+func (p *Profile) MarkAdapted() {
+	if p != nil {
+		p.adapted = true
+	}
+}
+
+// Adapted reports whether the plan adapted at runtime.
+func (p *Profile) Adapted() bool { return p != nil && p.adapted }
+
+// Finalize freezes the whole-query totals into the profile.
+func (p *Profile) Finalize(t Totals) {
+	if p == nil {
+		return
+	}
+	p.totals = t
+	p.finalized = true
+}
+
+// Totals returns the frozen whole-query totals.
+func (p *Profile) Totals() Totals { return p.totals }
+
+// TotalCycles returns the whole-query cycle total (sum over cores).
+func (p *Profile) TotalCycles() int64 { return sum64(p.totals.CoreCycles) }
+
+// CheckInvariants verifies that the per-operator decomposition exactly
+// reconciles with the whole-query totals:
+//
+//  1. per core, operator cycle spans sum to that core's cycle delta;
+//  2. per direction, span DMS bytes sum to the engine's transfer totals
+//     (and span seconds to the bus occupancy, within float tolerance);
+//  3. the simulated elapsed time is at least the bus occupancy of the
+//     busier direction;
+//  4. along every conserving data-flow edge, parent rows-in equals the
+//     summed rows-out of its children (skipped after a runtime plan
+//     adaptation, which re-executes part of the stream).
+func (p *Profile) CheckInvariants() error {
+	if p == nil {
+		return nil
+	}
+	if !p.finalized {
+		return fmt.Errorf("obs: profile not finalized")
+	}
+	// 1. Per-core cycle conservation (exact integer equality).
+	for core := 0; core < p.Cores; core++ {
+		var spanSum int64
+		for _, s := range p.spans {
+			spanSum += s.cycles[core]
+		}
+		var want int64
+		if core < len(p.totals.CoreCycles) {
+			want = p.totals.CoreCycles[core]
+		}
+		if spanSum != want {
+			return fmt.Errorf("obs: core %d cycle spans sum to %d, core counter delta is %d", core, spanSum, want)
+		}
+	}
+	// 2. Per-direction DMS byte conservation (exact integer equality).
+	var rdB, wrB int64
+	var rdS, wrS float64
+	for _, s := range p.spans {
+		rdB += s.ReadBytes()
+		wrB += s.WriteBytes()
+		rdS += s.ReadSeconds()
+		wrS += s.WriteSeconds()
+	}
+	if rdB != p.totals.DMSReadBytes {
+		return fmt.Errorf("obs: span DMS read bytes sum to %d, engine total is %d", rdB, p.totals.DMSReadBytes)
+	}
+	if wrB != p.totals.DMSWriteBytes {
+		return fmt.Errorf("obs: span DMS write bytes sum to %d, engine total is %d", wrB, p.totals.DMSWriteBytes)
+	}
+	// Seconds are float sums in different orders; allow relative drift.
+	if !closeEnough(rdS, p.totals.DMSReadSeconds) {
+		return fmt.Errorf("obs: span DMS read seconds sum to %g, engine total is %g", rdS, p.totals.DMSReadSeconds)
+	}
+	if !closeEnough(wrS, p.totals.DMSWriteSeconds) {
+		return fmt.Errorf("obs: span DMS write seconds sum to %g, engine total is %g", wrS, p.totals.DMSWriteSeconds)
+	}
+	// 3. Elapsed-time lower bound: the serialized DDR bus.
+	maxBus := p.totals.BusReadSeconds
+	if p.totals.BusWriteSeconds > maxBus {
+		maxBus = p.totals.BusWriteSeconds
+	}
+	if p.totals.SimSeconds < maxBus*(1-1e-9) {
+		return fmt.Errorf("obs: SimElapsed %g below bus occupancy %g", p.totals.SimSeconds, maxBus)
+	}
+	// 4. Row conservation along declared edges.
+	if !p.adapted {
+		for _, d := range p.Defs {
+			if !d.Conserves {
+				continue
+			}
+			var childOut int64
+			children := 0
+			for _, c := range p.Defs {
+				if c.Parent == d.ID {
+					childOut += p.spans[c.ID].RowsOut()
+					children++
+				}
+			}
+			if children == 0 {
+				continue
+			}
+			if in := p.spans[d.ID].RowsIn(); in != childOut {
+				return fmt.Errorf("obs: operator %d (%s) rows-in %d != children rows-out %d", d.ID, d.Name, in, childOut)
+			}
+		}
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale+1e-15
+}
+
+// SpanSummary is the JSON-friendly rendering of one operator span.
+type SpanSummary struct {
+	ID           int     `json:"id"`
+	Parent       int     `json:"parent"`
+	Name         string  `json:"name"`
+	Detail       string  `json:"detail,omitempty"`
+	Cycles       int64   `json:"cycles"`
+	WallMs       float64 `json:"wall_ms"`
+	ReadBytes    int64   `json:"dms_read_bytes"`
+	WriteBytes   int64   `json:"dms_write_bytes"`
+	ReadSeconds  float64 `json:"dms_read_seconds"`
+	WriteSeconds float64 `json:"dms_write_seconds"`
+	RowsIn       int64   `json:"rows_in"`
+	RowsOut      int64   `json:"rows_out"`
+	TilesIn      int64   `json:"tiles_in"`
+	TilesOut     int64   `json:"tiles_out"`
+}
+
+// Summary is the JSON-friendly rendering of a whole profile.
+type Summary struct {
+	Mode            string        `json:"mode"`
+	Adapted         bool          `json:"adapted,omitempty"`
+	WallSeconds     float64       `json:"wall_seconds"`
+	SimSeconds      float64       `json:"sim_seconds"`
+	BusReadSeconds  float64       `json:"bus_read_seconds"`
+	BusWriteSeconds float64       `json:"bus_write_seconds"`
+	TotalCycles     int64         `json:"total_cycles"`
+	DMSReadBytes    int64         `json:"dms_read_bytes"`
+	DMSWriteBytes   int64         `json:"dms_write_bytes"`
+	Ops             []SpanSummary `json:"ops"`
+}
+
+// Summary renders the profile for JSON export.
+func (p *Profile) Summary() Summary {
+	if p == nil {
+		return Summary{}
+	}
+	out := Summary{
+		Mode:            p.Mode,
+		Adapted:         p.adapted,
+		WallSeconds:     p.totals.WallSeconds,
+		SimSeconds:      p.totals.SimSeconds,
+		BusReadSeconds:  p.totals.BusReadSeconds,
+		BusWriteSeconds: p.totals.BusWriteSeconds,
+		TotalCycles:     p.TotalCycles(),
+		DMSReadBytes:    p.totals.DMSReadBytes,
+		DMSWriteBytes:   p.totals.DMSWriteBytes,
+	}
+	for i, d := range p.Defs {
+		s := p.spans[i]
+		out.Ops = append(out.Ops, SpanSummary{
+			ID: d.ID, Parent: d.Parent, Name: d.Name, Detail: d.Detail,
+			Cycles: s.Cycles(), WallMs: float64(s.WallNs()) / 1e6,
+			ReadBytes: s.ReadBytes(), WriteBytes: s.WriteBytes(),
+			ReadSeconds: s.ReadSeconds(), WriteSeconds: s.WriteSeconds(),
+			RowsIn: s.RowsIn(), RowsOut: s.RowsOut(),
+			TilesIn: s.TilesIn(), TilesOut: s.TilesOut(),
+		})
+	}
+	return out
+}

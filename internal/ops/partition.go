@@ -89,7 +89,12 @@ func PartitionByHash(ctx *qef.Context, cols []coltypes.Data, keyCols []int, sche
 	}
 	var hv []uint32
 	if ctx.Mode == qef.ModeDPU {
-		hv, _ = ctx.DMS.HashVector(cols, keyCols)
+		var ht dms.Timing
+		hv, ht = ctx.DMS.HashVector(cols, keyCols)
+		// The hash pass runs on the DMS from the orchestrator, outside any
+		// work unit; attribute its bytes/time to the active operator span so
+		// the profile reconciles with the engine's transfer totals.
+		ctx.AccountSpanTransfer(ht)
 	} else {
 		hv = primitives.HashColumns(nil, keyData, nil)
 	}

@@ -123,6 +123,7 @@ func chainOf(tc *qef.TaskCtx, chains []qef.Operator, chainFor func() qef.Operato
 }
 
 func emitTo(tc *qef.TaskCtx, head qef.Operator, t *qef.Tile) error {
+	tc.SpanTileIn(t.N)
 	return head.Produce(tc, t)
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"rapid/internal/coltypes"
+	"rapid/internal/obs"
 	"rapid/internal/ops"
 	"rapid/internal/plan"
 	"rapid/internal/qef"
@@ -15,7 +16,8 @@ import (
 // Compiled is a physical query execution plan (QEP) ready to run on a
 // qef.Context.
 type Compiled struct {
-	root physNode
+	root     physNode
+	spanDefs []obs.SpanDef
 }
 
 // Compile lowers a logical plan into a physical QEP.
@@ -24,7 +26,9 @@ func Compile(n plan.Node) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{root: pn}, nil
+	reg := &spanReg{}
+	pn.annotate(reg, -1)
+	return &Compiled{root: pn, spanDefs: reg.defs}, nil
 }
 
 // Execute runs the QEP.
@@ -45,6 +49,9 @@ type physNode interface {
 	fields() []plan.Field
 	estRows() int64
 	explain(sb *strings.Builder, depth int)
+	// annotate registers the node's operator span(s) under parent and
+	// returns the span ID representing the node's output.
+	annotate(reg *spanReg, parent int) int
 }
 
 func indent(sb *strings.Builder, depth int) {
@@ -94,6 +101,12 @@ type pipelineNode struct {
 	maxGroups int
 	finals    []finalSpec
 	outFields []plan.Field
+
+	// Operator span IDs assigned by annotate: the source, each step, and
+	// the terminal.
+	srcID   int
+	stepIDs []int
+	termID  int
 }
 
 // finalSpec maps lowered agg outputs to requested columns (AVG lowering).
@@ -231,6 +244,19 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 		merger = ops.NewGroupMerger(len(p.groupCols), p.aggSpecs)
 	}
 
+	// Profiling spans (all nil when ctx.Prof is off): each chain edge gets
+	// a span wrapper installed once at chain-build time, and the scans run
+	// under the source span so per-tile DMS reads land there.
+	prof := ctx.Prof
+	srcSpan := prof.Span(p.srcID)
+	termSpan := prof.Span(p.termID)
+	upSpan := func(i int) *obs.OpSpan { // span upstream of steps[i]
+		if i == 0 {
+			return srcSpan
+		}
+		return prof.Span(p.stepIDs[i-1])
+	}
+
 	chainFor := func() qef.Operator {
 		var term qef.Operator
 		switch p.terminal {
@@ -241,7 +267,11 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 		case termGroupBy:
 			term = &ops.GroupByOp{GroupCols: p.groupCols, Specs: p.aggSpecs, MaxGroups: p.maxGroups, Merger: merger}
 		}
-		head := term
+		termUp := srcSpan
+		if len(p.steps) > 0 {
+			termUp = prof.Span(p.stepIDs[len(p.steps)-1])
+		}
+		head := qef.WithSpan(term, termSpan, termUp)
 		for i := len(p.steps) - 1; i >= 0; i-- {
 			s := p.steps[i]
 			if s.kind == stepProject {
@@ -252,16 +282,19 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 			} else {
 				head = &ops.FilterOp{Preds: s.preds, Next: head}
 			}
+			head = qef.WithSpan(head, prof.Span(p.stepIDs[i]), upSpan(i))
 		}
 		return head
 	}
 
 	var err error
+	prevSpan := ctx.SetActiveSpan(srcSpan)
 	if p.snap != nil {
 		err = ops.TableScan(ctx, p.snap, p.scanCols, tileRows, chainFor)
 	} else {
 		err = ops.RelationScan(ctx, inputRel, tileRows, chainFor)
 	}
+	ctx.SetActiveSpan(prevSpan)
 	if err != nil {
 		if p.terminal == termGroupBy && errors.Is(err, ops.ErrGroupOverflow) {
 			return p.executeGroupPartFallback(ctx)
@@ -271,9 +304,16 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 
 	switch p.terminal {
 	case termCollect:
-		return sink.Relation(), nil
+		rel := sink.Relation()
+		termSpan.AddRowsOut(int64(rel.Rows()))
+		return rel, nil
 	case termScalarAgg:
-		return p.finalizeScalar(aggRes)
+		rel, err := p.finalizeScalar(aggRes)
+		if err != nil {
+			return nil, err
+		}
+		termSpan.AddRowsOut(int64(rel.Rows()))
+		return rel, nil
 	default:
 		keyCols := make([]ops.Col, len(p.groupCols))
 		for i, g := range p.groupCols {
@@ -281,7 +321,12 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 			keyCols[i] = ops.Col{Name: c.field.Name, Type: c.field.Type, Dict: c.field.Dict}
 		}
 		raw := merger.Relation(keyCols, nil)
-		return p.finalizeGrouped(raw, len(p.groupCols))
+		rel, err := p.finalizeGrouped(raw, len(p.groupCols))
+		if err != nil {
+			return nil, err
+		}
+		termSpan.AddRowsOut(int64(rel.Rows()))
+		return rel, nil
 	}
 }
 
@@ -290,6 +335,11 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 // materialize the pipeline input and re-group with the partitioned high-NDV
 // strategy (which re-partitions itself on further overflow).
 func (p *pipelineNode) executeGroupPartFallback(ctx *qef.Context) (*ops.Relation, error) {
+	// Row-conservation edges no longer hold after the aborted first
+	// attempt's partial ticks; cycle and byte attribution stay exact
+	// because every work unit still runs under a span.
+	ctx.Prof.MarkAdapted()
+	ctx.CountMetric("qcomp_group_overflow_fallbacks", 1)
 	in := *p
 	in.terminal = termCollect
 	ndv := int64(p.maxGroups) * 4
@@ -303,6 +353,9 @@ func (p *pipelineNode) executeGroupPartFallback(ctx *qef.Context) (*ops.Relation
 		finals:    p.finals,
 		out:       p.outFields,
 		ndv:       ndv,
+		// Reuse the terminal's span: the fallback is the same logical
+		// group-by, re-executed with the partitioned strategy.
+		opID: p.termID,
 	}
 	return gp.execute(ctx)
 }

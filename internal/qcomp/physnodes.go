@@ -21,6 +21,7 @@ type groupPartNode struct {
 	finals    []finalSpec
 	out       []plan.Field
 	ndv       int64
+	opID      int
 }
 
 func (g *groupPartNode) fields() []plan.Field { return g.out }
@@ -37,18 +38,27 @@ func (g *groupPartNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := ctx.Prof.Span(g.opID)
+	sp.AddRowsIn(int64(rel.Rows()))
 	// Scheme: enough partitions that each partition's group table fits the
 	// DMEM (the §5.4 pre-partitioning of high-NDV group-by).
 	groupBytes := int64(len(g.groupCols)*8 + len(g.specs)*32)
 	target := RequiredPartitions(g.ndv*groupBytes, ctx.SoC.Config())
 	scheme := OptimizeScheme(target, g.ndv*groupBytes)
 	maxGroups := int(g.ndv)/scheme.Fanout() + 64
+	prev := ctx.SetActiveSpan(sp)
 	raw, err := ops.GroupByPartitioned(ctx, rel, g.groupCols, g.specs, scheme, maxGroups*2)
+	ctx.SetActiveSpan(prev)
 	if err != nil {
 		return nil, err
 	}
 	p := &pipelineNode{finals: g.finals, outFields: g.out}
-	return p.finalizeGrouped(raw, len(g.groupCols))
+	out, err := p.finalizeGrouped(raw, len(g.groupCols))
+	if err != nil {
+		return nil, err
+	}
+	sp.AddRowsOut(int64(out.Rows()))
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -63,6 +73,7 @@ type joinNode struct {
 	est     int64
 	scheme  ops.PartScheme
 	swapped bool // build is the left input
+	opID    int
 }
 
 func compileJoin(j *plan.Join) (physNode, error) {
@@ -119,6 +130,8 @@ func (n *joinNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := ctx.Prof.Span(n.opID)
+	sp.AddRowsIn(int64(leftRel.Rows() + rightRel.Rows()))
 	build, probe := rightRel, leftRel
 	bk, pk := n.rk, n.lk
 	if n.swapped {
@@ -140,10 +153,13 @@ func (n *joinNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 		spec.ProbePayload = allIdx(probe.NumCols())
 		spec.BuildPayload = allIdx(build.NumCols())
 	}
+	prev := ctx.SetActiveSpan(sp)
 	out, err := ops.HashJoin(ctx, build, probe, spec)
+	ctx.SetActiveSpan(prev)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsOut(int64(out.Rows()))
 	// Output order: left columns then right columns. The sink emits probe
 	// then build; reorder when the build side was the left input.
 	if n.swapped && n.typ == plan.InnerJoin {
@@ -192,6 +208,7 @@ func allIdx(n int) []int {
 type sortNode struct {
 	input physNode
 	keys  []plan.SortItem
+	opID  int
 }
 
 func (n *sortNode) fields() []plan.Field { return n.input.fields() }
@@ -207,12 +224,17 @@ func (n *sortNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := ctx.Prof.Span(n.opID)
+	sp.AddRowsIn(int64(rel.Rows()))
 	nCols := rel.NumCols()
 	ranked, keys := rankColumns(rel, sortKeys(n.keys, rel))
+	prev := ctx.SetActiveSpan(sp)
 	out, err := ops.SortRelation(ctx, ranked, keys)
+	ctx.SetActiveSpan(prev)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsOut(int64(out.Rows()))
 	return ops.MustRelation(out.Cols[:nCols]), nil
 }
 
@@ -258,6 +280,7 @@ type topkNode struct {
 	input physNode
 	keys  []plan.SortItem
 	k     int
+	opID  int
 }
 
 func (n *topkNode) fields() []plan.Field { return n.input.fields() }
@@ -279,18 +302,24 @@ func (n *topkNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := ctx.Prof.Span(n.opID)
+	sp.AddRowsIn(int64(rel.Rows()))
 	nCols := rel.NumCols()
 	ranked, keys := rankColumns(rel, sortKeys(n.keys, rel))
+	prev := ctx.SetActiveSpan(sp)
 	out, err := ops.TopK(ctx, ranked, keys, n.k)
+	ctx.SetActiveSpan(prev)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsOut(int64(out.Rows()))
 	return ops.MustRelation(out.Cols[:nCols]), nil
 }
 
 type limitNode struct {
 	input physNode
 	k     int
+	opID  int
 }
 
 func (n *limitNode) fields() []plan.Field { return n.input.fields() }
@@ -306,7 +335,11 @@ func (n *limitNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ops.Limit(rel, n.k), nil
+	sp := ctx.Prof.Span(n.opID)
+	sp.AddRowsIn(int64(rel.Rows()))
+	out := ops.Limit(rel, n.k)
+	sp.AddRowsOut(int64(out.Rows()))
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +348,7 @@ func (n *limitNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 type setopNode struct {
 	left, right physNode
 	kind        plan.SetOpKind
+	opID        int
 }
 
 func (n *setopNode) fields() []plan.Field { return n.left.fields() }
@@ -335,11 +369,20 @@ func (n *setopNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := ctx.Prof.Span(n.opID)
+	sp.AddRowsIn(int64(l.Rows() + r.Rows()))
 	kind := map[plan.SetOpKind]ops.SetOpKind{
 		plan.Union: ops.SetUnion, plan.UnionAll: ops.SetUnionAll,
 		plan.Intersect: ops.SetIntersect, plan.Minus: ops.SetMinus,
 	}[n.kind]
-	return ops.SetOp(ctx, l, r, kind)
+	prev := ctx.SetActiveSpan(sp)
+	out, err := ops.SetOp(ctx, l, r, kind)
+	ctx.SetActiveSpan(prev)
+	if err != nil {
+		return nil, err
+	}
+	sp.AddRowsOut(int64(out.Rows()))
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +391,7 @@ func (n *setopNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 type windowNode struct {
 	input physNode
 	spec  *plan.Window
+	opID  int
 }
 
 func (n *windowNode) fields() []plan.Field { return n.spec.Schema() }
@@ -372,11 +416,20 @@ func (n *windowNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	for i, o := range n.spec.OrderBy {
 		ob[i] = ops.SortKey{Col: o.Col, Desc: o.Desc}
 	}
-	return ops.Window(ctx, rel, ops.WindowSpec{
+	sp := ctx.Prof.Span(n.opID)
+	sp.AddRowsIn(int64(rel.Rows()))
+	prev := ctx.SetActiveSpan(sp)
+	out, err := ops.Window(ctx, rel, ops.WindowSpec{
 		Func:        fn,
 		PartitionBy: n.spec.PartitionBy,
 		OrderBy:     ob,
 		ValueCol:    n.spec.ValueCol,
 		Name:        n.spec.Name,
 	})
+	ctx.SetActiveSpan(prev)
+	if err != nil {
+		return nil, err
+	}
+	sp.AddRowsOut(int64(out.Rows()))
+	return out, nil
 }

@@ -58,11 +58,16 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 	for _, c := range cols {
 		rowBytes += c.Width().Bytes()
 	}
+	degraded := false
 	for tileRows > MinTileRows && 2*tileRows*rowBytes > a.tc.DMEM.Free() {
 		tileRows /= 2
+		degraded = true
 	}
 	if tileRows < MinTileRows {
 		tileRows = MinTileRows
+	}
+	if degraded {
+		a.tc.Ctx.CountMetric("qef_tile_degradations", 1)
 	}
 	bufs := make([]coltypes.Data, len(cols))
 	for i, c := range cols {

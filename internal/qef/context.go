@@ -16,11 +16,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rapid/internal/ate"
 	"rapid/internal/dms"
 	"rapid/internal/dpu"
 	"rapid/internal/mem"
+	"rapid/internal/obs"
 )
 
 // Mode selects the execution configuration.
@@ -49,7 +52,20 @@ type Context struct {
 	DMS    *dms.Engine
 	Router *ate.Router
 
+	// Prof, when non-nil, receives per-operator attribution of every
+	// cycle and DMS transfer executed through this context.
+	Prof *obs.Profile
+	// Metrics, when non-nil, receives engine-wide counters (shared across
+	// queries; typically the owning Database's registry).
+	Metrics *obs.Registry
+
 	workers int
+
+	// activeSpan is the operator span that work units started from this
+	// context attribute to. It is written only by the orchestrator goroutine
+	// strictly between RunParallel/RunSerial calls (the goroutine spawn and
+	// wg.Wait establish the happens-before edges), so no lock is needed.
+	activeSpan *obs.OpSpan
 
 	mu      sync.Mutex
 	simTime []float64 // per-core simulated elapsed seconds (ModeDPU)
@@ -137,6 +153,29 @@ func (c *Context) BusSeconds() (read, write float64) {
 	return c.busRead, c.busWrite
 }
 
+// SetActiveSpan installs the operator span that subsequently started work
+// units attribute to, returning the previous one so callers can restore it.
+// Must only be called by the orchestrator goroutine between parallel phases.
+func (c *Context) SetActiveSpan(s *obs.OpSpan) *obs.OpSpan {
+	prev := c.activeSpan
+	c.activeSpan = s
+	return prev
+}
+
+// AccountSpanTransfer attributes a DMS operation issued by the orchestrator
+// itself (outside any work unit, e.g. the hardware-partitioning hash pass)
+// to the active span. It does not bill the DDR bus lanes: orchestrator-side
+// DMS time is modeled inside the operation's own timing, not as bus
+// occupancy, matching the pre-profiling accounting.
+func (c *Context) AccountSpanTransfer(t dms.Timing) {
+	c.activeSpan.AddTransfer(0, t.Write, t.Bytes, t.Seconds)
+}
+
+// CountMetric bumps a named engine counter if a registry is attached.
+func (c *Context) CountMetric(name string, delta int64) {
+	c.Metrics.Counter(name).Add(delta)
+}
+
 // SimTotalBusy returns the sum of per-core simulated busy seconds.
 func (c *Context) SimTotalBusy() float64 {
 	c.mu.Lock()
@@ -161,6 +200,14 @@ type TaskCtx struct {
 	// NoOverlap disables compute/transfer overlap accounting for the
 	// current task (e.g. Fig 10 disables output double buffering).
 	NoOverlap bool
+
+	// Interval profiler state: every cycle (ModeDPU) or nanosecond
+	// (ModeX86) between a unit's start and end is attributed to exactly one
+	// operator span — the one active since the last SwitchSpan. span is nil
+	// when profiling is off.
+	span   *obs.OpSpan
+	markCy int64
+	markT  time.Time
 
 	// Scratch arena for per-tile expression buffers (DMEM temporaries on
 	// the DPU). Reset at tile boundaries by the task source; buffers must
@@ -192,10 +239,53 @@ func (tc *TaskCtx) I64Scratch(n int) []int64 {
 // emitting each tile.
 func (tc *TaskCtx) ResetScratch() { tc.arenaOff = 0 }
 
+// beginSpanClock starts the unit's attribution interval.
+func (tc *TaskCtx) beginSpanClock() {
+	if tc.Core != nil {
+		tc.markCy = int64(tc.Core.Cycles())
+	} else {
+		tc.markT = time.Now()
+	}
+}
+
+// flushSpan attributes the cycles (or wall time) elapsed since the last
+// mark to the current span and restarts the interval.
+func (tc *TaskCtx) flushSpan() {
+	if tc.Core != nil {
+		now := int64(tc.Core.Cycles())
+		tc.span.AddCycles(tc.CoreID, now-tc.markCy)
+		tc.markCy = now
+	} else {
+		now := time.Now()
+		tc.span.AddWallNs(tc.CoreID, now.Sub(tc.markT).Nanoseconds())
+		tc.markT = now
+	}
+}
+
+// SwitchSpan flushes the interval accumulated so far into the outgoing
+// span and makes next the current span, returning the previous one. Called
+// by span wrappers at operator boundaries; no-op when profiling is off.
+func (tc *TaskCtx) SwitchSpan(next *obs.OpSpan) *obs.OpSpan {
+	prev := tc.span
+	if tc.Ctx.Prof == nil {
+		return prev
+	}
+	tc.flushSpan()
+	tc.span = next
+	return prev
+}
+
+// SpanTileIn counts one tile of rows entering the current span (used by
+// task sources, which have no upstream span wrapper to tick them).
+func (tc *TaskCtx) SpanTileIn(rows int) {
+	tc.span.TickIn(tc.CoreID, int64(rows))
+}
+
 // AddTransfer accumulates DMS transfer time for overlap accounting, and
 // bills the shared DDR bus.
 func (tc *TaskCtx) AddTransfer(t dms.Timing) {
 	tc.transferSec += t.Seconds
+	tc.span.AddTransfer(tc.CoreID, t.Write, t.Bytes, t.Seconds)
 	tc.Ctx.mu.Lock()
 	if t.Write {
 		tc.Ctx.busWrite += t.Seconds
@@ -219,12 +309,23 @@ type WorkUnit func(tc *TaskCtx) error
 // must not depend on how fast the Go host happens to run each goroutine.
 // Per unit, the simulated elapsed time is max(compute, transfer) honoring
 // double-buffered overlap, or their sum when the unit disabled overlap.
+//
+// Error handling is deterministic: a failure at unit index f cancels all
+// units with a higher index that have not yet started (on every worker,
+// not just the failing one), and the error returned is always the one from
+// the lowest-indexed unit that failed. Units below the lowest failing
+// index always run, so replaying a failing query reproduces both the error
+// and the set of executed units.
 func (c *Context) RunParallel(units []WorkUnit) error {
 	if len(units) == 0 {
 		return nil
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, c.workers)
+	errs := make([]error, len(units))
+	// Index of the lowest failing unit observed so far; len(units) means
+	// no failure. Workers skip any unit above the watermark.
+	var firstFailed atomic.Int64
+	firstFailed.Store(int64(len(units)))
 	for w := 0; w < c.workers; w++ {
 		if w >= len(units) {
 			break
@@ -234,18 +335,25 @@ func (c *Context) RunParallel(units []WorkUnit) error {
 			defer wg.Done()
 			tc := c.newTaskCtx(w)
 			for i := w; i < len(units); i += c.workers {
-				if errs[w] != nil {
+				if int64(i) > firstFailed.Load() {
 					return
 				}
-				errs[w] = c.runUnit(tc, units[i])
+				if err := c.runUnit(tc, units[i]); err != nil {
+					errs[i] = err
+					for {
+						cur := firstFailed.Load()
+						if int64(i) >= cur || firstFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if f := firstFailed.Load(); f < int64(len(units)) {
+		return errs[f]
 	}
 	return nil
 }
@@ -265,11 +373,20 @@ func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
 	tc.transferSec = 0
 	tc.NoOverlap = false
 	tc.DMEM.Reset()
+	profiling := c.Prof != nil
+	if profiling {
+		tc.span = c.activeSpan
+		tc.beginSpanClock()
+	}
 	var beforeCycles dpu.Cycles
 	if tc.Core != nil {
 		beforeCycles = tc.Core.Cycles()
 	}
 	err := u(tc)
+	if profiling {
+		tc.flushSpan()
+		tc.span = nil
+	}
 	if tc.Core != nil {
 		compute := c.SoC.Config().Seconds(tc.Core.Cycles() - beforeCycles)
 		transfer := tc.transferSec

@@ -1,0 +1,51 @@
+package qef
+
+import "rapid/internal/obs"
+
+// spanOp interposes on an operator-chain edge to drive the interval
+// profiler: while the inner operator (and everything downstream of it)
+// runs, the inner span is current; on return the caller's span is
+// restored. It also ticks row/tile flow on both sides of the edge. The
+// wrapper is installed at chain-build time, so the per-tile path performs
+// no allocation and no map lookups — just counter arithmetic.
+type spanOp struct {
+	inner Operator
+	span  *obs.OpSpan // the wrapped operator's span
+	from  *obs.OpSpan // the upstream operator's span (nil at a source edge)
+}
+
+// WithSpan wraps op so that time spent inside it is attributed to span and
+// rows crossing the edge are counted as from→span flow. Returns op
+// unchanged when profiling is off (span and from both nil).
+func WithSpan(op Operator, span, from *obs.OpSpan) Operator {
+	if span == nil && from == nil {
+		return op
+	}
+	return &spanOp{inner: op, span: span, from: from}
+}
+
+func (s *spanOp) DMEMSize(tileRows int) int { return s.inner.DMEMSize(tileRows) }
+
+func (s *spanOp) Open(tc *TaskCtx) error {
+	prev := tc.SwitchSpan(s.span)
+	err := s.inner.Open(tc)
+	tc.SwitchSpan(prev)
+	return err
+}
+
+func (s *spanOp) Produce(tc *TaskCtx, t *Tile) error {
+	n := int64(t.QualifyingRows())
+	s.from.TickOut(tc.CoreID, n)
+	s.span.TickIn(tc.CoreID, n)
+	prev := tc.SwitchSpan(s.span)
+	err := s.inner.Produce(tc, t)
+	tc.SwitchSpan(prev)
+	return err
+}
+
+func (s *spanOp) Close(tc *TaskCtx) error {
+	prev := tc.SwitchSpan(s.span)
+	err := s.inner.Close(tc)
+	tc.SwitchSpan(prev)
+	return err
+}

@@ -22,11 +22,24 @@ type engineSpec struct {
 // the primary layout, and ModeX86 additionally runs on a database loaded
 // with different qcomp/storage knobs (partitioned, tiny chunks, RLE) so
 // physical-plan equivalence is checked on every query.
+// Every RAPID lane runs with profiling on, so the soak also checks the
+// per-operator accounting invariants (cycle, DMS-byte and row conservation)
+// on each generated query.
 var engines = []engineSpec{
 	{name: "host", opts: hostdb.QueryOptions{Mode: hostdb.ForceHost}},
-	{name: "x86", opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true}},
-	{name: "dpu", opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU, FailOnInadmissible: true}},
-	{name: "x86/partitioned", alt: true, opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true}},
+	{name: "x86", opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true, Profile: true}},
+	{name: "dpu", opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU, FailOnInadmissible: true, Profile: true}},
+	{name: "x86/partitioned", alt: true, opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true, Profile: true}},
+}
+
+// profErr folds a profile-invariant violation into an engine error.
+func profErr(res *hostdb.QueryResult) error {
+	if res.Profile != nil {
+		if err := res.Profile.CheckInvariants(); err != nil {
+			return fmt.Errorf("profile invariants: %w", err)
+		}
+	}
+	return nil
 }
 
 // Runner owns the two databases loaded from a scenario and executes checks.
@@ -99,7 +112,11 @@ func (r *Runner) runAll(sql string) []engineRun {
 			// the host could run the plan — that is a real engine bug.
 			out[i] = engineRun{name: e.name, err: fmt.Errorf("RAPID execution fell back to host")}
 		default:
-			out[i] = engineRun{name: e.name, rel: res.Rel}
+			if perr := profErr(res); perr != nil {
+				out[i] = engineRun{name: e.name, err: perr}
+			} else {
+				out[i] = engineRun{name: e.name, rel: res.Rel}
+			}
 		}
 	}
 	return out
@@ -269,6 +286,9 @@ func (r *Runner) CheckTLP(q *Query) *Mismatch {
 			if perr == nil && pres.FellBack {
 				perr = fmt.Errorf("RAPID execution fell back to host")
 			}
+			if perr == nil {
+				perr = profErr(pres)
+			}
 			if perr != nil {
 				return r.mismatch("tlp", base, fmt.Sprintf(
 					"%s: base executed but branch %q failed: %v", e.name, br, perr))
@@ -326,6 +346,9 @@ func (r *Runner) CheckTautology(q *Query) *Mismatch {
 		r.Executed++
 		if terr == nil && tres.FellBack {
 			terr = fmt.Errorf("RAPID execution fell back to host")
+		}
+		if terr == nil {
+			terr = profErr(tres)
 		}
 		if terr != nil {
 			return r.mismatch("tautology", base, fmt.Sprintf(

@@ -1,0 +1,166 @@
+package qgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/hostdb"
+	"rapid/internal/obs"
+	"rapid/internal/qef"
+	"rapid/internal/storage"
+	"rapid/internal/tpch"
+)
+
+// TestConcurrentQueriesSharedRegistry runs mixed TPC-H and generated queries
+// from many goroutines against one database with a shared metrics registry,
+// while a writer mutates a scratch table and checkpoints. Run under
+// `go test -race`; the assertions also pin the registry totals.
+func TestConcurrentQueriesSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	db := hostdb.NewWithMetrics(reg)
+	if err := tpch.PopulateHostDB(db, tpch.Config{ScaleFactor: 0.002, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load one generated scenario into the same database (its t0..tN names
+	// are disjoint from the TPC-H tables).
+	g := New(42)
+	sc := g.NewScenario()
+	for _, tab := range sc.Tables {
+		schema := make([]storage.ColumnDef, len(tab.Cols))
+		for i, c := range tab.Cols {
+			schema[i] = storage.ColumnDef{Name: c.Name, Type: c.Type}
+		}
+		if _, err := db.CreateTable(tab.Name, storage.MustSchema(schema...)); err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) > 0 {
+			if _, err := db.Insert(tab.Name, tab.Rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := db.Load(tab.Name, hostdb.LoadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scratch table for the concurrent writer; queries never touch it, so
+	// the queried tables stay admissible throughout.
+	if _, err := db.CreateTable("scratch", storage.MustSchema(storage.ColumnDef{Name: "v", Type: coltypes.Int()})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Load("scratch", hostdb.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var issued atomic.Int64
+	runQ := func(sql string, opts hostdb.QueryOptions) error {
+		issued.Add(1)
+		res, err := db.Query(sql, opts)
+		if err != nil {
+			return err
+		}
+		if res.FellBack {
+			return fmt.Errorf("fell back to host")
+		}
+		if res.Profile != nil {
+			if ierr := res.Profile.CheckInvariants(); ierr != nil {
+				return fmt.Errorf("profile invariants: %w", ierr)
+			}
+		}
+		return nil
+	}
+
+	lanes := []hostdb.QueryOptions{
+		{Mode: hostdb.ForceHost},
+		{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true, Profile: true},
+		{Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU, FailOnInadmissible: true, Profile: true},
+	}
+
+	// Query pool: the generated queries the host accepts, plus TPC-H Q1/Q6.
+	var pool []string
+	for i := 0; i < 12; i++ {
+		sql := g.NextQuery().SQL()
+		if err := runQ(sql, lanes[0]); err == nil {
+			pool = append(pool, sql)
+		}
+	}
+	if len(pool) < 4 {
+		t.Fatalf("only %d usable generated queries", len(pool))
+	}
+	for _, name := range []string{"Q1", "Q6"} {
+		for _, q := range tpch.Queries() {
+			if q.Name == name {
+				pool = append(pool, q.SQL)
+			}
+		}
+	}
+
+	const workers = 8
+	const itersPerWorker = 24
+	errCh := make(chan error, workers*itersPerWorker+1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < itersPerWorker; i++ {
+				sql := pool[(w+i)%len(pool)]
+				opts := lanes[(w+i)%len(lanes)]
+				if err := runQ(sql, opts); err != nil {
+					errCh <- fmt.Errorf("worker %d iter %d (%s): %w", w, i, sql, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent writer: journal mutations plus checkpoints exercise the
+	// checkpoint-lag gauge while queries run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := db.Insert("scratch", [][]storage.Value{{storage.IntValue(int64(i))}}); err != nil {
+				errCh <- fmt.Errorf("writer insert: %w", err)
+				return
+			}
+			if i%8 == 7 {
+				if err := db.CheckpointAll(); err != nil {
+					errCh <- fmt.Errorf("writer checkpoint: %w", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	if err := db.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got, want := snap["hostdb_queries_total"], issued.Load(); got != want {
+		t.Errorf("hostdb_queries_total = %d, want %d", got, want)
+	}
+	if snap["hostdb_queries_failed"] != 0 {
+		t.Errorf("hostdb_queries_failed = %d, want 0", snap["hostdb_queries_failed"])
+	}
+	if snap["hostdb_queries_offloaded"] == 0 {
+		t.Error("no offloaded queries counted")
+	}
+	if snap["hostdb_checkpoints_total"] == 0 {
+		t.Error("no checkpoints counted")
+	}
+	if lag := snap["hostdb_checkpoint_lag_entries"]; lag != 0 {
+		t.Errorf("checkpoint lag gauge = %d after CheckpointAll, want 0", lag)
+	}
+}

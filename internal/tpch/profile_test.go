@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rapid/internal/hostdb"
+	"rapid/internal/qef"
+)
+
+func profileDB(t *testing.T, sf float64) *hostdb.Database {
+	t.Helper()
+	db := hostdb.New()
+	if err := PopulateHostDB(db, Config{ScaleFactor: sf, Seed: 2018}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func findQuery(t *testing.T, name string) Query {
+	t.Helper()
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q
+		}
+	}
+	t.Fatalf("no query %s", name)
+	return Query{}
+}
+
+// TestExplainAnalyzeQ1DPU is the PR's acceptance check: EXPLAIN ANALYZE on
+// TPC-H Q1 in ModeDPU prints a per-operator table whose cycle and DMS-byte
+// columns sum to the whole-query totals, and the profile passes the full
+// per-core / per-direction invariant reconciliation.
+func TestExplainAnalyzeQ1DPU(t *testing.T) {
+	db := profileDB(t, 0.01)
+	q1 := findQuery(t, "Q1")
+	res, err := db.Query("EXPLAIN ANALYZE "+q1.SQL, hostdb.QueryOptions{
+		Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU, FailOnInadmissible: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Offloaded || res.Profile == nil {
+		t.Fatalf("expected offloaded profiled execution, got offloaded=%v profile=%v", res.Offloaded, res.Profile)
+	}
+	prof := res.Profile
+	if err := prof.CheckInvariants(); err != nil {
+		t.Fatalf("profile invariants: %v", err)
+	}
+	if prof.TotalCycles() == 0 {
+		t.Fatal("Q1 on ModeDPU charged zero cycles")
+	}
+	if prof.Totals().DMSReadBytes == 0 {
+		t.Fatal("Q1 on ModeDPU moved zero DMS bytes")
+	}
+
+	out := prof.Format()
+	for _, want := range []string{"GroupBy", "Scan(lineitem)", "total", "sim "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Parse the table and verify the printed operator rows sum to the
+	// printed total row, which must equal the profile's engine totals.
+	var sumCy, sumRd, sumWr int64
+	var totCy, totRd, totWr int64
+	sawTotal := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "|") || strings.Contains(line, "-+-") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 4 {
+			continue
+		}
+		name := strings.TrimSpace(cells[0])
+		if name == "operator" {
+			continue
+		}
+		cy, err1 := strconv.ParseInt(strings.TrimSpace(cells[1]), 10, 64)
+		rd, err2 := strconv.ParseInt(strings.TrimSpace(cells[2]), 10, 64)
+		wr, err3 := strconv.ParseInt(strings.TrimSpace(cells[3]), 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable row %q", line)
+		}
+		if name == "total" {
+			totCy, totRd, totWr = cy, rd, wr
+			sawTotal = true
+		} else {
+			sumCy += cy
+			sumRd += rd
+			sumWr += wr
+		}
+	}
+	if !sawTotal {
+		t.Fatalf("no total row in:\n%s", out)
+	}
+	if sumCy != totCy || sumRd != totRd || sumWr != totWr {
+		t.Errorf("operator rows sum to cy=%d rd=%d wr=%d, total row says cy=%d rd=%d wr=%d",
+			sumCy, sumRd, sumWr, totCy, totRd, totWr)
+	}
+	if totCy != prof.TotalCycles() || totRd != prof.Totals().DMSReadBytes || totWr != prof.Totals().DMSWriteBytes {
+		t.Errorf("total row cy=%d rd=%d wr=%d does not match profile totals cy=%d rd=%d wr=%d",
+			totCy, totRd, totWr, prof.TotalCycles(), prof.Totals().DMSReadBytes, prof.Totals().DMSWriteBytes)
+	}
+}
+
+// TestProfileInvariantsAllQueriesBothModes runs every TPC-H query with
+// profiling in both engine modes and checks the full invariant set.
+func TestProfileInvariantsAllQueriesBothModes(t *testing.T) {
+	db := profileDB(t, 0.005)
+	for _, mode := range []qef.Mode{qef.ModeDPU, qef.ModeX86} {
+		for _, q := range Queries() {
+			res, err := db.Query(q.SQL, hostdb.QueryOptions{
+				Mode: hostdb.ForceOffload, RapidMode: mode,
+				FailOnInadmissible: true, Profile: true,
+			})
+			if err != nil {
+				t.Fatalf("%s (%v): %v", q.Name, mode, err)
+			}
+			if res.Profile == nil {
+				t.Fatalf("%s (%v): no profile", q.Name, mode)
+			}
+			if err := res.Profile.CheckInvariants(); err != nil {
+				t.Errorf("%s (%v): %v\n%s", q.Name, mode, err, res.Profile.Format())
+			}
+		}
+	}
+}
