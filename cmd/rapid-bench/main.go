@@ -5,7 +5,8 @@
 // Usage:
 //
 //	rapid-bench [-sf 0.01] [-reps 3] [-micro-rows 2097152] [-skip-tpch]
-//	            [-profile out.json]
+//	            [-profile out.json] [-trace out.json] [-metrics addr]
+//	            [-metrics-out file]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"rapid/internal/bench"
 	"rapid/internal/hostdb"
 	"rapid/internal/obs"
+	"rapid/internal/power"
 	"rapid/internal/qef"
 	"rapid/internal/tpch"
 )
@@ -29,6 +31,9 @@ func main() {
 	skipTPCH := flag.Bool("skip-tpch", false, "run only the micro-benchmarks")
 	ablations := flag.Bool("ablations", true, "run the design-choice ablation studies")
 	profilePath := flag.String("profile", "", "write per-operator ModeDPU profiles of every TPC-H query as JSON to this file")
+	tracePath := flag.String("trace", "", "write ModeDPU profiles of every TPC-H query as Chrome trace-event JSON to this file")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while the suite runs")
+	metricsOut := flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file")
 	flag.Parse()
 
 	fmt.Println("RAPID reproduction benchmark suite")
@@ -53,7 +58,7 @@ func main() {
 		}
 	}
 
-	if *skipTPCH && *profilePath == "" {
+	if *skipTPCH && *profilePath == "" && *tracePath == "" {
 		return
 	}
 	fmt.Printf("building TPC-H workload at SF %.3f...\n", *sf)
@@ -64,6 +69,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("loaded in %.1fs\n\n", time.Since(start).Seconds())
+	if *metricsAddr != "" {
+		srv, err := db.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: %s\n\n", srv.URL())
+	}
 	if !*skipTPCH {
 		runs, err := bench.RunQueries(db, *reps)
 		if err != nil {
@@ -74,18 +88,32 @@ func main() {
 		fmt.Println(bench.RunFig15(runs))
 		fmt.Println(bench.RunFig14(runs))
 	}
-	if *profilePath != "" {
-		if err := writeProfiles(db, *profilePath); err != nil {
+	if *profilePath != "" || *tracePath != "" {
+		if err := writeProfiles(db, *profilePath, *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "profile:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("per-operator profiles written to %s\n", *profilePath)
+		if *profilePath != "" {
+			fmt.Printf("per-operator profiles written to %s\n", *profilePath)
+		}
+		if *tracePath != "" {
+			fmt.Printf("Chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+		}
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(db.Metrics().RenderPrometheus()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics exposition written to %s\n", *metricsOut)
 	}
 }
 
 // writeProfiles runs every TPC-H query once in ModeDPU with profiling on,
-// checks the accounting invariants, and dumps the per-operator summaries.
-func writeProfiles(db *hostdb.Database, path string) error {
+// checks the accounting and energy invariants, and dumps the per-operator
+// summaries (profilePath) and the Chrome trace (tracePath); either path may
+// be empty.
+func writeProfiles(db *hostdb.Database, profilePath, tracePath string) error {
 	type entry struct {
 		Query   string      `json:"query"`
 		Profile obs.Summary `json:"profile"`
@@ -95,6 +123,7 @@ func writeProfiles(db *hostdb.Database, path string) error {
 		FailOnInadmissible: true, Profile: true,
 	}
 	var out []entry
+	trace := obs.NewTraceBuilder()
 	for _, q := range tpch.Queries() {
 		res, err := db.Query(q.SQL, opts)
 		if err != nil {
@@ -103,11 +132,27 @@ func writeProfiles(db *hostdb.Database, path string) error {
 		if err := res.Profile.CheckInvariants(); err != nil {
 			return fmt.Errorf("%s: invariants: %w", q.Name, err)
 		}
+		if err := res.Profile.CheckEnergyInvariants(power.DefaultEnergyModel()); err != nil {
+			return fmt.Errorf("%s: energy invariants: %w", q.Name, err)
+		}
 		out = append(out, entry{Query: q.Name, Profile: res.Profile.Summary()})
+		trace.AddQuery(q.Name, res.Profile)
+	}
+	if tracePath != "" {
+		data, err := trace.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if profilePath == "" {
+		return nil
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(profilePath, append(data, '\n'), 0o644)
 }

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	rapid-cli [-sf 0.005] [-engine auto|host|dpu|x86]
+//	rapid-cli [-sf 0.005] [-engine auto|host|dpu|x86] [-metrics addr]
+//	          [-trace out.json]
 //
 // Shell commands: \q quit, \tables, \engine <mode>, \explain <sql>,
 // \queries (list TPC-H queries), \run <name> (run one by name).
 // Prefix any query with EXPLAIN ANALYZE to get the per-operator profile
-// (cycles, DMS bytes, rows/tiles) of the RAPID execution.
+// (cycles, DMS bytes, energy, rows/tiles) of the RAPID execution.
+// -metrics serves the Prometheus exposition on addr while the shell runs;
+// -trace accumulates every profiled query into a Chrome trace-event JSON
+// (load in chrome://tracing or ui.perfetto.dev) written on exit.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"rapid/internal/hostdb"
+	"rapid/internal/obs"
 	"rapid/internal/qef"
 	"rapid/internal/tpch"
 )
@@ -27,6 +32,8 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor to preload")
 	engine := flag.String("engine", "auto", "execution engine: auto|host|dpu|x86")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
+	tracePath := flag.String("trace", "", "write profiled queries as Chrome trace-event JSON to this file on exit")
 	flag.Parse()
 
 	fmt.Printf("loading TPC-H at SF %.3f...\n", *sf)
@@ -34,6 +41,32 @@ func main() {
 	if err := tpch.PopulateHostDB(db, tpch.Config{ScaleFactor: *sf, Seed: 2018}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		srv, err := db.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: %s\n", srv.URL())
+	}
+	if *tracePath != "" {
+		trace = obs.NewTraceBuilder()
+		defer func() {
+			if trace.Empty() {
+				return
+			}
+			data, err := trace.JSON()
+			if err == nil {
+				err = os.WriteFile(*tracePath, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				return
+			}
+			fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+		}()
 	}
 	fmt.Println("ready. tables:", strings.Join(tpch.TableNames(), ", "))
 	fmt.Println(`enter SQL terminated by ';', or \q to quit, \queries for samples`)
@@ -88,6 +121,10 @@ func main() {
 		}
 	}
 }
+
+// trace, when non-nil, accumulates every profiled query for -trace.
+var trace *obs.TraceBuilder
+var traceSeq int
 
 func optsFor(engine string) hostdb.QueryOptions {
 	switch engine {
@@ -156,5 +193,15 @@ func exec(db *hostdb.Database, sql string, opts hostdb.QueryOptions, explainOnly
 	if res.Profile != nil {
 		fmt.Println()
 		fmt.Print(res.Profile.Format())
+		if trace != nil {
+			traceSeq++
+			name := strings.Join(strings.Fields(sql), " ")
+			if len(name) > 60 {
+				name = name[:60] + "..."
+			}
+			trace.AddQuery(fmt.Sprintf("q%d: %s", traceSeq, name), res.Profile)
+		}
+	} else if res.ProfileNote != "" {
+		fmt.Println(res.ProfileNote)
 	}
 }

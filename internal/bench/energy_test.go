@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"rapid/internal/hostdb"
+	"rapid/internal/power"
+	"rapid/internal/qef"
+	"rapid/internal/tpch"
+)
+
+// TestQ1ActivityEnergyWithinProvisionedBound pins the PR's acceptance
+// criterion on TPC-H Q1: the activity-model energy of the DPU run stays
+// inside the provisioned-power envelope, so the Fig 14 provisioned
+// perf/watt figure remains recoverable as a lower bound of the
+// activity-based figure.
+func TestQ1ActivityEnergyWithinProvisionedBound(t *testing.T) {
+	db, err := SetupTPCH(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, ok := tpch.QueryByName("Q1")
+	if !ok {
+		t.Fatal("no Q1")
+	}
+	res, err := db.Query(q1.SQL, hostdb.QueryOptions{
+		Mode: hostdb.ForceOffload, RapidMode: qef.ModeDPU,
+		FailOnInadmissible: true, Profile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasEnergy || res.Energy.TotalJoules() <= 0 {
+		t.Fatalf("no energy on DPU run: %+v", res.Energy)
+	}
+	m := power.DefaultEnergyModel()
+	bound := m.ProvisionedJoules(res.RapidSimSeconds)
+	if got := res.Energy.TotalJoules(); got > bound {
+		t.Fatalf("Q1 activity energy %g J exceeds provisioned %g J over %gs", got, bound, res.RapidSimSeconds)
+	}
+	if err := res.Profile.CheckEnergyInvariants(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same relation expressed in Fig 14 currency: activity perf/watt
+	// dominates the provisioned figure.
+	run := QueryRun{
+		Name:        "Q1",
+		HostWall:    2, // any positive wall times; the ratio cancels out
+		RapidWall:   1,
+		SimDPUSec:   res.RapidSimSeconds,
+		X86ModelSec: res.X86ModelSeconds,
+		EnergyJ:     res.Energy.TotalJoules(),
+	}
+	if act, prov := run.ActivityPerfPerWatt(), run.PerfPerWatt(); act < prov {
+		t.Fatalf("activity perf/watt %g below provisioned %g", act, prov)
+	}
+}

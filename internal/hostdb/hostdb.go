@@ -46,6 +46,13 @@ func NewWithMetrics(reg *obs.Registry) *Database {
 // Metrics returns the database's metrics registry.
 func (db *Database) Metrics() *obs.Registry { return db.metrics }
 
+// ServeTelemetry starts an opt-in HTTP exporter for this database's metrics
+// registry on addr (Prometheus text on /metrics, liveness on /healthz).
+// Close the returned server to stop it.
+func (db *Database) ServeTelemetry(addr string) (*obs.TelemetryServer, error) {
+	return obs.ServeTelemetry(addr, db.metrics)
+}
+
 // checkpointLagGauge tracks journal entries not yet propagated to RAPID.
 // Updated incrementally at every journal mutation: the obvious recompute
 // via PendingJournal would need the table lock the mutators already hold.

@@ -70,6 +70,13 @@ type QueryResult struct {
 	// Profile is the per-operator profile of the RAPID execution; non-nil
 	// only when profiling was requested and the query ran on RAPID.
 	Profile *obs.Profile
+	// ProfileNote explains an absent profile when one was requested (the
+	// query stayed on the host), so EXPLAIN ANALYZE never returns silence.
+	ProfileNote string
+	// Energy is the activity-based energy breakdown of the RAPID execution
+	// (ModeDPU offloads only; zero otherwise — check HasEnergy).
+	Energy    power.Breakdown
+	HasEnergy bool
 }
 
 // RapidFraction returns the share of elapsed wall time spent in RAPID.
@@ -119,8 +126,10 @@ func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
 		sql = inner
 		opts.Profile = true
 	}
+	start := time.Now()
 	res, err := db.query(sql, opts)
 	m := db.metrics
+	m.Histogram("hostdb_query_seconds").Observe(time.Since(start).Seconds())
 	m.Counter("hostdb_queries_total").Inc()
 	switch {
 	case err != nil:
@@ -158,10 +167,16 @@ func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
 	offload := false
 	switch opts.Mode {
 	case ForceHost:
+		if opts.Profile {
+			res.ProfileNote = "no DPU profile: query forced to host engine (profiling covers RAPID executions only)"
+		}
 	case ForceOffload:
 		offload = true
 	default:
 		offload = res.EstRapidSec < res.EstHostSec
+		if !offload && opts.Profile {
+			res.ProfileNote = fmt.Sprintf("no DPU profile: cost model kept query on host (est rapid %.3gs >= host %.3gs)", res.EstRapidSec, res.EstHostSec)
+		}
 	}
 
 	if offload {
@@ -173,21 +188,29 @@ func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
 			return nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
 		}
 		if admissible {
-			rel, rapidWall, simSec, x86Sec, prof, rerr := db.runRapid(node, opts)
+			run, rerr := db.runRapid(node, opts)
 			if rerr == nil {
-				res.Rel = rel
+				res.Rel = run.rel
 				res.Offloaded = true
-				res.RapidWall = rapidWall
-				res.RapidSimSeconds = simSec
-				res.X86ModelSeconds = x86Sec
-				res.Profile = prof
-				res.HostWall = time.Since(hostStart) - rapidWall
+				res.RapidWall = run.wall
+				res.RapidSimSeconds = run.simSec
+				res.X86ModelSeconds = run.x86Sec
+				res.Profile = run.prof
+				res.Energy = run.energy
+				res.HasEnergy = run.hasEnergy
+				res.HostWall = time.Since(hostStart) - run.wall
 				return res, nil
 			}
 			// RAPID execution failed: fall back to the host plan (§3.2).
 			res.FellBack = true
+			if opts.Profile {
+				res.ProfileNote = fmt.Sprintf("no DPU profile: RAPID execution failed (%v), query fell back to host", rerr)
+			}
 		} else {
 			res.FellBack = true
+			if opts.Profile {
+				res.ProfileNote = "no DPU profile: query not admissible to RAPID (pending journal), fell back to host"
+			}
 		}
 	}
 
@@ -223,31 +246,45 @@ func walkScans(n plan.Node, fn func(*plan.Scan)) {
 	}
 }
 
+// rapidRun is the outcome of one RAPID execution.
+type rapidRun struct {
+	rel       *ops.Relation
+	wall      time.Duration
+	simSec    float64
+	x86Sec    float64
+	prof      *obs.Profile
+	energy    power.Breakdown
+	hasEnergy bool
+}
+
 // runRapid is the RAPID operator (§3.1): it serializes the fragment plan to
 // the RAPID node (here: compiles it), triggers execution, and receives the
-// result relation "over the network".
-func (db *Database) runRapid(node plan.Node, opts QueryOptions) (*ops.Relation, time.Duration, float64, float64, *obs.Profile, error) {
+// result relation "over the network". Every DPU execution feeds the
+// engine-wide telemetry counters and the activity energy model, whether or
+// not per-operator profiling was requested.
+func (db *Database) runRapid(node plan.Node, opts QueryOptions) (rapidRun, error) {
 	if opts.InjectRapidFailure {
-		return nil, 0, 0, 0, nil, fmt.Errorf("hostdb: injected RAPID node failure")
+		return rapidRun{}, fmt.Errorf("hostdb: injected RAPID node failure")
 	}
 	compiled, err := qcomp.Compile(node)
 	if err != nil {
-		return nil, 0, 0, 0, nil, err
+		return rapidRun{}, err
 	}
 	ctx := qef.NewContext(opts.RapidMode)
 	ctx.Metrics = db.metrics
 	var prof *obs.Profile
 	if opts.Profile {
-		prof = obs.NewProfile(opts.RapidMode.String(), ctx.SoC.Config().NumCores, compiled.SpanDefs())
+		prof = obs.NewProfile(opts.RapidMode.String(), ctx.SoC.Config().NumCores, ctx.SoC.Config().FreqHz, compiled.SpanDefs())
 		ctx.Prof = prof
 	}
 	start := time.Now()
 	rel, err := compiled.Execute(ctx)
 	wall := time.Since(start)
 	if err != nil {
-		return nil, wall, 0, 0, nil, err
+		return rapidRun{wall: wall}, err
 	}
-	simSec := ctx.SimElapsed()
+	run := rapidRun{rel: rel, wall: wall, simSec: ctx.SimElapsed(), prof: prof}
+	rdT, wrT := ctx.DMS.TotalsByDir()
 	if prof != nil {
 		busR, busW := ctx.BusSeconds()
 		cores := ctx.SoC.Cores()
@@ -255,10 +292,9 @@ func (db *Database) runRapid(node plan.Node, opts QueryOptions) (*ops.Relation, 
 		for i, co := range cores {
 			coreCy[i] = int64(co.Cycles())
 		}
-		rdT, wrT := ctx.DMS.TotalsByDir()
 		prof.Finalize(obs.Totals{
 			WallSeconds:     wall.Seconds(),
-			SimSeconds:      simSec,
+			SimSeconds:      run.simSec,
 			BusReadSeconds:  busR,
 			BusWriteSeconds: busW,
 			CoreCycles:      coreCy,
@@ -268,8 +304,21 @@ func (db *Database) runRapid(node plan.Node, opts QueryOptions) (*ops.Relation, 
 			DMSWriteSeconds: wrT.Seconds,
 		})
 	}
-	x86Sec := power.X86ModelSeconds(float64(ctx.SoC.TotalCycles()), ctx.DMS.Totals().Bytes)
-	return rel, wall, simSec, x86Sec, prof, nil
+	totalCycles := int64(ctx.SoC.TotalCycles())
+	run.x86Sec = power.X86ModelSeconds(float64(totalCycles), ctx.DMS.Totals().Bytes)
+	if opts.RapidMode == qef.ModeDPU {
+		run.energy = power.DefaultEnergyModel().Activity(totalCycles, rdT.Bytes, wrT.Bytes, run.simSec)
+		run.hasEnergy = true
+		m := db.metrics
+		m.Counter("rapid_dpcore_cycles_total").Add(totalCycles)
+		m.Counter("rapid_dms_read_bytes_total").Add(rdT.Bytes)
+		m.Counter("rapid_dms_write_bytes_total").Add(wrT.Bytes)
+		m.Counter("rapid_dms_descriptors_total").Add(int64(rdT.Descriptors + wrT.Descriptors))
+		m.Counter("rapid_sim_microseconds_total").Add(int64(run.simSec * 1e6))
+		m.Counter("rapid_activity_energy_nanojoules_total").Add(int64(run.energy.ActivityJoules() * 1e9))
+		m.Counter("rapid_idle_energy_nanojoules_total").Add(int64(run.energy.IdleJ * 1e9))
+	}
+	return run, nil
 }
 
 // runHost executes the plan on the System X row engine and materializes the

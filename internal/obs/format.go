@@ -28,19 +28,32 @@ func (p *Profile) Format() string {
 		}
 	}
 
+	// The energy column is DPU-only: ModeX86 does no cycle or DMS
+	// accounting, so activity energy would render as a misleading zero.
+	var rep EnergyReport
+	energyCell := func(fj int64) string { return fmt.Sprintf("%.3f", fjJoules(fj)*1e6) }
+	if p.isDPU() {
+		rep = p.Energy(defaultEnergyModel())
+	}
+
 	rows := make([][]string, 0, len(p.Defs)+2)
-	rows = append(rows, []string{"operator", "cycles", "rd_bytes", "wr_bytes", "rows_in", "rows_out", "tiles_in", "tiles_out", "wall_ms"})
+	rows = append(rows, []string{"operator", "cycles", "rd_bytes", "wr_bytes", "energy_uj", "rows_in", "rows_out", "tiles_in", "tiles_out", "wall_ms"})
 	for i, d := range p.Defs {
 		s := p.spans[i]
 		name := strings.Repeat("  ", depth[i]) + d.Name
 		if d.Detail != "" {
 			name += " " + d.Detail
 		}
+		cell := "-"
+		if p.isDPU() {
+			cell = energyCell(rep.Spans[i].ActivityFJ())
+		}
 		rows = append(rows, []string{
 			name,
 			fmt.Sprintf("%d", s.Cycles()),
 			fmt.Sprintf("%d", s.ReadBytes()),
 			fmt.Sprintf("%d", s.WriteBytes()),
+			cell,
 			fmt.Sprintf("%d", s.RowsIn()),
 			fmt.Sprintf("%d", s.RowsOut()),
 			fmt.Sprintf("%d", s.TilesIn()),
@@ -48,11 +61,16 @@ func (p *Profile) Format() string {
 			fmt.Sprintf("%.3f", float64(s.WallNs())/1e6),
 		})
 	}
+	totalEnergy := "-"
+	if p.isDPU() {
+		totalEnergy = energyCell(rep.Query.ActivityFJ())
+	}
 	rows = append(rows, []string{
 		"total",
 		fmt.Sprintf("%d", p.TotalCycles()),
 		fmt.Sprintf("%d", p.totals.DMSReadBytes),
 		fmt.Sprintf("%d", p.totals.DMSWriteBytes),
+		totalEnergy,
 		"", "", "", "",
 		fmt.Sprintf("%.3f", p.totals.WallSeconds*1e3),
 	})
@@ -90,5 +108,17 @@ func (p *Profile) Format() string {
 	fmt.Fprintf(&b, "sim %.6gs  bus_rd %.6gs  bus_wr %.6gs  wall %.3fms\n",
 		p.totals.SimSeconds, p.totals.BusReadSeconds, p.totals.BusWriteSeconds,
 		p.totals.WallSeconds*1e3)
+	if p.isDPU() {
+		fmt.Fprintf(&b, "energy %.6g J (core %.6g + dms %.6g + idle %.6g)  provisioned %.6g J",
+			rep.Query.TotalJoules(),
+			fjJoules(rep.Query.CoreFJ),
+			fjJoules(rep.Query.DMSReadFJ+rep.Query.DMSWriteFJ),
+			rep.Query.IdleJ,
+			rep.ProvisionedJ)
+		if jpr := rep.JoulesPerRow(); jpr > 0 {
+			fmt.Fprintf(&b, "  %.6g J/row", jpr)
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rapid/internal/power"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenProfile builds a fixed three-operator profile with activity in
+// every counter class so the golden rendering exercises each column.
+func goldenProfile(mode string) *Profile {
+	defs := []SpanDef{
+		{ID: 0, Parent: -1, Name: "GroupBy", Detail: "keys=1 aggs=1", Kind: KindBlocking, Conserves: true},
+		{ID: 1, Parent: 0, Name: "Filter", Kind: KindPipeline, Conserves: true},
+		{ID: 2, Parent: 1, Name: "Scan(t)", Kind: KindSource},
+	}
+	p := NewProfile(mode, 2, 800e6, defs)
+	scan, filt, gb := p.Span(2), p.Span(1), p.Span(0)
+	if mode == "dpu" {
+		scan.AddCycles(0, 4000)
+		scan.AddCycles(1, 3500)
+		scan.AddTransfer(0, false, 65536, 65536/12.9e9)
+		scan.AddTransfer(1, false, 32768, 32768/12.9e9)
+		filt.AddCycles(0, 1200)
+		filt.AddCycles(1, 900)
+		gb.AddCycles(0, 700)
+		gb.AddTransfer(0, true, 4096, 4096/12.9e9)
+	} else {
+		scan.AddWallNs(0, 210000)
+		filt.AddWallNs(0, 45000)
+		gb.AddWallNs(0, 30000)
+	}
+	scan.TickIn(0, 1024)
+	scan.TickOut(0, 1024)
+	filt.TickIn(0, 1024)
+	filt.TickOut(0, 400)
+	gb.TickIn(0, 400)
+	gb.AddRowsOut(8)
+	t := Totals{WallSeconds: 0.000285}
+	if mode == "dpu" {
+		t.SimSeconds = 13e-6
+		t.BusReadSeconds = (65536 + 32768) / 12.9e9
+		t.BusWriteSeconds = 4096 / 12.9e9
+		t.CoreCycles = []int64{5900, 4400}
+		t.DMSReadBytes = 65536 + 32768
+		t.DMSWriteBytes = 4096
+		t.DMSReadSeconds = t.BusReadSeconds
+		t.DMSWriteSeconds = t.BusWriteSeconds
+	} else {
+		t.CoreCycles = []int64{0, 0}
+	}
+	p.Finalize(t)
+	return p
+}
+
+func TestFormatGolden(t *testing.T) {
+	for _, mode := range []string{"dpu", "x86"} {
+		t.Run(mode, func(t *testing.T) {
+			p := goldenProfile(mode)
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("golden profile must satisfy invariants: %v", err)
+			}
+			if err := p.CheckEnergyInvariants(power.DefaultEnergyModel()); err != nil {
+				t.Fatalf("golden profile must satisfy energy invariants: %v", err)
+			}
+			got := p.Format()
+			path := filepath.Join("testdata", "format_"+mode+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("Format() drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+func TestFormatEnergyColumnDPUOnly(t *testing.T) {
+	dpu := goldenProfile("dpu").Format()
+	if !strings.Contains(dpu, "energy_uj") || !strings.Contains(dpu, "provisioned") {
+		t.Errorf("dpu format missing energy reporting:\n%s", dpu)
+	}
+	if !strings.Contains(dpu, "J/row") {
+		t.Errorf("dpu format missing joules-per-row summary:\n%s", dpu)
+	}
+	x86 := goldenProfile("x86").Format()
+	if strings.Contains(x86, "provisioned") || strings.Contains(x86, "J/row") {
+		t.Errorf("x86 format must not report activity energy:\n%s", x86)
+	}
+}
+
+func TestEnergyInvariants(t *testing.T) {
+	m := power.DefaultEnergyModel()
+	p := goldenProfile("dpu")
+	rep := p.Energy(m)
+	if rep.SpanActivityFJ() != rep.Query.ActivityFJ() {
+		t.Fatalf("span sum %d != query activity %d", rep.SpanActivityFJ(), rep.Query.ActivityFJ())
+	}
+	if rep.RowsOut != 8 {
+		t.Fatalf("RowsOut = %d, want root span's 8", rep.RowsOut)
+	}
+	if jpr := rep.JoulesPerRow(); jpr <= 0 || jpr != rep.Query.TotalJoules()/8 {
+		t.Fatalf("JoulesPerRow = %v", jpr)
+	}
+	if rep.Query.TotalJoules() > rep.ProvisionedJ {
+		t.Fatalf("total %g J above provisioned %g J", rep.Query.TotalJoules(), rep.ProvisionedJ)
+	}
+	if err := p.CheckEnergyInvariants(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// A profile whose span cycles do not cover the query counter must trip
+	// the exact reconciliation.
+	defs := []SpanDef{{ID: 0, Parent: -1, Name: "op"}}
+	bad := NewProfile("dpu", 1, 800e6, defs)
+	bad.Span(0).AddCycles(0, 10)
+	bad.Finalize(Totals{SimSeconds: 1e-6, CoreCycles: []int64{11}})
+	if err := bad.CheckEnergyInvariants(m); err == nil || !strings.Contains(err.Error(), "span energies") {
+		t.Fatalf("want span-sum mismatch error, got %v", err)
+	}
+
+	// Unfinalized profiles are rejected; nil profiles are inert.
+	unfin := NewProfile("dpu", 1, 800e6, defs)
+	if err := unfin.CheckEnergyInvariants(m); err == nil {
+		t.Fatal("unfinalized profile must fail energy invariants")
+	}
+	var nilP *Profile
+	if err := nilP.CheckEnergyInvariants(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package obs
+
+// defaultHelp is the help text for the engine's standard metric names,
+// emitted by the Prometheus renderer unless overridden via Describe. Keep
+// entries one line: the exposition format escapes nothing here, so text
+// must not contain newlines or backslashes.
+var defaultHelp = map[string]string{
+	"hostdb_queries_total":          "SQL queries submitted to the host database.",
+	"hostdb_queries_failed":         "Queries that returned an error.",
+	"hostdb_queries_offloaded":      "Queries executed on the RAPID engine.",
+	"hostdb_queries_host":           "Queries executed on the host row engine.",
+	"hostdb_queries_fellback":       "Offload candidates that fell back to the host engine.",
+	"hostdb_checkpoints_total":      "Journal checkpoints propagated to RAPID replicas.",
+	"hostdb_checkpoint_lag_entries": "Journal entries not yet propagated to RAPID replicas.",
+	"hostdb_query_seconds":          "End-to-end query latency (parse to result), seconds.",
+
+	"rapid_dpcore_cycles_total":              "dpCore cycles executed by offloaded queries (ModeDPU).",
+	"rapid_dms_read_bytes_total":             "Bytes read from DRAM by the DMS for offloaded queries.",
+	"rapid_dms_write_bytes_total":            "Bytes written to DRAM by the DMS for offloaded queries.",
+	"rapid_dms_descriptors_total":            "DMS descriptors executed by offloaded queries.",
+	"rapid_sim_microseconds_total":           "Simulated DPU execution time of offloaded queries, microseconds.",
+	"rapid_activity_energy_nanojoules_total": "Activity energy (dpCore + DMS) of offloaded queries, nanojoules.",
+	"rapid_idle_energy_nanojoules_total":     "Uncore/idle-floor energy of offloaded queries, nanojoules.",
+
+	"qef_work_units_total":           "Work units executed on the dpCore pool.",
+	"qef_tile_degradations":          "Tile-size degradations forced by DMEM pressure.",
+	"qcomp_group_overflow_fallbacks": "Group-by overflow fallbacks to the partitioned plan (§5.4).",
+}

@@ -11,7 +11,7 @@ func twoSpanProfile() *Profile {
 		{ID: 0, Parent: -1, Name: "GroupBy", Conserves: true},
 		{ID: 1, Parent: 0, Name: "Scan(t)"},
 	}
-	return NewProfile("ModeDPU", 2, defs)
+	return NewProfile("dpu", 2, 800e6, defs)
 }
 
 func TestProfileInvariantsHold(t *testing.T) {
@@ -121,7 +121,9 @@ func TestNilSafety(t *testing.T) {
 	var r *Registry
 	r.Counter("x").Inc()
 	r.Gauge("y").Add(2)
-	if r.Snapshot() != nil || r.Counter("x").Value() != 0 {
+	r.Histogram("z").Observe(1)
+	r.Describe("x", "help")
+	if r.Snapshot() != nil || r.Values() != nil || r.Counter("x").Value() != 0 || r.Histogram("z").Count() != 0 {
 		t.Error("nil registry must be inert")
 	}
 }
@@ -143,7 +145,7 @@ func TestRegistryConcurrent(t *testing.T) {
 	if got := r.Counter("c").Value(); got != 8000 {
 		t.Fatalf("counter = %d, want 8000", got)
 	}
-	if got := r.Snapshot()["g"]; got != 8000 {
+	if got := r.Values()["g"]; got != 8000 {
 		t.Fatalf("gauge = %d, want 8000", got)
 	}
 	r.Gauge("g").Set(5)
@@ -154,4 +156,85 @@ func TestRegistryConcurrent(t *testing.T) {
 	if len(names) != 2 || names[0] != "c" || names[1] != "g" {
 		t.Fatalf("names = %v", names)
 	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 0.001, 0.01, 0.1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(i%4) * 0.004) // 0, .004, .008, .012
+			}
+		}(i)
+	}
+	wg.Wait()
+	v := h.View()
+	if v.Count != 8000 || h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", v.Count)
+	}
+	var total int64
+	for _, c := range v.Counts {
+		total += c
+	}
+	if total != 8000 {
+		t.Fatalf("bucket sum = %d", total)
+	}
+	// 2000 observations of 0 land in the first bucket; .004/.008 in the
+	// second; .012 in the third; none overflow.
+	if v.Counts[0] != 2000 || v.Counts[1] != 4000 || v.Counts[2] != 2000 || v.Counts[3] != 0 {
+		t.Fatalf("bucket counts = %v", v.Counts)
+	}
+	wantSum := 2000 * (0.004 + 0.008 + 0.012)
+	if diff := v.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", v.Sum, wantSum)
+	}
+}
+
+func TestSnapshotDeterministicAndHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b_gauge").Set(2)
+	r.Counter("a_counter").Add(1)
+	r.Histogram("c_hist", 1).Observe(0.5)
+	r.Describe("a_counter", "custom help")
+	r.Counter("hostdb_queries_total").Inc()
+	for i := 0; i < 5; i++ {
+		snap := r.Snapshot()
+		var names []string
+		for _, m := range snap {
+			names = append(names, m.Name)
+		}
+		want := []string{"a_counter", "b_gauge", "c_hist", "hostdb_queries_total"}
+		if len(names) != len(want) {
+			t.Fatalf("names = %v", names)
+		}
+		for j := range want {
+			if names[j] != want[j] {
+				t.Fatalf("snapshot order not deterministic: %v", names)
+			}
+		}
+		if snap[0].Help != "custom help" {
+			t.Fatalf("Describe not honored: %q", snap[0].Help)
+		}
+		if snap[3].Help == "" {
+			t.Fatal("standard metric missing default help")
+		}
+		if snap[2].Kind != KindHistogram || snap[2].Hist == nil || snap[2].Hist.Count != 1 {
+			t.Fatalf("histogram snapshot: %+v", snap[2])
+		}
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge reuse of a counter name must panic")
+		}
+	}()
+	r.Gauge("m")
 }

@@ -15,13 +15,30 @@ import (
 	"math"
 )
 
+// SpanKind is a coarse operator category, used by the Chrome-trace export
+// for event categories (filterable in Perfetto) and by telemetry rollups.
+type SpanKind string
+
+const (
+	// KindSource covers operators whose cost is dominated by DMS traffic
+	// (table scans, stream re-reads).
+	KindSource SpanKind = "source"
+	// KindPipeline covers per-tile streaming operators (filter, project,
+	// pipelined aggregation endpoints).
+	KindPipeline SpanKind = "pipeline"
+	// KindBlocking covers materializing operators (joins, sorts,
+	// partitioned group-by, set operations).
+	KindBlocking SpanKind = "blocking"
+)
+
 // SpanDef is one operator span declared at plan time: a stable operator ID,
 // its parent in the data-flow tree (-1 for the root) and display metadata.
 type SpanDef struct {
-	ID     int    `json:"id"`
-	Parent int    `json:"parent"`
-	Name   string `json:"name"`
-	Detail string `json:"detail,omitempty"`
+	ID     int      `json:"id"`
+	Parent int      `json:"parent"`
+	Name   string   `json:"name"`
+	Detail string   `json:"detail,omitempty"`
+	Kind   SpanKind `json:"kind,omitempty"`
 	// Conserves marks a row-conservation contract: this operator's rows-in
 	// must equal the summed rows-out of its children in the span tree.
 	Conserves bool `json:"conserves,omitempty"`
@@ -188,7 +205,11 @@ type Totals struct {
 type Profile struct {
 	Mode  string
 	Cores int
-	Defs  []SpanDef
+	// FreqHz is the dpCore clock the cycle counters were measured at; it
+	// converts span cycles to time for the trace export. Zero (ModeX86)
+	// means wall time carries the timing instead.
+	FreqHz float64
+	Defs   []SpanDef
 
 	spans []*OpSpan
 
@@ -204,8 +225,8 @@ type Profile struct {
 // NewProfile allocates a profile with one span per definition. Span slot
 // storage is preallocated here — the per-tile execution path only does
 // arithmetic on it.
-func NewProfile(mode string, cores int, defs []SpanDef) *Profile {
-	p := &Profile{Mode: mode, Cores: cores, Defs: defs}
+func NewProfile(mode string, cores int, freqHz float64, defs []SpanDef) *Profile {
+	p := &Profile{Mode: mode, Cores: cores, FreqHz: freqHz, Defs: defs}
 	p.spans = make([]*OpSpan, len(defs))
 	for i := range p.spans {
 		p.spans[i] = newOpSpan(cores)
@@ -340,39 +361,60 @@ func closeEnough(a, b float64) bool {
 	return diff <= 1e-9*scale+1e-15
 }
 
+// isDPU reports whether the profile carries the DPU cycle/transfer model
+// (the only mode the activity-energy model applies to).
+func (p *Profile) isDPU() bool { return p != nil && p.Mode == "dpu" }
+
 // SpanSummary is the JSON-friendly rendering of one operator span.
 type SpanSummary struct {
-	ID           int     `json:"id"`
-	Parent       int     `json:"parent"`
-	Name         string  `json:"name"`
-	Detail       string  `json:"detail,omitempty"`
-	Cycles       int64   `json:"cycles"`
-	WallMs       float64 `json:"wall_ms"`
-	ReadBytes    int64   `json:"dms_read_bytes"`
-	WriteBytes   int64   `json:"dms_write_bytes"`
-	ReadSeconds  float64 `json:"dms_read_seconds"`
-	WriteSeconds float64 `json:"dms_write_seconds"`
-	RowsIn       int64   `json:"rows_in"`
-	RowsOut      int64   `json:"rows_out"`
-	TilesIn      int64   `json:"tiles_in"`
-	TilesOut     int64   `json:"tiles_out"`
+	ID           int      `json:"id"`
+	Parent       int      `json:"parent"`
+	Name         string   `json:"name"`
+	Detail       string   `json:"detail,omitempty"`
+	Kind         SpanKind `json:"kind,omitempty"`
+	EnergyUJ     float64  `json:"energy_uj,omitempty"`
+	Cycles       int64    `json:"cycles"`
+	WallMs       float64  `json:"wall_ms"`
+	ReadBytes    int64    `json:"dms_read_bytes"`
+	WriteBytes   int64    `json:"dms_write_bytes"`
+	ReadSeconds  float64  `json:"dms_read_seconds"`
+	WriteSeconds float64  `json:"dms_write_seconds"`
+	RowsIn       int64    `json:"rows_in"`
+	RowsOut      int64    `json:"rows_out"`
+	TilesIn      int64    `json:"tiles_in"`
+	TilesOut     int64    `json:"tiles_out"`
+}
+
+// EnergySummary is the JSON rendering of a query's activity energy.
+type EnergySummary struct {
+	CoreJoules     float64 `json:"core_joules"`
+	DMSReadJoules  float64 `json:"dms_read_joules"`
+	DMSWriteJoules float64 `json:"dms_write_joules"`
+	IdleJoules     float64 `json:"idle_joules"`
+	TotalJoules    float64 `json:"total_joules"`
+	// ProvisionedJoules is the §7.4 provisioned-power energy of the same
+	// interval — the bound TotalJoules stays within.
+	ProvisionedJoules float64 `json:"provisioned_joules"`
+	JoulesPerRow      float64 `json:"joules_per_row,omitempty"`
 }
 
 // Summary is the JSON-friendly rendering of a whole profile.
 type Summary struct {
-	Mode            string        `json:"mode"`
-	Adapted         bool          `json:"adapted,omitempty"`
-	WallSeconds     float64       `json:"wall_seconds"`
-	SimSeconds      float64       `json:"sim_seconds"`
-	BusReadSeconds  float64       `json:"bus_read_seconds"`
-	BusWriteSeconds float64       `json:"bus_write_seconds"`
-	TotalCycles     int64         `json:"total_cycles"`
-	DMSReadBytes    int64         `json:"dms_read_bytes"`
-	DMSWriteBytes   int64         `json:"dms_write_bytes"`
-	Ops             []SpanSummary `json:"ops"`
+	Mode            string         `json:"mode"`
+	Adapted         bool           `json:"adapted,omitempty"`
+	WallSeconds     float64        `json:"wall_seconds"`
+	SimSeconds      float64        `json:"sim_seconds"`
+	BusReadSeconds  float64        `json:"bus_read_seconds"`
+	BusWriteSeconds float64        `json:"bus_write_seconds"`
+	TotalCycles     int64          `json:"total_cycles"`
+	DMSReadBytes    int64          `json:"dms_read_bytes"`
+	DMSWriteBytes   int64          `json:"dms_write_bytes"`
+	Energy          *EnergySummary `json:"energy,omitempty"`
+	Ops             []SpanSummary  `json:"ops"`
 }
 
-// Summary renders the profile for JSON export.
+// Summary renders the profile for JSON export. DPU profiles include the
+// activity-energy decomposition under the default energy model.
 func (p *Profile) Summary() Summary {
 	if p == nil {
 		return Summary{}
@@ -388,16 +430,33 @@ func (p *Profile) Summary() Summary {
 		DMSReadBytes:    p.totals.DMSReadBytes,
 		DMSWriteBytes:   p.totals.DMSWriteBytes,
 	}
+	var rep EnergyReport
+	if p.isDPU() {
+		rep = p.Energy(defaultEnergyModel())
+		out.Energy = &EnergySummary{
+			CoreJoules:        fjJoules(rep.Query.CoreFJ),
+			DMSReadJoules:     fjJoules(rep.Query.DMSReadFJ),
+			DMSWriteJoules:    fjJoules(rep.Query.DMSWriteFJ),
+			IdleJoules:        rep.Query.IdleJ,
+			TotalJoules:       rep.Query.TotalJoules(),
+			ProvisionedJoules: rep.ProvisionedJ,
+			JoulesPerRow:      rep.JoulesPerRow(),
+		}
+	}
 	for i, d := range p.Defs {
 		s := p.spans[i]
-		out.Ops = append(out.Ops, SpanSummary{
-			ID: d.ID, Parent: d.Parent, Name: d.Name, Detail: d.Detail,
+		ss := SpanSummary{
+			ID: d.ID, Parent: d.Parent, Name: d.Name, Detail: d.Detail, Kind: d.Kind,
 			Cycles: s.Cycles(), WallMs: float64(s.WallNs()) / 1e6,
 			ReadBytes: s.ReadBytes(), WriteBytes: s.WriteBytes(),
 			ReadSeconds: s.ReadSeconds(), WriteSeconds: s.WriteSeconds(),
 			RowsIn: s.RowsIn(), RowsOut: s.RowsOut(),
 			TilesIn: s.TilesIn(), TilesOut: s.TilesOut(),
-		})
+		}
+		if out.Energy != nil {
+			ss.EnergyUJ = fjJoules(rep.Spans[i].ActivityFJ()) * 1e6
+		}
+		out.Ops = append(out.Ops, ss)
 	}
 	return out
 }

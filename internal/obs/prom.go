@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition rendering of a Registry (format version
+// 0.0.4, the plain-text scrape format). The output is deterministic: one
+// block per metric in name order, each with # HELP (when known), # TYPE
+// and the sample lines. Histograms render cumulatively with le labels plus
+// the _sum and _count series, per the format's histogram convention.
+
+// PrometheusContentType is the Content-Type for the exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if err := writeMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderPrometheus renders the registry to a string.
+func (r *Registry) RenderPrometheus() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+func writeMetric(w io.Writer, m Metric) error {
+	name := sanitizeMetricName(m.Name)
+	if m.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, m.Help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, m.Kind); err != nil {
+		return err
+	}
+	switch m.Kind {
+	case KindHistogram:
+		var cum int64
+		for i, c := range m.Hist.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(m.Hist.Bounds) {
+				le = formatFloat(m.Hist.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(m.Hist.Sum), name, m.Hist.Count); err != nil {
+			return err
+		}
+	default:
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// sanitizeMetricName maps a registry name onto the metric-name alphabet
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Engine names are already clean; this is a
+// guard against ad-hoc names leaking format-breaking characters.
+func sanitizeMetricName(name string) string {
+	ok := func(i int, r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			return true
+		case r >= '0' && r <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i, r := range name {
+		if !ok(i, r) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i, r := range name {
+		if ok(i, r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// TelemetryServer exposes a Registry over HTTP while the engine runs:
+// GET /metrics serves the Prometheus text exposition, GET /healthz a
+// liveness probe. The server is opt-in (nothing listens unless asked) and
+// reads the registry through the same synchronized snapshot path queries
+// write through, so scraping during a query storm is race-free.
+type TelemetryServer struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeTelemetry starts a telemetry server for reg on addr (host:port;
+// port 0 picks a free port — use Addr to discover it). The server runs in
+// a background goroutine until Close.
+func ServeTelemetry(addr string, reg *Registry) (*TelemetryServer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: telemetry needs a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
+	}
+	t := &TelemetryServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	t.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = t.srv.Serve(ln) }()
+	return t, nil
+}
+
+func (t *TelemetryServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PrometheusContentType)
+	// Render to a buffer first so a slow client cannot hold the registry
+	// lock, and a write error cannot emit a torn exposition.
+	body := t.reg.RenderPrometheus()
+	_, _ = w.Write([]byte(body))
+}
+
+// Addr returns the bound listen address (resolves port 0).
+func (t *TelemetryServer) Addr() string { return t.ln.Addr().String() }
+
+// URL returns the scrape URL of the metrics endpoint.
+func (t *TelemetryServer) URL() string { return "http://" + t.Addr() + "/metrics" }
+
+// Close stops the listener and in-flight handlers.
+func (t *TelemetryServer) Close() error { return t.srv.Close() }

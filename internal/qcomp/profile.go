@@ -14,10 +14,10 @@ type spanReg struct {
 	defs []obs.SpanDef
 }
 
-func (r *spanReg) add(parent int, name, detail string, conserves bool) int {
+func (r *spanReg) add(parent int, name, detail string, kind obs.SpanKind, conserves bool) int {
 	id := len(r.defs)
 	r.defs = append(r.defs, obs.SpanDef{
-		ID: id, Parent: parent, Name: name, Detail: detail, Conserves: conserves,
+		ID: id, Parent: parent, Name: name, Detail: detail, Kind: kind, Conserves: conserves,
 	})
 	return id
 }
@@ -28,34 +28,36 @@ func (c *Compiled) SpanDefs() []obs.SpanDef { return c.spanDefs }
 
 // annotate implementations: each physical node registers one span per
 // operator it executes and annotates its children below itself, returning
-// the span ID that represents the node's output.
+// the span ID that represents the node's output. The span kind classifies
+// the operator for the trace export: sources are DMS-bound, pipeline
+// operators stream per tile, blocking operators materialize.
 
 func (p *pipelineNode) annotate(reg *spanReg, parent int) int {
 	switch p.terminal {
 	case termScalarAgg:
-		p.termID = reg.add(parent, "ScalarAgg", fmt.Sprintf("(aggs=%d)", len(p.aggSpecs)), true)
+		p.termID = reg.add(parent, "ScalarAgg", fmt.Sprintf("(aggs=%d)", len(p.aggSpecs)), obs.KindPipeline, true)
 	case termGroupBy:
-		p.termID = reg.add(parent, "GroupBy", fmt.Sprintf("(keys=%d, aggs=%d, maxGroups=%d)", len(p.groupCols), len(p.aggSpecs), p.maxGroups), true)
+		p.termID = reg.add(parent, "GroupBy", fmt.Sprintf("(keys=%d, aggs=%d, maxGroups=%d)", len(p.groupCols), len(p.aggSpecs), p.maxGroups), obs.KindPipeline, true)
 	default:
-		p.termID = reg.add(parent, "Collect", "", true)
+		p.termID = reg.add(parent, "Collect", "", obs.KindPipeline, true)
 	}
 	up := p.termID
 	p.stepIDs = make([]int, len(p.steps))
 	for i := len(p.steps) - 1; i >= 0; i-- {
 		s := p.steps[i]
 		if s.kind == stepFilter {
-			p.stepIDs[i] = reg.add(up, "Filter", fmt.Sprintf("(preds=%d)", len(s.preds)), true)
+			p.stepIDs[i] = reg.add(up, "Filter", fmt.Sprintf("(preds=%d)", len(s.preds)), obs.KindPipeline, true)
 		} else {
-			p.stepIDs[i] = reg.add(up, "Project", fmt.Sprintf("(exprs=%d)", len(s.exprs)+len(s.keep)), true)
+			p.stepIDs[i] = reg.add(up, "Project", fmt.Sprintf("(exprs=%d)", len(s.exprs)+len(s.keep)), obs.KindPipeline, true)
 		}
 		up = p.stepIDs[i]
 	}
 	if p.snap != nil {
-		p.srcID = reg.add(up, fmt.Sprintf("Scan(%s)", p.snap.Table().Name()), "", false)
+		p.srcID = reg.add(up, fmt.Sprintf("Scan(%s)", p.snap.Table().Name()), "", obs.KindSource, false)
 	} else {
 		// A streamed input: the scan's rows-in must equal the rows the
 		// child materialized, which makes this edge a checkable invariant.
-		p.srcID = reg.add(up, "Stream", "", true)
+		p.srcID = reg.add(up, "Stream", "", obs.KindSource, true)
 	}
 	if p.input != nil {
 		p.input.annotate(reg, p.srcID)
@@ -64,45 +66,45 @@ func (p *pipelineNode) annotate(reg *spanReg, parent int) int {
 }
 
 func (g *groupPartNode) annotate(reg *spanReg, parent int) int {
-	g.opID = reg.add(parent, "GroupByPartitioned", fmt.Sprintf("(keys=%d, aggs=%d, ndv~%d)", len(g.groupCols), len(g.specs), g.ndv), true)
+	g.opID = reg.add(parent, "GroupByPartitioned", fmt.Sprintf("(keys=%d, aggs=%d, ndv~%d)", len(g.groupCols), len(g.specs), g.ndv), obs.KindBlocking, true)
 	g.input.annotate(reg, g.opID)
 	return g.opID
 }
 
 func (n *joinNode) annotate(reg *spanReg, parent int) int {
-	n.opID = reg.add(parent, "HashJoin", fmt.Sprintf("(type=%v, scheme=%s)", n.typ, n.scheme), true)
+	n.opID = reg.add(parent, "HashJoin", fmt.Sprintf("(type=%v, scheme=%s)", n.typ, n.scheme), obs.KindBlocking, true)
 	n.left.annotate(reg, n.opID)
 	n.right.annotate(reg, n.opID)
 	return n.opID
 }
 
 func (n *sortNode) annotate(reg *spanReg, parent int) int {
-	n.opID = reg.add(parent, "Sort", fmt.Sprintf("(keys=%d)", len(n.keys)), true)
+	n.opID = reg.add(parent, "Sort", fmt.Sprintf("(keys=%d)", len(n.keys)), obs.KindBlocking, true)
 	n.input.annotate(reg, n.opID)
 	return n.opID
 }
 
 func (n *topkNode) annotate(reg *spanReg, parent int) int {
-	n.opID = reg.add(parent, "TopK", fmt.Sprintf("(k=%d, keys=%d)", n.k, len(n.keys)), true)
+	n.opID = reg.add(parent, "TopK", fmt.Sprintf("(k=%d, keys=%d)", n.k, len(n.keys)), obs.KindBlocking, true)
 	n.input.annotate(reg, n.opID)
 	return n.opID
 }
 
 func (n *limitNode) annotate(reg *spanReg, parent int) int {
-	n.opID = reg.add(parent, "Limit", fmt.Sprintf("(%d)", n.k), true)
+	n.opID = reg.add(parent, "Limit", fmt.Sprintf("(%d)", n.k), obs.KindPipeline, true)
 	n.input.annotate(reg, n.opID)
 	return n.opID
 }
 
 func (n *setopNode) annotate(reg *spanReg, parent int) int {
-	n.opID = reg.add(parent, "SetOp", fmt.Sprintf("(%d)", n.kind), true)
+	n.opID = reg.add(parent, "SetOp", fmt.Sprintf("(%d)", n.kind), obs.KindBlocking, true)
 	n.left.annotate(reg, n.opID)
 	n.right.annotate(reg, n.opID)
 	return n.opID
 }
 
 func (n *windowNode) annotate(reg *spanReg, parent int) int {
-	n.opID = reg.add(parent, "Window", fmt.Sprintf("(f=%d)", n.spec.Func), true)
+	n.opID = reg.add(parent, "Window", fmt.Sprintf("(f=%d)", n.spec.Func), obs.KindBlocking, true)
 	n.input.annotate(reg, n.opID)
 	return n.opID
 }

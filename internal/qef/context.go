@@ -370,6 +370,7 @@ func (c *Context) newTaskCtx(w int) *TaskCtx {
 }
 
 func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
+	c.CountMetric("qef_work_units_total", 1)
 	tc.transferSec = 0
 	tc.NoOverlap = false
 	tc.DMEM.Reset()

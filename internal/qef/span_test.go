@@ -33,7 +33,7 @@ func profiledCtx(mode Mode) *Context {
 		{ID: 0, Parent: -1, Name: "sink"},
 		{ID: 1, Parent: 0, Name: "source"},
 	}
-	ctx.Prof = obs.NewProfile(mode.String(), cfg(ctx), defs)
+	ctx.Prof = obs.NewProfile(mode.String(), cfg(ctx), ctx.SoC.Config().FreqHz, defs)
 	return ctx
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"rapid/internal/hostdb"
 	"rapid/internal/ops"
+	"rapid/internal/power"
 	"rapid/internal/qef"
 	"rapid/internal/storage"
 )
@@ -32,11 +33,17 @@ var engines = []engineSpec{
 	{name: "x86/partitioned", alt: true, opts: hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true, Profile: true}},
 }
 
-// profErr folds a profile-invariant violation into an engine error.
+// profErr folds a profile-invariant violation into an engine error. The
+// energy decomposition is checked alongside the accounting invariants, so
+// every soak query also proves span joules sum to whole-query joules and
+// stay inside the provisioned-power envelope.
 func profErr(res *hostdb.QueryResult) error {
 	if res.Profile != nil {
 		if err := res.Profile.CheckInvariants(); err != nil {
 			return fmt.Errorf("profile invariants: %w", err)
+		}
+		if err := res.Profile.CheckEnergyInvariants(power.DefaultEnergyModel()); err != nil {
+			return fmt.Errorf("energy invariants: %w", err)
 		}
 	}
 	return nil

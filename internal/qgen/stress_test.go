@@ -2,6 +2,9 @@ package qgen
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +12,7 @@ import (
 	"rapid/internal/coltypes"
 	"rapid/internal/hostdb"
 	"rapid/internal/obs"
+	"rapid/internal/power"
 	"rapid/internal/qef"
 	"rapid/internal/storage"
 	"rapid/internal/tpch"
@@ -70,6 +74,9 @@ func TestConcurrentQueriesSharedRegistry(t *testing.T) {
 			if ierr := res.Profile.CheckInvariants(); ierr != nil {
 				return fmt.Errorf("profile invariants: %w", ierr)
 			}
+			if ierr := res.Profile.CheckEnergyInvariants(power.DefaultEnergyModel()); ierr != nil {
+				return fmt.Errorf("energy invariants: %w", ierr)
+			}
 		}
 		return nil
 	}
@@ -99,10 +106,69 @@ func TestConcurrentQueriesSharedRegistry(t *testing.T) {
 		}
 	}
 
+	// Telemetry endpoint stays curl-able (valid exposition, no duplicate
+	// TYPE lines) while the query storm runs.
+	srv, err := db.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	scrape := func() error {
+		resp, err := http.Get(srv.URL())
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("metrics status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+			return fmt.Errorf("metrics content type %q", ct)
+		}
+		seen := map[string]bool{}
+		for _, line := range strings.Split(string(body), "\n") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("malformed TYPE line %q", line)
+			}
+			if seen[fields[2]] {
+				return fmt.Errorf("duplicate TYPE for %s", fields[2])
+			}
+			seen[fields[2]] = true
+		}
+		if !seen["hostdb_queries_total"] {
+			return fmt.Errorf("exposition missing hostdb_queries_total:\n%s", body)
+		}
+		return nil
+	}
+
 	const workers = 8
 	const itersPerWorker = 24
-	errCh := make(chan error, workers*itersPerWorker+1)
+	errCh := make(chan error, workers*itersPerWorker+16)
 	var wg sync.WaitGroup
+	scrapeStop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			default:
+			}
+			if err := scrape(); err != nil {
+				errCh <- fmt.Errorf("mid-storm scrape: %w", err)
+				return
+			}
+		}
+	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -136,6 +202,12 @@ func TestConcurrentQueriesSharedRegistry(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+	close(scrapeStop)
+	<-scrapeDone
+	// One final scrape after the storm: counters at rest must still serve.
+	if err := scrape(); err != nil {
+		t.Error(err)
+	}
 	close(errCh)
 	for err := range errCh {
 		t.Error(err)
@@ -147,7 +219,7 @@ func TestConcurrentQueriesSharedRegistry(t *testing.T) {
 	if err := db.CheckpointAll(); err != nil {
 		t.Fatal(err)
 	}
-	snap := reg.Snapshot()
+	snap := reg.Values()
 	if got, want := snap["hostdb_queries_total"], issued.Load(); got != want {
 		t.Errorf("hostdb_queries_total = %d, want %d", got, want)
 	}
