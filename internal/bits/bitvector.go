@@ -31,6 +31,23 @@ func NewVector(n int) *Vector {
 	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// Reuse resizes v to n bits and clears it, growing the word storage only
+// when n exceeds the current capacity. It lets pooled vectors be recycled
+// across tiles without reallocating (the DPU reuses the same DMEM region).
+func (v *Vector) Reuse(n int) {
+	if n < 0 {
+		panic("bits: negative vector length")
+	}
+	words := (n + wordBits - 1) / wordBits
+	if words > cap(v.words) {
+		v.words = make([]uint64, words)
+	} else {
+		v.words = v.words[:words]
+	}
+	v.n = n
+	v.ClearAll()
+}
+
 // NewVectorAllSet returns a bit-vector of n bits with every bit set.
 func NewVectorAllSet(n int) *Vector {
 	v := NewVector(n)

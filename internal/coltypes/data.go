@@ -108,6 +108,50 @@ func (c I64) NewSame(n int) Data         { return make(I64, n) }
 func (c I64) SizeBytes() int             { return len(c) * 8 }
 func (c I64) CopyFrom(off int, src Data) { copy(c[off:], src.(I64)) }
 
+// Zero clears every element of d. Pooled buffers are recycled with Zero
+// instead of being reallocated.
+func Zero(d Data) {
+	switch s := d.(type) {
+	case I8:
+		for i := range s {
+			s[i] = 0
+		}
+	case I16:
+		for i := range s {
+			s[i] = 0
+		}
+	case I32:
+		for i := range s {
+			s[i] = 0
+		}
+	case I64:
+		for i := range s {
+			s[i] = 0
+		}
+	default:
+		panic(fmt.Sprintf("coltypes: unsupported Data %T", d))
+	}
+}
+
+// CopyRange copies src[lo:hi] into dst starting at dstOff. Equivalent to
+// dst.CopyFrom(dstOff, src.Slice(lo, hi)) but without boxing the slice view
+// into a fresh interface value — the DMS calls this once per column per
+// tile, so the hot path must not allocate.
+func CopyRange(dst Data, dstOff int, src Data, lo, hi int) {
+	switch s := src.(type) {
+	case I8:
+		copy(dst.(I8)[dstOff:], s[lo:hi])
+	case I16:
+		copy(dst.(I16)[dstOff:], s[lo:hi])
+	case I32:
+		copy(dst.(I32)[dstOff:], s[lo:hi])
+	case I64:
+		copy(dst.(I64)[dstOff:], s[lo:hi])
+	default:
+		panic(fmt.Sprintf("coltypes: unsupported Data %T", src))
+	}
+}
+
 // Gather copies src[rids[i]] into dst[i] for every i. dst and src must have
 // the same width and dst.Len() >= len(rids). This is the software analogue
 // of the DMS gather pattern; the DMS itself uses it when simulating

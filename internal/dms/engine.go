@@ -87,7 +87,7 @@ func (e *Engine) Read(src []coltypes.Data, lo, hi int, dst []coltypes.Data) Timi
 		if s.Width() != dst[i].Width() {
 			panic(fmt.Sprintf("dms: width mismatch on column %d", i))
 		}
-		dst[i].CopyFrom(0, s.Slice(lo, hi))
+		coltypes.CopyRange(dst[i], 0, s, lo, hi)
 		bytes := rows * s.Width().Bytes()
 		t.Seconds += e.model.chunkTime(bytes, len(src))
 		t.Bytes += int64(bytes)
@@ -105,9 +105,29 @@ func (e *Engine) Write(dst []coltypes.Data, at int, src []coltypes.Data, rows in
 	}
 	var t Timing
 	for i, s := range src {
-		dst[i].CopyFrom(at, s.Slice(0, rows))
+		coltypes.CopyRange(dst[i], at, s, 0, rows)
 		bytes := rows * s.Width().Bytes()
 		t.Seconds += e.model.chunkTime(bytes, len(src))
+		t.Bytes += int64(bytes)
+		t.Descriptors++
+	}
+	t.Seconds += e.model.WriteTurnaroundNs * 1e-9
+	t.Write = true
+	e.account(t)
+	return t
+}
+
+// WriteTiming bills a DMEM→DRAM columnar write of `rows` rows across ncols
+// columns of widthBytes-wide elements without moving any data. The timing
+// formula is identical to Write's, so callers whose functional effect
+// happens elsewhere (e.g. the collect sink's host-side result append) can
+// account the materialization without building throwaway destination
+// buffers.
+func (e *Engine) WriteTiming(ncols, rows, widthBytes int) Timing {
+	var t Timing
+	for i := 0; i < ncols; i++ {
+		bytes := rows * widthBytes
+		t.Seconds += e.model.chunkTime(bytes, ncols)
 		t.Bytes += int64(bytes)
 		t.Descriptors++
 	}

@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"testing"
+
+	"rapid/internal/coltypes"
+)
+
+func TestTilePoolTakeAndReset(t *testing.T) {
+	p := NewTilePool()
+	a := p.I64(100)
+	if len(a) != 100 {
+		t.Fatalf("len = %d, want 100", len(a))
+	}
+	for i := range a {
+		a[i] = int64(i) + 1
+	}
+	b := p.I64(50)
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("second take not zeroed at %d: %d", i, b[i])
+		}
+		b[i] = -7
+	}
+	if p.DataBytesInUse() != 8*150 {
+		t.Fatalf("DataBytesInUse = %d, want %d", p.DataBytesInUse(), 8*150)
+	}
+	p.Reset()
+	if p.DataBytesInUse() != 0 {
+		t.Fatalf("DataBytesInUse after Reset = %d", p.DataBytesInUse())
+	}
+	// Recycled takes are zeroed even though the backing memory was dirty.
+	c := p.I64(150)
+	for i := range c {
+		if c[i] != 0 {
+			t.Fatalf("recycled take not zeroed at %d: %d", i, c[i])
+		}
+	}
+}
+
+func TestTilePoolMarkReleaseResetTile(t *testing.T) {
+	p := NewTilePool()
+	unit := p.I64(10) // unit-lifetime take below the mark
+	unit[0] = 42
+	p.Mark()
+	p.I64(20)
+	p.U32(30)
+	inner := p.DataBytesInUse()
+	if inner != 8*10+8*20+4*30 {
+		t.Fatalf("DataBytesInUse = %d", inner)
+	}
+	p.ResetTile() // rolls back to the mark, keeping the unit take
+	if p.DataBytesInUse() != 8*10 {
+		t.Fatalf("after ResetTile DataBytesInUse = %d, want %d", p.DataBytesInUse(), 8*10)
+	}
+	if unit[0] != 42 {
+		t.Fatal("unit-lifetime buffer clobbered by ResetTile")
+	}
+	p.I64(5)
+	p.Release() // closes the mark scope
+	if p.DataBytesInUse() != 8*10 {
+		t.Fatalf("after Release DataBytesInUse = %d, want %d", p.DataBytesInUse(), 8*10)
+	}
+	// Without marks, ResetTile behaves like Reset.
+	p.ResetTile()
+	if p.DataBytesInUse() != 0 {
+		t.Fatalf("markless ResetTile DataBytesInUse = %d", p.DataBytesInUse())
+	}
+}
+
+func TestTilePoolReleaseWithoutMarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Mark did not panic")
+		}
+	}()
+	NewTilePool().Release()
+}
+
+func TestTilePoolSteadyStateNoGrows(t *testing.T) {
+	p := NewTilePool()
+	warm := func() {
+		p.Reset()
+		p.I64(256)
+		p.I32(256)
+		p.U32(256)
+		p.BV(256)
+		p.Data(coltypes.W4, 256)
+		p.Data(coltypes.W8, 256)
+		p.Headers(4)
+		p.RowHeaders(4)
+	}
+	warm()
+	base := p.Grows()
+	for i := 0; i < 100; i++ {
+		warm()
+	}
+	if g := p.Grows(); g != base {
+		t.Fatalf("steady-state takes grew the pool: %d new grows", g-base)
+	}
+}
+
+func TestTilePoolDataSlabReuse(t *testing.T) {
+	p := NewTilePool()
+	d := p.Data(coltypes.W8, 256)
+	if d.Len() != 256 || d.Width() != coltypes.W8 {
+		t.Fatalf("Data(W8, 256) = len %d width %d", d.Len(), d.Width())
+	}
+	d.Set(3, 99)
+	p.Reset()
+	d2 := p.Data(coltypes.W8, 256)
+	if d2.Get(3) != 0 {
+		t.Fatal("recycled Data slab not zeroed")
+	}
+	// Shorter takes re-slice the cached slab and stay zeroed.
+	d3 := p.Data(coltypes.W8, 100)
+	if d3.Len() != 100 {
+		t.Fatalf("short take len = %d", d3.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if d3.Get(i) != 0 {
+			t.Fatalf("short take not zeroed at %d", i)
+		}
+	}
+}
+
+func TestTilePoolHighWater(t *testing.T) {
+	p := NewTilePool()
+	p.I64(100)
+	p.Reset()
+	p.I64(10)
+	if p.HighWater() != 800 {
+		t.Fatalf("HighWater = %d, want 800", p.HighWater())
+	}
+	p.MarkHighWater()
+	if p.HighWater() != 80 {
+		t.Fatalf("HighWater after MarkHighWater = %d, want 80", p.HighWater())
+	}
+	p.I64(20)
+	if p.HighWater() != 240 {
+		t.Fatalf("HighWater = %d, want 240", p.HighWater())
+	}
+}
+
+func TestTilePoolBVReuse(t *testing.T) {
+	p := NewTilePool()
+	v := p.BV(100)
+	v.Set(7)
+	v2 := p.BV(100)
+	if v2 == v {
+		t.Fatal("second BV take returned the same vector")
+	}
+	p.Reset()
+	v3 := p.BV(200)
+	if v3 != v {
+		t.Fatal("recycled BV not reused")
+	}
+	if v3.Len() != 200 || v3.Count() != 0 {
+		t.Fatalf("recycled BV len %d count %d", v3.Len(), v3.Count())
+	}
+}

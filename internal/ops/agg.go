@@ -92,8 +92,18 @@ func (r *ScalarAggResult) Value(i int, kind AggKind) int64 {
 	}
 }
 
+// DMEMSize: per-spec accumulator state, each computed expression's scratch,
+// and the RID-gather staging vector. The old flat tileRows*8 undercounted
+// multi-expression aggregate lists.
 func (a *ScalarAggOp) DMEMSize(tileRows int) int {
-	return len(a.Specs)*32 + tileRows*8
+	total := len(a.Specs) * 32
+	for _, spec := range a.Specs {
+		if spec.Kind == AggCountStar || spec.Expr == nil {
+			continue
+		}
+		total += exprScratchBytes(spec.Expr, tileRows) + 8*tileRows
+	}
+	return total
 }
 
 func (a *ScalarAggOp) Open(tc *qef.TaskCtx) error {
@@ -114,7 +124,7 @@ func (a *ScalarAggOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 		vals := spec.Expr.Eval(tc, t)
 		if t.RIDs != nil {
 			// RID selection: gather the qualifying subset, then fold it.
-			sub := make([]int64, len(t.RIDs))
+			sub := scratch(tc, len(t.RIDs))
 			for j, r := range t.RIDs {
 				sub[j] = vals[r]
 			}

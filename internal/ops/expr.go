@@ -3,6 +3,8 @@ package ops
 import (
 	"fmt"
 
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
 	"rapid/internal/dpu"
 	"rapid/internal/primitives"
 	"rapid/internal/qef"
@@ -162,12 +164,94 @@ func core(tc *qef.TaskCtx) *dpu.Core {
 	return tc.Core
 }
 
-// scratch returns a tile-lifetime buffer (per-task arena when available).
+// scratch returns a tile-lifetime buffer (per-task pool when available).
 func scratch(tc *qef.TaskCtx, n int) []int64 {
 	if tc == nil {
 		return make([]int64, n)
 	}
 	return tc.I64Scratch(n)
+}
+
+// bvScratch returns a cleared tile-lifetime bit-vector.
+func bvScratch(tc *qef.TaskCtx, n int) *bits.Vector {
+	if tc == nil {
+		return bits.NewVector(n)
+	}
+	return tc.BVScratch(n)
+}
+
+// ridScratch returns an empty tile-lifetime RID buffer of capacity n.
+func ridScratch(tc *qef.TaskCtx, n int) []uint32 {
+	if tc == nil {
+		return make([]uint32, 0, n)
+	}
+	return tc.RIDScratch(n)
+}
+
+// u32Scratch returns a zeroed tile-lifetime uint32 buffer of length n.
+func u32Scratch(tc *qef.TaskCtx, n int) []uint32 {
+	if tc == nil {
+		return make([]uint32, n)
+	}
+	return tc.U32Scratch(n)
+}
+
+// colScratch returns a zeroed tile-lifetime column-header slice.
+func colScratch(tc *qef.TaskCtx, n int) []coltypes.Data {
+	if tc == nil {
+		return make([]coltypes.Data, n)
+	}
+	return tc.ColScratch(n)
+}
+
+// rowScratch returns a zeroed tile-lifetime [][]int64 header slice.
+func rowScratch(tc *qef.TaskCtx, n int) [][]int64 {
+	if tc == nil {
+		return make([][]int64, n)
+	}
+	return tc.RowScratch(n)
+}
+
+// dataScratch returns a zeroed tile-lifetime column buffer.
+func dataScratch(tc *qef.TaskCtx, w coltypes.Width, n int) coltypes.Data {
+	if tc == nil {
+		return coltypes.New(w, n)
+	}
+	return tc.DataScratch(w, n)
+}
+
+// tileScratch returns a recycled tile-lifetime Tile over cols.
+func tileScratch(tc *qef.TaskCtx, cols []coltypes.Data, n int) *qef.Tile {
+	if tc == nil {
+		return qef.NewTile(cols, n)
+	}
+	return tc.TileScratch(cols, n)
+}
+
+// exprScratchBytes returns an upper bound on the tile-lifetime pool bytes
+// Eval takes for one tile of tileRows rows — every node of the tree holds
+// one 8-byte accumulator vector, and CASE additionally evaluates its
+// condition. This is what operator DMEMSize declarations charge per
+// expression, keeping the declared budgets upper bounds on observed pool
+// usage (enforced by the conformance tests).
+func exprScratchBytes(e Expr, tileRows int) int {
+	switch e := e.(type) {
+	case *ColRef, *ConstExpr:
+		return 8 * tileRows
+	case *BinExpr:
+		total := exprScratchBytes(e.L, tileRows) + 8*tileRows
+		if _, ok := e.R.(*ConstExpr); !ok {
+			total += exprScratchBytes(e.R, tileRows)
+		}
+		return total
+	case *CaseExpr:
+		return predScratchBytes(e.Cond, tileRows) +
+			exprScratchBytes(e.Then, tileRows) +
+			exprScratchBytes(e.Else, tileRows) + 8*tileRows
+	default:
+		// Unknown expression node: assume two accumulators.
+		return 16 * tileRows
+	}
 }
 
 func charge1(tc *qef.TaskCtx, n int) {

@@ -23,9 +23,16 @@ type FilterOp struct {
 	ordered []Predicate
 }
 
-// DMEMSize: one bit-vector per live predicate result plus control state.
+// DMEMSize: the predicate tree's scratch (one bit-vector per node plus
+// expression accumulators), the RID-list conversions on entry and exit, and
+// control state. Kept an upper bound on observed pool usage — the
+// conformance tests compare this against the pool high-water mark.
 func (f *FilterOp) DMEMSize(tileRows int) int {
-	return 2*bits.VectorSizeBytes(tileRows) + 64
+	total := 0
+	for _, p := range f.Preds {
+		total += predScratchBytes(p, tileRows)
+	}
+	return total + bits.VectorSizeBytes(tileRows) + 4*tileRows + 64
 }
 
 // Open sorts predicates by estimated selectivity (predicate reordering).
@@ -43,7 +50,7 @@ func (f *FilterOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 	cur := t.Sel
 	if t.RIDs != nil {
 		// Upstream handed a RID list; convert once.
-		cur = bits.NewVector(t.N)
+		cur = bvScratch(tc, t.N)
 		cur.FromRIDs(t.RIDs)
 		t.RIDs = nil
 	}
@@ -59,7 +66,7 @@ func (f *FilterOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 	if cur != nil {
 		// Representation choice (§5.4): RID list below 1/32 density.
 		if bits.ChooseRIDs(hits, t.N) {
-			t.RIDs = cur.ToRIDs(nil)
+			t.RIDs = cur.ToRIDs(ridScratch(tc, hits))
 			t.Sel = nil
 		} else {
 			t.Sel = cur
@@ -80,10 +87,23 @@ func (f *FilterOp) Close(tc *qef.TaskCtx) error { return f.Next.Close(tc) }
 // materialization at the point the compiler chose (§5.4).
 type MaterializeOp struct {
 	Next qef.Operator
+
+	// RowBytes is the total byte width of one input row (sum of the widths
+	// of the columns entering this operator). It sizes the gathered output
+	// buffers in DMEMSize; zero falls back to a single 8-byte column.
+	RowBytes int
 }
 
+// DMEMSize: the gathered output buffers (RowBytes per row, held
+// simultaneously for the output tile) plus the RID list driving the gather.
+// The old declaration charged one reused 8-byte buffer, which disagreed
+// with Produce holding every gathered column at once.
 func (m *MaterializeOp) DMEMSize(tileRows int) int {
-	return tileRows * 8 // one gathered output buffer, reused per column
+	rb := m.RowBytes
+	if rb <= 0 {
+		rb = 8
+	}
+	return tileRows*rb + 4*tileRows
 }
 
 func (m *MaterializeOp) Open(tc *qef.TaskCtx) error { return m.Next.Open(tc) }
@@ -92,15 +112,14 @@ func (m *MaterializeOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 	if t.Dense() {
 		return m.Next.Produce(tc, t)
 	}
-	rids := t.SelRIDs()
-	out := make([]coltypes.Data, len(t.Cols))
+	rids := t.AppendSelRIDs(ridScratch(tc, t.QualifyingRows()))
+	out := colScratch(tc, len(t.Cols))
 	for i, c := range t.Cols {
-		dst := c.NewSame(len(rids))
+		dst := dataScratch(tc, c.Width(), len(rids))
 		primitives.GatherRows(core(tc), c, rids, dst)
 		out[i] = dst
 	}
-	nt := qef.NewTile(out, len(rids))
-	return m.Next.Produce(tc, nt)
+	return m.Next.Produce(tc, tileScratch(tc, out, len(rids)))
 }
 
 func (m *MaterializeOp) Close(tc *qef.TaskCtx) error { return m.Next.Close(tc) }
@@ -116,21 +135,28 @@ type ProjectOp struct {
 	Next qef.Operator
 }
 
+// DMEMSize: the full scratch of every expression tree, not just one 8-byte
+// output per expression — the old declaration undercounted nested
+// arithmetic (and assumed 8-byte outputs for free).
 func (p *ProjectOp) DMEMSize(tileRows int) int {
-	return len(p.Exprs) * tileRows * 8
+	total := 0
+	for _, e := range p.Exprs {
+		total += exprScratchBytes(e, tileRows)
+	}
+	return total
 }
 
 func (p *ProjectOp) Open(tc *qef.TaskCtx) error { return p.Next.Open(tc) }
 
 func (p *ProjectOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
-	out := make([]coltypes.Data, 0, len(p.Keep)+len(p.Exprs))
-	for _, k := range p.Keep {
-		out = append(out, t.Cols[k])
+	out := colScratch(tc, len(p.Keep)+len(p.Exprs))
+	for i, k := range p.Keep {
+		out[i] = t.Cols[k]
 	}
-	for _, e := range p.Exprs {
-		out = append(out, coltypes.I64(e.Eval(tc, t)))
+	for i, e := range p.Exprs {
+		out[len(p.Keep)+i] = coltypes.I64(e.Eval(tc, t))
 	}
-	nt := qef.NewTile(out, t.N)
+	nt := tileScratch(tc, out, t.N)
 	nt.Sel = t.Sel
 	nt.RIDs = t.RIDs
 	return p.Next.Produce(tc, nt)

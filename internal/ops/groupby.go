@@ -112,18 +112,27 @@ type GroupByOp struct {
 	MaxGroups int
 	Merger    *GroupMerger
 
-	table   *GroupTable
-	aggs    []*primitives.GroupedAgg
-	gids    []uint32
-	rows    []uint32
-	hv      []uint32
-	keyBuf  []int64
-	keyData []coltypes.Data
+	table  *GroupTable
+	aggs   []*primitives.GroupedAgg
+	keyBuf []int64
 }
 
+// DMEMSize: the group table and per-spec accumulator arrays (unit lifetime)
+// plus the per-tile hash/gid/row vectors and each aggregate expression's
+// scratch. Per-tile scratch comes from the task pool, so this stays an
+// upper bound on observed pool usage (operator instances persist across
+// work units while the pool resets — cross-tile caches must not be
+// pool-backed, which is why the old cached hv/gids/rows fields are gone).
 func (g *GroupByOp) DMEMSize(tileRows int) int {
-	return GroupTableSizeBytes(g.MaxGroups, len(g.GroupCols)) +
-		len(g.Specs)*4*8*g.MaxGroups + tileRows*4
+	total := GroupTableSizeBytes(g.MaxGroups, len(g.GroupCols)) +
+		len(g.Specs)*4*8*g.MaxGroups + 12*tileRows
+	for _, spec := range g.Specs {
+		if spec.Kind == AggCountStar || spec.Expr == nil {
+			continue
+		}
+		total += exprScratchBytes(spec.Expr, tileRows) + 8*tileRows
+	}
+	return total
 }
 
 func (g *GroupByOp) Open(tc *qef.TaskCtx) error {
@@ -140,21 +149,13 @@ func (g *GroupByOp) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 	primitives.ChargeTileOverhead(core(tc))
 	// Hash the group key columns (hardware CRC32 engine provides this in
 	// the on-the-fly partitioning path).
-	if cap(g.keyData) < len(g.GroupCols) {
-		g.keyData = make([]coltypes.Data, len(g.GroupCols))
-	}
-	keyData := g.keyData[:len(g.GroupCols)]
+	keyData := colScratch(tc, len(g.GroupCols))
 	for i, c := range g.GroupCols {
 		keyData[i] = t.Cols[c]
 	}
-	g.hv = primitives.HashColumns(core(tc), keyData, g.hv[:0])
-	hv := g.hv
-	if cap(g.gids) < t.N {
-		g.gids = make([]uint32, 0, t.N)
-		g.rows = make([]uint32, 0, t.N)
-	}
-	gids := g.gids[:0]
-	rows := g.rows[:0]
+	hv := primitives.HashColumns(core(tc), keyData, ridScratch(tc, t.N))
+	gids := ridScratch(tc, t.N)
+	rows := ridScratch(tc, t.N)
 	var overflow error
 	t.ForEachRow(func(i int) {
 		if overflow != nil {

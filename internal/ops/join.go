@@ -169,7 +169,7 @@ func joinPair(tc *qef.TaskCtx, bp, pp *PartitionedRel, p, plo, phi int, spec *Jo
 		sub := 4
 		subShift := bp.Bits
 		sbp := splitPartition(bp.Cols[p], bp.Hashes[p], sub, subShift)
-		probeCols := make([]coltypes.Data, len(pp.Cols[p]))
+		probeCols := colScratch(tc, len(pp.Cols[p]))
 		for c := range probeCols {
 			probeCols[c] = pp.Cols[p][c].Slice(plo, phi)
 		}
@@ -181,7 +181,7 @@ func joinPair(tc *qef.TaskCtx, bp, pp *PartitionedRel, p, plo, phi int, spec *Jo
 		}
 		return nil
 	}
-	probeCols := make([]coltypes.Data, len(pp.Cols[p]))
+	probeCols := colScratch(tc, len(pp.Cols[p]))
 	for c := range probeCols {
 		probeCols[c] = pp.Cols[p][c].Slice(plo, phi)
 	}
@@ -192,16 +192,24 @@ func joinPair(tc *qef.TaskCtx, bp, pp *PartitionedRel, p, plo, phi int, spec *Jo
 func joinPairData(tc *qef.TaskCtx, buildCols []coltypes.Data, bhv []uint32, probeCols []coltypes.Data, phv []uint32, spec *JoinSpec, sink *joinSink) error {
 	nb, np := len(bhv), len(phv)
 	if nb == 0 {
-		// Anti and left-outer joins still emit probe rows.
+		// Anti and left-outer joins still emit probe rows: every probe row
+		// is unmatched, so take the dense path (nil selection).
 		if spec.Type == AntiJoin || spec.Type == LeftOuterJoin {
-			all := bits.NewVectorAllSet(np)
 			if spec.Type == AntiJoin {
-				sink.emitProbeOnly(tc, probeCols, all)
+				sink.emitProbeOnly(tc, probeCols, nil, np)
 			} else {
-				sink.emitOuter(tc, probeCols, nil, all, nil)
+				sink.emitOuter(tc, probeCols, nil, nil, np, nil)
 			}
 		}
 		return nil
+	}
+	// Pool scope: everything taken below (shifted hashes, widened keys,
+	// match bit-vectors, sink staging) dies with this partition pair. The
+	// skew path runs several pairs per unit, so without this the takes
+	// would accumulate across pairs.
+	if tc != nil {
+		tc.MarkScratch()
+		defer tc.ReleaseScratch()
 	}
 	if !spec.Vectorized {
 		primitives.ChargeScalarDispatch(core(tc), nb+np)
@@ -211,7 +219,7 @@ func joinPairData(tc *qef.TaskCtx, buildCols []coltypes.Data, bhv []uint32, prob
 	nBuckets := primitives.BucketsFor(nb)
 	bucketShift := uint(32 - mathbits.Len(uint(nBuckets-1)))
 	shiftHv := func(hv []uint32) []uint32 {
-		out := make([]uint32, len(hv))
+		out := u32Scratch(tc, len(hv))
 		for i, h := range hv {
 			out[i] = h >> bucketShift
 		}
@@ -220,15 +228,15 @@ func joinPairData(tc *qef.TaskCtx, buildCols []coltypes.Data, bhv []uint32, prob
 	sbhv := shiftHv(bhv)
 	sphv := shiftHv(phv)
 
-	buildKeys := primitives.WidenToI64(core(tc), buildCols[spec.BuildKeys[0]], nil)
+	buildKeys := primitives.WidenToI64(core(tc), buildCols[spec.BuildKeys[0]], scratch(tc, nb))
 	var buildKeys2 []int64
 	if len(spec.BuildKeys) == 2 {
-		buildKeys2 = primitives.WidenToI64(core(tc), buildCols[spec.BuildKeys[1]], nil)
+		buildKeys2 = primitives.WidenToI64(core(tc), buildCols[spec.BuildKeys[1]], scratch(tc, nb))
 	}
-	probeKeys := primitives.WidenToI64(core(tc), probeCols[spec.ProbeKeys[0]], nil)
+	probeKeys := primitives.WidenToI64(core(tc), probeCols[spec.ProbeKeys[0]], scratch(tc, np))
 	var probeKeys2 []int64
 	if len(spec.ProbeKeys) == 2 {
-		probeKeys2 = primitives.WidenToI64(core(tc), probeCols[spec.ProbeKeys[1]], nil)
+		probeKeys2 = primitives.WidenToI64(core(tc), probeCols[spec.ProbeKeys[1]], scratch(tc, np))
 	}
 
 	// DMEM capacity: the optimizer's estimate, clamped to what actually
@@ -255,23 +263,23 @@ func joinPairData(tc *qef.TaskCtx, buildCols []coltypes.Data, bhv []uint32, prob
 		matches := ht.Probe(core(tc), sphv, probeKeys, probeKeys2, spec.TileRows, nil)
 		sink.emitMatches(tc, buildCols, probeCols, matches)
 	case SemiJoin, AntiJoin:
-		exists := bits.NewVector(np)
+		exists := bvScratch(tc, np)
 		ht.ProbeExists(core(tc), sphv, probeKeys, probeKeys2, spec.TileRows, exists)
 		if spec.Type == AntiJoin {
-			neg := bits.NewVector(np)
+			neg := bvScratch(tc, np)
 			neg.Not(exists)
 			exists = neg
 		}
-		sink.emitProbeOnly(tc, probeCols, exists)
+		sink.emitProbeOnly(tc, probeCols, exists, np)
 	case LeftOuterJoin:
 		matches := ht.Probe(core(tc), sphv, probeKeys, probeKeys2, spec.TileRows, nil)
-		matched := bits.NewVector(np)
+		matched := bvScratch(tc, np)
 		for _, m := range matches {
 			matched.Set(int(m.ProbeRow))
 		}
-		unmatched := bits.NewVector(np)
+		unmatched := bvScratch(tc, np)
 		unmatched.Not(matched)
-		sink.emitOuter(tc, probeCols, buildCols, unmatched, matches)
+		sink.emitOuter(tc, probeCols, buildCols, unmatched, np, matches)
 	}
 	return nil
 }
@@ -301,10 +309,10 @@ func (s *joinSink) emitMatches(tc *qef.TaskCtx, buildCols, probeCols []coltypes.
 	if len(matches) == 0 {
 		return
 	}
-	rows := make([][]int64, len(s.cols))
+	rows := rowScratch(tc, len(s.cols))
 	ci := 0
-	probeRIDs := make([]uint32, len(matches))
-	buildRIDs := make([]uint32, len(matches))
+	probeRIDs := u32Scratch(tc, len(matches))
+	buildRIDs := u32Scratch(tc, len(matches))
 	for i, m := range matches {
 		probeRIDs[i] = m.ProbeRow
 		buildRIDs[i] = m.BuildRow
@@ -323,7 +331,7 @@ func (s *joinSink) emitMatches(tc *qef.TaskCtx, buildCols, probeCols []coltypes.
 // gatherI64 gathers src rows into a widened int64 vector, charging the
 // DMEM gather cost.
 func gatherI64(tc *qef.TaskCtx, src coltypes.Data, rids []uint32) []int64 {
-	out := make([]int64, len(rids))
+	out := scratch(tc, len(rids))
 	for i, r := range rids {
 		out[i] = src.Get(int(r))
 	}
@@ -333,25 +341,40 @@ func gatherI64(tc *qef.TaskCtx, src coltypes.Data, rids []uint32) []int64 {
 	return out
 }
 
-// emitProbeOnly emits the probe payload of rows set in sel (semi/anti).
-func (s *joinSink) emitProbeOnly(tc *qef.TaskCtx, probeCols []coltypes.Data, sel *bits.Vector) {
-	n := sel.Count()
+// emitProbeOnly emits the probe payload of rows set in sel (semi/anti). A
+// nil sel means every one of the `total` probe rows qualifies — the dense
+// fast path copies sequentially without materializing a selection at all,
+// and the sparse path walks the bit-vector directly instead of building an
+// intermediate RID list.
+func (s *joinSink) emitProbeOnly(tc *qef.TaskCtx, probeCols []coltypes.Data, sel *bits.Vector, total int) {
+	n := total
+	if sel != nil {
+		n = sel.Count()
+	}
 	if n == 0 {
 		return
 	}
-	rids := sel.ToRIDs(nil)
-	rows := make([][]int64, len(s.cols))
+	rows := rowScratch(tc, len(s.cols))
 	ci := 0
 	for _, pc := range s.spec.ProbePayload {
-		vals := make([]int64, n)
-		for i, r := range rids {
-			vals[i] = probeCols[pc].Get(int(r))
+		vals := scratch(tc, n)
+		col := probeCols[pc]
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				vals[i] = col.Get(i)
+			}
+		} else {
+			j := 0
+			sel.ForEach(func(i int) {
+				vals[j] = col.Get(i)
+				j++
+			})
 		}
 		rows[ci] = vals
 		ci++
 	}
 	for range s.spec.BuildPayload {
-		rows[ci] = make([]int64, n) // zero build payload
+		rows[ci] = scratch(tc, n) // zero build payload
 		ci++
 	}
 	if c := core(tc); c != nil {
@@ -361,12 +384,13 @@ func (s *joinSink) emitProbeOnly(tc *qef.TaskCtx, probeCols []coltypes.Data, sel
 }
 
 // emitOuter emits matched pairs plus unmatched probe rows with zero build
-// payload.
-func (s *joinSink) emitOuter(tc *qef.TaskCtx, probeCols, buildCols []coltypes.Data, unmatched *bits.Vector, matches []primitives.Match) {
+// payload. A nil unmatched vector means all `total` probe rows are
+// unmatched (the empty-build case).
+func (s *joinSink) emitOuter(tc *qef.TaskCtx, probeCols, buildCols []coltypes.Data, unmatched *bits.Vector, total int, matches []primitives.Match) {
 	if len(matches) > 0 {
 		s.emitMatches(tc, buildCols, probeCols, matches)
 	}
-	s.emitProbeOnly(tc, probeCols, unmatched)
+	s.emitProbeOnly(tc, probeCols, unmatched, total)
 }
 
 func (s *joinSink) appendRows(rows [][]int64) {

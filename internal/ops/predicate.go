@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rapid/internal/bits"
 	"rapid/internal/coltypes"
@@ -12,13 +13,46 @@ import (
 )
 
 // Predicate is a vectorized boolean condition over a tile. Eval computes the
-// qualifying rows among those set in inBV (nil = all rows) into a fresh
-// bit-vector; EstSelectivity is the compiler's estimate driving predicate
+// qualifying rows among those set in inBV (nil = all rows) into a
+// tile-lifetime bit-vector (pool scratch — valid until the next
+// ResetScratch); EstSelectivity is the compiler's estimate driving predicate
 // reordering and the RID/bit-vector representation choice (§5.4).
 type Predicate interface {
 	Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int)
 	EstSelectivity() float64
 	String() string
+}
+
+// predScratchBytes returns an upper bound on the tile-lifetime pool bytes
+// one Eval of p takes for a tile of tileRows rows: one result bit-vector per
+// node, plus expression scratch for computed comparisons. Operator DMEMSize
+// declarations are built from this so they stay upper bounds on observed
+// pool usage.
+func predScratchBytes(p Predicate, tileRows int) int {
+	bv := bits.VectorSizeBytes(tileRows)
+	switch p := p.(type) {
+	case *ConstCmp, *Between, *InSet, *ColCmp, TruePred, *TruePred:
+		return bv
+	case *ExprCmp:
+		return bv + exprScratchBytes(p.E, tileRows)
+	case *And:
+		total := 0
+		for _, sub := range p.Preds {
+			total += predScratchBytes(sub, tileRows)
+		}
+		return total
+	case *Or:
+		total := bv
+		for _, sub := range p.Preds {
+			total += predScratchBytes(sub, tileRows)
+		}
+		return total
+	case *Not:
+		return bv + predScratchBytes(p.P, tileRows)
+	default:
+		// Unknown predicate node: assume two bit-vectors.
+		return 2 * bv
+	}
 }
 
 // evalPredDense evaluates p over all rows of the tile.
@@ -37,7 +71,7 @@ type ConstCmp struct {
 }
 
 func (p *ConstCmp) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	var hits int
 	if inBV == nil {
 		hits = primitives.FilterConstBV(core(tc), t.Cols[p.Col], p.Op, p.Val, out)
@@ -62,7 +96,7 @@ type Between struct {
 }
 
 func (p *Between) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	hits := primitives.FilterBetweenBV(core(tc), t.Cols[p.Col], p.Lo, p.Hi, inBV, out)
 	return out, hits
 }
@@ -83,7 +117,7 @@ type InSet struct {
 }
 
 func (p *InSet) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	hits := primitives.FilterInSetBV(core(tc), t.Cols[p.Col], p.Set, inBV, out)
 	return out, hits
 }
@@ -102,7 +136,7 @@ type ColCmp struct {
 }
 
 func (p *ColCmp) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	hits := primitives.FilterColColBV(core(tc), t.Cols[p.A], t.Cols[p.B], p.Op, inBV, out)
 	return out, hits
 }
@@ -125,7 +159,7 @@ type ExprCmp struct {
 
 func (p *ExprCmp) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
 	d := coltypes.I64(p.E.Eval(tc, t))
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	var hits int
 	if inBV == nil {
 		hits = primitives.FilterConstBV(core(tc), d, p.Op, p.Val, out)
@@ -142,16 +176,24 @@ func (p *ExprCmp) String() string {
 }
 
 // And is a conjunction evaluated most-selective-first (the §5.4 predicate
-// reordering applies inside conjunctions as well).
+// reordering applies inside conjunctions as well). The ordering is computed
+// once via sync.Once: predicate instances are shared across per-core chains,
+// so a plain lazily-assigned field would race.
 type And struct {
 	Preds []Predicate
+
+	orderOnce sync.Once
+	ordered   []Predicate
 }
 
 func (p *And) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	ordered := append([]Predicate(nil), p.Preds...)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		return ordered[i].EstSelectivity() < ordered[j].EstSelectivity()
+	p.orderOnce.Do(func() {
+		p.ordered = append([]Predicate(nil), p.Preds...)
+		sort.SliceStable(p.ordered, func(i, j int) bool {
+			return p.ordered[i].EstSelectivity() < p.ordered[j].EstSelectivity()
+		})
 	})
+	ordered := p.ordered
 	cur := inBV
 	var out *bits.Vector
 	hits := 0
@@ -181,7 +223,7 @@ type Or struct {
 }
 
 func (p *Or) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	acc := bits.NewVector(t.N)
+	acc := bvScratch(tc, t.N)
 	for _, sub := range p.Preds {
 		bv, _ := sub.Eval(tc, t, inBV)
 		acc.Or(acc, bv)
@@ -206,7 +248,7 @@ type Not struct {
 
 func (p *Not) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
 	bv, _ := p.P.Eval(tc, t, inBV)
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	if inBV == nil {
 		out.Not(bv)
 	} else {
@@ -223,7 +265,7 @@ func (p *Not) String() string { return fmt.Sprintf("NOT (%s)", p.P) }
 type TruePred struct{}
 
 func (TruePred) Eval(tc *qef.TaskCtx, t *qef.Tile, inBV *bits.Vector) (*bits.Vector, int) {
-	out := bits.NewVector(t.N)
+	out := bvScratch(tc, t.N)
 	if inBV == nil {
 		out.SetAll()
 		return out, t.N

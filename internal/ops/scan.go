@@ -1,8 +1,6 @@
 package ops
 
 import (
-	"rapid/internal/bits"
-	"rapid/internal/coltypes"
 	"rapid/internal/qef"
 	"rapid/internal/storage"
 )
@@ -27,7 +25,7 @@ func TableScan(ctx *qef.Context, snap *storage.Snapshot, cols []int, tileRows in
 			if err != nil {
 				return err
 			}
-			data := make([]coltypes.Data, len(cols))
+			data := colScratch(tc, len(cols))
 			for i, c := range cols {
 				data[i] = cv.Data(c)
 			}
@@ -36,7 +34,7 @@ func TableScan(ctx *qef.Context, snap *storage.Snapshot, cols []int, tileRows in
 			return ra.Sequential(data, tileRows, func(t *qef.Tile) error {
 				tc.ResetScratch()
 				if cv.Deleted != nil {
-					sel := bits.NewVector(t.N)
+					sel := bvScratch(tc, t.N)
 					live := 0
 					for i := 0; i < t.N; i++ {
 						if !cv.Deleted.Test(base + i) {
@@ -85,7 +83,7 @@ func RelationScan(ctx *qef.Context, rel *Relation, tileRows int, chainFor func()
 			if err != nil {
 				return err
 			}
-			span := make([]coltypes.Data, len(data))
+			span := colScratch(tc, len(data))
 			for i, d := range data {
 				span[i] = d.Slice(lo, hi)
 			}

@@ -26,7 +26,11 @@ func NewCollectSink(outCols []Col) *CollectSink {
 	return &CollectSink{OutCols: outCols, bufs: make([][]int64, len(outCols))}
 }
 
-func (s *CollectSink) DMEMSize(tileRows int) int { return 0 }
+// DMEMSize: one widened 8-byte staging vector per output column. The old
+// declaration of 0 ignored the per-tile staging buffers entirely.
+func (s *CollectSink) DMEMSize(tileRows int) int {
+	return len(s.OutCols) * 8 * tileRows
+}
 
 func (s *CollectSink) Open(tc *qef.TaskCtx) error { return nil }
 
@@ -34,13 +38,13 @@ func (s *CollectSink) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 	if len(t.Cols) < len(s.bufs) {
 		panic("ops: sink received fewer columns than declared")
 	}
-	// Gather qualifying rows per column into scratch, then append under
-	// the lock. The DRAM write itself is billed through the accessor.
+	// Gather qualifying rows per column into pool scratch, then append under
+	// the lock (the append copies, so the scratch never escapes the tile).
 	n := t.QualifyingRows()
 	if n == 0 {
 		return nil
 	}
-	scratch := make([][]int64, len(s.bufs))
+	staged := rowScratch(tc, len(s.bufs))
 	dense := t.Dense()
 	for c := range s.bufs {
 		col := t.Cols[c]
@@ -49,27 +53,22 @@ func (s *CollectSink) Produce(tc *qef.TaskCtx, t *qef.Tile) error {
 			if i64, ok := col.(coltypes.I64); ok {
 				vals = i64[:n]
 			} else {
-				vals = primitives.WidenToI64(nil, col, make([]int64, n))
+				vals = primitives.WidenToI64(nil, col, scratch(tc, n))
 			}
 		} else {
-			vals = make([]int64, 0, n)
+			vals = scratch(tc, n)[:0]
 			t.ForEachRow(func(i int) { vals = append(vals, col.Get(i)) })
 		}
-		scratch[c] = vals
+		staged[c] = vals
 	}
 	if tc != nil && tc.Core != nil {
-		// Bill the DRAM materialization through the DMS model.
-		cols := make([]coltypes.Data, len(scratch))
-		dsts := make([]coltypes.Data, len(scratch))
-		for c, vals := range scratch {
-			cols[c] = coltypes.I64(vals)
-			dsts[c] = coltypes.New(coltypes.W8, len(vals))
-		}
-		tc.AddTransfer(tc.Ctx.DMS.Write(dsts, 0, cols, n))
+		// Bill the DRAM materialization through the DMS model. WriteTiming
+		// uses Write's exact formula without throwaway destination buffers.
+		tc.AddTransfer(tc.Ctx.DMS.WriteTiming(len(staged), n, 8))
 	}
 	s.mu.Lock()
 	for c := range s.bufs {
-		s.bufs[c] = append(s.bufs[c], scratch[c]...)
+		s.bufs[c] = append(s.bufs[c], staged[c]...)
 	}
 	s.rows += n
 	s.mu.Unlock()

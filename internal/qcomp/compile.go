@@ -163,6 +163,24 @@ func (p *pipelineNode) explain(sb *strings.Builder, depth int) {
 	}
 }
 
+// stepInCols returns the column count entering each pipeline step: the
+// scanned width, narrowed by each projection as the walk proceeds. It sizes
+// the MaterializeOp the compiler inserts upstream of every projection.
+func (p *pipelineNode) stepInCols() []int {
+	cur := len(p.scanCols)
+	if p.snap == nil && p.input != nil {
+		cur = len(p.input.fields())
+	}
+	counts := make([]int, len(p.steps))
+	for i, s := range p.steps {
+		counts[i] = cur
+		if s.kind == stepProject {
+			cur = len(s.keep) + len(s.exprs)
+		}
+	}
+	return counts
+}
+
 // opReqs describes the pipeline to the task former for tile sizing.
 func (p *pipelineNode) opReqs() []OpReq {
 	rowBytes := 8 * len(p.cols)
@@ -180,7 +198,8 @@ func (p *pipelineNode) opReqs() []OpReq {
 		OutBytesPerRow: rowBytes,
 		Selectivity:    1,
 	}}
-	for _, s := range p.steps {
+	inCols := p.stepInCols()
+	for i, s := range p.steps {
 		s := s
 		if s.kind == stepFilter {
 			f := &ops.FilterOp{Preds: s.preds}
@@ -195,6 +214,16 @@ func (p *pipelineNode) opReqs() []OpReq {
 				Selectivity:    sel,
 			})
 		} else {
+			// The materialization the compiler inserts upstream of the
+			// projection claims DMEM too (it holds every gathered input
+			// column at once).
+			m := &ops.MaterializeOp{RowBytes: 8 * inCols[i]}
+			reqs = append(reqs, OpReq{
+				Name:           "materialize",
+				DMEMSize:       m.DMEMSize,
+				OutBytesPerRow: 8 * inCols[i],
+				Selectivity:    1,
+			})
 			pr := &ops.ProjectOp{Exprs: s.exprs, Keep: s.keep}
 			reqs = append(reqs, OpReq{
 				Name:           "project",
@@ -205,6 +234,16 @@ func (p *pipelineNode) opReqs() []OpReq {
 		}
 	}
 	switch p.terminal {
+	case termCollect:
+		nOut := len(p.cols)
+		reqs = append(reqs, OpReq{
+			Name: "collect",
+			// One widened 8-byte staging vector per output column
+			// (CollectSink.DMEMSize).
+			DMEMSize:       func(rows int) int { return nOut * 8 * rows },
+			OutBytesPerRow: rowBytes,
+			Selectivity:    1,
+		})
 	case termScalarAgg:
 		a := &ops.ScalarAggOp{Specs: p.aggSpecs}
 		reqs = append(reqs, OpReq{Name: "agg", DMEMSize: a.DMEMSize, OutBytesPerRow: 8, Selectivity: 0})
@@ -257,6 +296,7 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 		return prof.Span(p.stepIDs[i-1])
 	}
 
+	inCols := p.stepInCols()
 	chainFor := func() qef.Operator {
 		var term qef.Operator
 		switch p.terminal {
@@ -278,7 +318,7 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 				head = &ops.ProjectOp{Exprs: s.exprs, Keep: s.keep, Next: head}
 				// Projection evaluates densely; compact sparse selections
 				// first (late materialization ends here).
-				head = &ops.MaterializeOp{Next: head}
+				head = &ops.MaterializeOp{Next: head, RowBytes: 8 * inCols[i]}
 			} else {
 				head = &ops.FilterOp{Preds: s.preds, Next: head}
 			}

@@ -32,8 +32,16 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 		tileRows = MinTileRows
 	}
 	if a.tc.Core == nil {
-		// ModeX86: zero-copy views.
-		views := make([]coltypes.Data, len(cols))
+		// ModeX86: zero-copy views. The view headers are unit-lifetime pool
+		// buffers; the inner MarkScratch makes them the floor that the
+		// callback's ResetScratch rolls back to. The source tile is a local
+		// reused value so it survives that per-tile reset.
+		a.tc.MarkScratch()
+		defer a.tc.ReleaseScratch()
+		views := a.tc.ColScratch(len(cols))
+		a.tc.MarkScratch()
+		defer a.tc.ReleaseScratch()
+		var tile Tile
 		for lo := 0; lo < rows; lo += tileRows {
 			hi := lo + tileRows
 			if hi > rows {
@@ -42,7 +50,8 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 			for i, c := range cols {
 				views[i] = c.Slice(lo, hi)
 			}
-			if err := fn(NewTile(views, hi-lo)); err != nil {
+			tile = Tile{Cols: views, N: hi - lo}
+			if err := fn(&tile); err != nil {
 				return err
 			}
 		}
@@ -69,26 +78,37 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 	if degraded {
 		a.tc.Ctx.CountMetric("qef_tile_degradations", 1)
 	}
-	bufs := make([]coltypes.Data, len(cols))
+	a.tc.MarkScratch()
+	defer a.tc.ReleaseScratch()
+	bufs := a.tc.ColScratch(len(cols))
 	for i, c := range cols {
 		if err := a.tc.DMEM.Alloc(2 * tileRows * c.Width().Bytes()); err != nil {
 			return err
 		}
-		bufs[i] = coltypes.New(c.Width(), tileRows)
+		bufs[i] = a.tc.DataScratch(c.Width(), tileRows)
 	}
-	views := make([]coltypes.Data, len(cols))
+	views := a.tc.ColScratch(len(cols))
+	a.tc.MarkScratch()
+	defer a.tc.ReleaseScratch()
+	var tile Tile
 	for lo := 0; lo < rows; lo += tileRows {
 		hi := lo + tileRows
 		if hi > rows {
 			hi = rows
 		}
 		n := hi - lo
-		for i := range bufs {
-			views[i] = bufs[i].Slice(0, n)
+		if n == tileRows {
+			// Full tile: reuse the pre-boxed buffers outright.
+			copy(views, bufs)
+		} else {
+			for i := range bufs {
+				views[i] = bufs[i].Slice(0, n)
+			}
 		}
 		t := a.tc.Ctx.DMS.Read(cols, lo, hi, views)
 		a.tc.AddTransfer(t)
-		if err := fn(NewTile(views, n)); err != nil {
+		tile = Tile{Cols: views, N: n}
+		if err := fn(&tile); err != nil {
 			return err
 		}
 	}
@@ -97,27 +117,32 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 
 // GatherTile fetches the rows named by rids from a DRAM column into a DMEM
 // buffer — the RID-based gather the filter operator uses for non-first
-// predicates (§5.4).
+// predicates (§5.4). The returned buffer is tile-lifetime pool scratch:
+// valid until the caller's next ResetScratch.
 func (a *Accessor) GatherTile(col coltypes.Data, rids []uint32) (coltypes.Data, error) {
-	dst := col.NewSame(len(rids))
 	if a.tc.Core == nil {
+		dst := a.tc.DataScratch(col.Width(), len(rids))
 		coltypes.Gather(dst, col, rids)
 		return dst, nil
 	}
+	// Admission check before the host-side buffer: a gather the scratchpad
+	// rejects must not have paid the allocation it is rejecting.
 	if err := a.tc.DMEM.Alloc(len(rids) * col.Width().Bytes()); err != nil {
 		return nil, err
 	}
+	dst := a.tc.DataScratch(col.Width(), len(rids))
 	t := a.tc.Ctx.DMS.GatherRead(col, rids, dst)
 	a.tc.AddTransfer(t)
 	return dst, nil
 }
 
 // GatherBitVector fetches the rows set in bv from a DRAM column into a DMEM
-// buffer — the bit-vector driven gather of Listing 1's BVLD.
+// buffer — the bit-vector driven gather of Listing 1's BVLD. The returned
+// buffer is tile-lifetime pool scratch, like GatherTile's.
 func (a *Accessor) GatherBitVector(col coltypes.Data, bv *bits.Vector) (coltypes.Data, int, error) {
 	n := bv.Count()
-	dst := col.NewSame(n)
 	if a.tc.Core == nil {
+		dst := a.tc.DataScratch(col.Width(), n)
 		i := 0
 		bv.ForEach(func(r int) {
 			dst.Set(i, col.Get(r))
@@ -125,9 +150,11 @@ func (a *Accessor) GatherBitVector(col coltypes.Data, bv *bits.Vector) (coltypes
 		})
 		return dst, n, nil
 	}
+	// Admission check first, as in GatherTile.
 	if err := a.tc.DMEM.Alloc(n * col.Width().Bytes()); err != nil {
 		return nil, 0, err
 	}
+	dst := a.tc.DataScratch(col.Width(), n)
 	got, t := a.tc.Ctx.DMS.BitVectorGatherRead(col, bv.Words(), bv.Len(), dst)
 	a.tc.AddTransfer(t)
 	return dst, got, nil

@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"rapid/internal/ate"
+	"rapid/internal/bits"
+	"rapid/internal/coltypes"
 	"rapid/internal/dms"
 	"rapid/internal/dpu"
 	"rapid/internal/mem"
@@ -61,6 +63,13 @@ type Context struct {
 
 	workers int
 
+	// pools holds one TilePool per core, created lazily by the first task
+	// context on that core and reused for the lifetime of the context —
+	// the host-side analogue of each dpCore owning its DMEM. Worker w only
+	// touches pools[w], and the goroutine spawn / wg.Wait pairs of the run
+	// loops order successive uses, so no lock is needed.
+	pools []*mem.TilePool
+
 	// activeSpan is the operator span that work units started from this
 	// context attribute to. It is written only by the orchestrator goroutine
 	// strictly between RunParallel/RunSerial calls (the goroutine spawn and
@@ -90,6 +99,7 @@ func NewContextWith(mode Mode, cfg dpu.Config) *Context {
 		DMS:     dms.NewEngine(dms.DefaultModel(), soc.DRAM()),
 		Router:  ate.NewRouter(cfg),
 		simTime: make([]float64, cfg.NumCores),
+		pools:   make([]*mem.TilePool, cfg.NumCores),
 	}
 	if mode == ModeDPU {
 		ctx.workers = cfg.NumCores
@@ -209,35 +219,126 @@ type TaskCtx struct {
 	markCy int64
 	markT  time.Time
 
-	// Scratch arena for per-tile expression buffers (DMEM temporaries on
-	// the DPU). Reset at tile boundaries by the task source; buffers must
-	// not be retained across tiles.
-	arena    []int64
-	arenaOff int
+	// pool serves all tile- and unit-lifetime scratch buffers (the DMEM
+	// temporaries on the DPU): expression accumulators, bit-vectors, RID
+	// lists, gathered column buffers and header slices. Reset at tile
+	// boundaries by the task source; buffers must not be retained across
+	// tiles. Nil only for hand-built contexts in tests, which then fall
+	// back to plain allocation.
+	pool *mem.TilePool
+
+	// tiles recycles the Tile structs operators emit downstream, reset
+	// together with the pool at tile boundaries.
+	tiles   []*Tile
+	tileOff int
 }
 
 // I64Scratch returns an n-element scratch buffer valid until the next
 // ResetScratch. Contents are zeroed.
 func (tc *TaskCtx) I64Scratch(n int) []int64 {
-	if tc.arenaOff+n > len(tc.arena) {
-		grow := 2 * (tc.arenaOff + n)
-		if grow < 1<<14 {
-			grow = 1 << 14
-		}
-		tc.arena = make([]int64, grow)
-		tc.arenaOff = 0
+	if tc.pool == nil {
+		return make([]int64, n)
 	}
-	buf := tc.arena[tc.arenaOff : tc.arenaOff+n : tc.arenaOff+n]
-	tc.arenaOff += n
-	for i := range buf {
-		buf[i] = 0
-	}
-	return buf
+	return tc.pool.I64(n)
 }
 
-// ResetScratch recycles all scratch buffers. Called by task sources before
-// emitting each tile.
-func (tc *TaskCtx) ResetScratch() { tc.arenaOff = 0 }
+// U32Scratch returns a zeroed n-element uint32 scratch buffer (hash values,
+// group ids) valid until the next ResetScratch.
+func (tc *TaskCtx) U32Scratch(n int) []uint32 {
+	if tc.pool == nil {
+		return make([]uint32, n)
+	}
+	return tc.pool.U32(n)
+}
+
+// RIDScratch returns an empty RID buffer with capacity n, for append-style
+// fills (bit-vector → RID conversion), valid until the next ResetScratch.
+func (tc *TaskCtx) RIDScratch(n int) []uint32 {
+	if tc.pool == nil {
+		return make([]uint32, 0, n)
+	}
+	return tc.pool.U32(n)[:0]
+}
+
+// BVScratch returns a cleared n-bit vector valid until the next
+// ResetScratch.
+func (tc *TaskCtx) BVScratch(n int) *bits.Vector {
+	if tc.pool == nil {
+		return bits.NewVector(n)
+	}
+	return tc.pool.BV(n)
+}
+
+// DataScratch returns a zeroed column buffer of the given width and length
+// valid until the next ResetScratch.
+func (tc *TaskCtx) DataScratch(w coltypes.Width, n int) coltypes.Data {
+	if tc.pool == nil {
+		return coltypes.New(w, n)
+	}
+	return tc.pool.Data(w, n)
+}
+
+// ColScratch returns a zeroed []coltypes.Data header slice of length n
+// valid until the next ResetScratch.
+func (tc *TaskCtx) ColScratch(n int) []coltypes.Data {
+	if tc.pool == nil {
+		return make([]coltypes.Data, n)
+	}
+	return tc.pool.Headers(n)
+}
+
+// RowScratch returns a zeroed [][]int64 header slice of length n valid
+// until the next ResetScratch.
+func (tc *TaskCtx) RowScratch(n int) [][]int64 {
+	if tc.pool == nil {
+		return make([][]int64, n)
+	}
+	return tc.pool.RowHeaders(n)
+}
+
+// TileScratch returns a recycled Tile over the given columns, valid until
+// the next ResetScratch. Operators use it to emit derived tiles downstream
+// without allocating.
+func (tc *TaskCtx) TileScratch(cols []coltypes.Data, n int) *Tile {
+	if tc.tileOff == len(tc.tiles) {
+		tc.tiles = append(tc.tiles, new(Tile))
+	}
+	t := tc.tiles[tc.tileOff]
+	tc.tileOff++
+	*t = Tile{Cols: cols, N: n}
+	return t
+}
+
+// MarkScratch opens a unit-lifetime scratch scope: buffers taken after it
+// survive ResetScratch and are freed by the matching ReleaseScratch. Task
+// sources bracket their across-tile buffers (e.g. the accessor's double
+// buffers) with it.
+func (tc *TaskCtx) MarkScratch() {
+	if tc.pool != nil {
+		tc.pool.Mark()
+	}
+}
+
+// ReleaseScratch closes the innermost MarkScratch scope.
+func (tc *TaskCtx) ReleaseScratch() {
+	if tc.pool != nil {
+		tc.pool.Release()
+	}
+}
+
+// ResetScratch recycles all tile-lifetime scratch buffers (everything taken
+// since the innermost MarkScratch). Called by task sources before emitting
+// each tile.
+func (tc *TaskCtx) ResetScratch() {
+	if tc.pool != nil {
+		tc.pool.ResetTile()
+	}
+	tc.tileOff = 0
+}
+
+// Pool exposes the task's buffer pool for the DMEM-conformance tests; nil
+// for hand-built task contexts.
+func (tc *TaskCtx) Pool() *mem.TilePool { return tc.pool }
 
 // beginSpanClock starts the unit's attribution interval.
 func (tc *TaskCtx) beginSpanClock() {
@@ -366,6 +467,10 @@ func (c *Context) newTaskCtx(w int) *TaskCtx {
 	} else {
 		tc.DMEM = mem.NewDMEMWithCapacity(c.SoC.Config().DMEMBytes)
 	}
+	if c.pools[w] == nil {
+		c.pools[w] = mem.NewTilePool()
+	}
+	tc.pool = c.pools[w]
 	return tc
 }
 
@@ -374,6 +479,12 @@ func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
 	tc.transferSec = 0
 	tc.NoOverlap = false
 	tc.DMEM.Reset()
+	var growsBefore int64
+	if tc.pool != nil {
+		tc.pool.Reset()
+		tc.tileOff = 0
+		growsBefore = tc.pool.Grows()
+	}
 	profiling := c.Prof != nil
 	if profiling {
 		tc.span = c.activeSpan
@@ -387,6 +498,11 @@ func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
 	if profiling {
 		tc.flushSpan()
 		tc.span = nil
+	}
+	if tc.pool != nil {
+		if d := tc.pool.Grows() - growsBefore; d > 0 {
+			c.CountMetric("qef_pool_grows_total", d)
+		}
 	}
 	if tc.Core != nil {
 		compute := c.SoC.Config().Seconds(tc.Core.Cycles() - beforeCycles)

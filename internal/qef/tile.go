@@ -61,6 +61,26 @@ func (t *Tile) SelRIDs() []uint32 {
 	}
 }
 
+// AppendSelRIDs appends the qualifying row offsets to dst and returns it —
+// the pooled-buffer variant of SelRIDs. When the tile already carries a RID
+// list it is returned directly (no copy) if dst is empty.
+func (t *Tile) AppendSelRIDs(dst []uint32) []uint32 {
+	switch {
+	case t.RIDs != nil:
+		if len(dst) == 0 {
+			return t.RIDs
+		}
+		return append(dst, t.RIDs...)
+	case t.Sel != nil:
+		return t.Sel.ToRIDs(dst)
+	default:
+		for i := 0; i < t.N; i++ {
+			dst = append(dst, uint32(i))
+		}
+		return dst
+	}
+}
+
 // ForEachRow invokes fn for every qualifying row offset in order.
 func (t *Tile) ForEachRow(fn func(i int)) {
 	switch {
