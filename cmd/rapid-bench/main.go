@@ -5,8 +5,13 @@
 // Usage:
 //
 //	rapid-bench [-sf 0.01] [-reps 3] [-micro-rows 2097152] [-skip-tpch]
+//	            [-clients 0] [-client-ops 8]
 //	            [-profile out.json] [-trace out.json] [-metrics addr]
 //	            [-metrics-out file]
+//
+// With -clients N > 0 the suite adds a concurrency ladder: closed-loop
+// fleets of 1, 4, 16, ..., N clients drive the shared-SoC scheduler with the
+// TPC-H mix and report throughput, tail latency and shed queries per rung.
 package main
 
 import (
@@ -32,6 +37,8 @@ func main() {
 	ablations := flag.Bool("ablations", true, "run the design-choice ablation studies")
 	profilePath := flag.String("profile", "", "write per-operator ModeDPU profiles of every TPC-H query as JSON to this file")
 	tracePath := flag.String("trace", "", "write ModeDPU profiles of every TPC-H query as Chrome trace-event JSON to this file")
+	clients := flag.Int("clients", 0, "run the concurrency ladder up to this many simultaneous clients (0 = off)")
+	clientOps := flag.Int("client-ops", 8, "queries each client of the concurrency ladder issues")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while the suite runs")
 	metricsOut := flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file")
 	flag.Parse()
@@ -58,7 +65,7 @@ func main() {
 		}
 	}
 
-	if *skipTPCH && *profilePath == "" && *tracePath == "" {
+	if *skipTPCH && *profilePath == "" && *tracePath == "" && *clients == 0 {
 		return
 	}
 	fmt.Printf("building TPC-H workload at SF %.3f...\n", *sf)
@@ -87,6 +94,28 @@ func main() {
 		fmt.Println(bench.RunFig16(runs))
 		fmt.Println(bench.RunFig15(runs))
 		fmt.Println(bench.RunFig14(runs))
+	}
+	if *clients > 0 {
+		t := &bench.Table{
+			Title:   "Concurrency ladder: closed-loop TPC-H mix on the shared-SoC scheduler",
+			Headers: []string{"clients", "queries/sec", "p50 ms", "p99 ms", "shed"},
+		}
+		for _, n := range []int{1, 4, 16, 64} {
+			if n > *clients {
+				break
+			}
+			res, err := bench.RunConcurrent(db, n, *clientOps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "concurrent:", err)
+				os.Exit(1)
+			}
+			t.AddRow(fmt.Sprint(n), fmt.Sprintf("%.1f", res.QPS()),
+				fmt.Sprintf("%.3f", float64(res.P50)/1e6),
+				fmt.Sprintf("%.3f", float64(res.P99)/1e6),
+				fmt.Sprint(res.Shed))
+		}
+		t.AddNote("per-query latency includes admission queue wait; shed = queries rejected with ErrOverloaded")
+		fmt.Println(t)
 	}
 	if *profilePath != "" || *tracePath != "" {
 		if err := writeProfiles(db, *profilePath, *tracePath); err != nil {

@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	rapid-fuzz [-n 10000] [-seed 1] [-keep-going] [-quiet]
+//	rapid-fuzz [-n 10000] [-seed 1] [-parallel 0] [-keep-going] [-quiet]
+//
+// With -parallel K > 1, every generated query is additionally executed on K
+// concurrent sessions against the shared databases and each concurrent
+// result is compared to a serial host-oracle run, so shared-SoC scheduler
+// bugs surface as replayable reproducers.
 //
 // Any failure is replayable with:
 //
@@ -26,6 +31,7 @@ import (
 func main() {
 	n := flag.Int("n", 10000, "number of generated queries to check")
 	seed := flag.Int64("seed", 1, "master seed; fixed seed = identical run")
+	parallel := flag.Int("parallel", 0, "also run each query on K concurrent sessions and compare lanes (0 = off)")
 	keepGoing := flag.Bool("keep-going", false, "report every mismatch instead of stopping at the first")
 	quiet := flag.Bool("quiet", false, "suppress the periodic progress line")
 	flag.Parse()
@@ -61,9 +67,15 @@ func main() {
 			if m := r.CheckTautology(q); m != nil {
 				report(m, r)
 			}
+			if *parallel > 1 {
+				if m := r.CheckConcurrent(q.SQL(), *parallel); m != nil {
+					report(m, r)
+				}
+			}
 			executed++
 		}
 		rejected += r.Rejected
+		r.Close()
 		if !*quiet && scen%50 == 49 {
 			fmt.Printf("%8d queries, %d scenarios, %d rejected, %d failures, %.1fs\n",
 				executed, scen+1, rejected, failures, time.Since(start).Seconds())

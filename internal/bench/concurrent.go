@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rapid/internal/hostdb"
+	"rapid/internal/qef"
+	"rapid/internal/sched"
+	"rapid/internal/tpch"
+)
+
+// ConcurrentResult is the outcome of driving one shared database with a
+// closed-loop client fleet through the shared-SoC scheduler.
+type ConcurrentResult struct {
+	Clients int
+	Ops     int           // completed queries across all clients
+	Shed    int           // queries rejected by admission control (ErrOverloaded)
+	Wall    time.Duration // whole-fleet wall clock
+	P50     time.Duration // median per-query latency (queue wait included)
+	P99     time.Duration
+}
+
+// QPS returns completed queries per second of wall time.
+func (r ConcurrentResult) QPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Wall.Seconds()
+}
+
+// RunConcurrent drives `clients` closed-loop sessions against one shared
+// database: each client issues `opsPerClient` queries back to back, cycling
+// through the TPC-H mix on RAPID ModeX86 (ForceOffload, so every query rides
+// the shared-SoC scheduler). Per-query latencies include admission queue
+// wait. Queries shed by admission control count as Shed, not as failures —
+// shedding under an overdriven fleet is the scheduler working as designed.
+func RunConcurrent(db *hostdb.Database, clients, opsPerClient int) (ConcurrentResult, error) {
+	queries := tpch.Queries()
+	opts := hostdb.QueryOptions{Mode: hostdb.ForceOffload, RapidMode: qef.ModeX86, FailOnInadmissible: true}
+
+	lat := make([][]time.Duration, clients)
+	shed := make([]int, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat[c] = make([]time.Duration, 0, opsPerClient)
+			for i := 0; i < opsPerClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				t0 := time.Now()
+				_, err := db.Query(q.SQL, opts)
+				switch {
+				case errors.Is(err, sched.ErrOverloaded):
+					shed[c]++
+				case err != nil:
+					errs[c] = fmt.Errorf("client %d %s: %w", c, q.Name, err)
+					return
+				default:
+					lat[c] = append(lat[c], time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := ConcurrentResult{Clients: clients, Wall: wall}
+	var all []time.Duration
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return ConcurrentResult{}, errs[c]
+		}
+		all = append(all, lat[c]...)
+		res.Shed += shed[c]
+	}
+	res.Ops = len(all)
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = all[len(all)/2]
+		res.P99 = all[len(all)*99/100]
+	}
+	return res, nil
+}

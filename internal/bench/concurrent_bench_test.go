@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"rapid/internal/hostdb"
+)
+
+var (
+	concBenchOnce sync.Once
+	concBenchDB   *hostdb.Database
+	concBenchErr  error
+)
+
+func concBenchSetup(b *testing.B) *hostdb.Database {
+	b.Helper()
+	concBenchOnce.Do(func() {
+		concBenchDB, concBenchErr = SetupTPCH(0.005)
+	})
+	if concBenchErr != nil {
+		b.Fatal(concBenchErr)
+	}
+	return concBenchDB
+}
+
+// benchConcurrentQPS measures closed-loop throughput of the shared-SoC
+// scheduler at a fixed client count: ops/sec plus p50/p99 per-query latency
+// (admission queue wait included) reported as benchmark metrics.
+func benchConcurrentQPS(b *testing.B, clients int) {
+	db := concBenchSetup(b)
+	const opsPerClient = 4
+	var last ConcurrentResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunConcurrent(db, clients, opsPerClient)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ops == 0 {
+			b.Fatal("no queries completed")
+		}
+		last = res
+	}
+	b.ReportMetric(last.QPS(), "queries/sec")
+	b.ReportMetric(float64(last.P50.Microseconds())/1e3, "p50-ms")
+	b.ReportMetric(float64(last.P99.Microseconds())/1e3, "p99-ms")
+	b.ReportMetric(float64(last.Shed), "shed")
+}
+
+// The scheduler throughput ladder: compare with
+//
+//	go test ./internal/bench -bench ConcurrentQPS -benchtime 5x
+//
+// QPS should rise from 1 to 4 clients (admission allows 8 concurrent by
+// default) and stay near-flat from 4 to 16 while p99 grows with queueing —
+// the closed-loop signature of a saturated shared SoC, not a collapsed one.
+func BenchmarkConcurrentQPS1(b *testing.B) { benchConcurrentQPS(b, 1) }
+
+func BenchmarkConcurrentQPS4(b *testing.B) { benchConcurrentQPS(b, 4) }
+
+func BenchmarkConcurrentQPS16(b *testing.B) { benchConcurrentQPS(b, 16) }
+
+// TestRunConcurrentSmoke keeps the harness itself honest in plain `go test`
+// runs: a small fleet completes, latencies are populated, and nothing errors.
+func TestRunConcurrentSmoke(t *testing.T) {
+	db, err := SetupTPCH(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := RunConcurrent(db, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops+res.Shed != 4*2 {
+		t.Fatalf("ops %d + shed %d != 8 issued", res.Ops, res.Shed)
+	}
+	if res.Ops > 0 && (res.P50 <= 0 || res.P99 < res.P50) {
+		t.Fatalf("implausible latency quantiles: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.QPS() <= 0 {
+		t.Fatalf("QPS = %v, want > 0", res.QPS())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rapid/internal/bits"
 )
@@ -17,7 +18,12 @@ import (
 type Dict struct {
 	byCode []string         // code -> string
 	byStr  map[string]int32 // string -> code
-	sorted []int32          // codes in string order; rebuilt lazily
+
+	// The sorted view is rebuilt lazily on first range/prefix lookup, which
+	// happens at query time — and the dictionary of a loaded column is shared
+	// by every concurrent query — so the rebuild is guarded.
+	mu     sync.Mutex
+	sorted []int32 // codes in string order; immutable once built
 	dirty  bool
 }
 
@@ -35,7 +41,9 @@ func (d *Dict) Add(s string) int32 {
 	c := int32(len(d.byCode))
 	d.byCode = append(d.byCode, s)
 	d.byStr[s] = c
+	d.mu.Lock()
 	d.dirty = true
+	d.mu.Unlock()
 	return c
 }
 
@@ -67,18 +75,25 @@ func (d *Dict) SizeBytes() int {
 	return n
 }
 
-func (d *Dict) ensureSorted() {
-	if !d.dirty && d.sorted != nil {
-		return
+// sortedCodes returns the codes in string order, rebuilding the view under
+// the lock if new strings were interned since. Rebuilds allocate a fresh
+// slice, so the returned snapshot is immutable and callers iterate it without
+// holding the lock.
+func (d *Dict) sortedCodes() []int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dirty || d.sorted == nil {
+		sorted := make([]int32, len(d.byCode))
+		for i := range sorted {
+			sorted[i] = int32(i)
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			return d.byCode[sorted[i]] < d.byCode[sorted[j]]
+		})
+		d.sorted = sorted
+		d.dirty = false
 	}
-	d.sorted = make([]int32, len(d.byCode))
-	for i := range d.sorted {
-		d.sorted[i] = int32(i)
-	}
-	sort.Slice(d.sorted, func(i, j int) bool {
-		return d.byCode[d.sorted[i]] < d.byCode[d.sorted[j]]
-	})
-	d.dirty = false
+	return d.sorted
 }
 
 // CodeSet is the result of a dictionary range lookup: a bitmap over codes.
@@ -112,20 +127,20 @@ func (d *Dict) emptySet() *CodeSet {
 // RangeCodes returns the codes of all strings in the given range.
 // Empty bounds mean unbounded on that side.
 func (d *Dict) RangeCodes(lo, hi string, loIncl, hiIncl bool) *CodeSet {
-	d.ensureSorted()
+	sorted := d.sortedCodes()
 	cs := d.emptySet()
 	start := 0
 	if lo != "" {
-		start = sort.Search(len(d.sorted), func(i int) bool {
-			s := d.byCode[d.sorted[i]]
+		start = sort.Search(len(sorted), func(i int) bool {
+			s := d.byCode[sorted[i]]
 			if loIncl {
 				return s >= lo
 			}
 			return s > lo
 		})
 	}
-	for i := start; i < len(d.sorted); i++ {
-		s := d.byCode[d.sorted[i]]
+	for i := start; i < len(sorted); i++ {
+		s := d.byCode[sorted[i]]
 		if hi != "" {
 			if hiIncl && s > hi {
 				break
@@ -134,7 +149,7 @@ func (d *Dict) RangeCodes(lo, hi string, loIncl, hiIncl bool) *CodeSet {
 				break
 			}
 		}
-		cs.bm.Set(int(d.sorted[i]))
+		cs.bm.Set(int(sorted[i]))
 	}
 	return cs
 }
@@ -142,17 +157,17 @@ func (d *Dict) RangeCodes(lo, hi string, loIncl, hiIncl bool) *CodeSet {
 // PrefixCodes returns the codes of all strings with the given prefix — the
 // LIKE 'p%' lookup of §4.2.
 func (d *Dict) PrefixCodes(prefix string) *CodeSet {
-	d.ensureSorted()
+	sorted := d.sortedCodes()
 	cs := d.emptySet()
-	start := sort.Search(len(d.sorted), func(i int) bool {
-		return d.byCode[d.sorted[i]] >= prefix
+	start := sort.Search(len(sorted), func(i int) bool {
+		return d.byCode[sorted[i]] >= prefix
 	})
-	for i := start; i < len(d.sorted); i++ {
-		s := d.byCode[d.sorted[i]]
+	for i := start; i < len(sorted); i++ {
+		s := d.byCode[sorted[i]]
 		if !strings.HasPrefix(s, prefix) {
 			break
 		}
-		cs.bm.Set(int(d.sorted[i]))
+		cs.bm.Set(int(sorted[i]))
 	}
 	return cs
 }
@@ -200,9 +215,9 @@ func (d *Dict) CompareCodes(op string, val string) *CodeSet {
 // SortRank returns, for each code, its rank in string order. ORDER BY on a
 // dictionary column sorts by rank rather than decoding strings.
 func (d *Dict) SortRank() []int32 {
-	d.ensureSorted()
+	sorted := d.sortedCodes()
 	rank := make([]int32, len(d.byCode))
-	for r, c := range d.sorted {
+	for r, c := range sorted {
 		rank[c] = int32(r)
 	}
 	return rank

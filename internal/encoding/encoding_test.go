@@ -320,3 +320,60 @@ func TestRLEQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDictConcurrentLookups pins the concurrency contract of the lazy sorted
+// view: range, prefix and rank lookups on one shared dictionary must be safe
+// from concurrent queries (run with -race). The lazy rebuild used to race
+// when two queries both triggered the first sorted lookup.
+func TestDictConcurrentLookups(t *testing.T) {
+	d := NewDict()
+	words := []string{"apple", "apricot", "banana", "cherry", "date", "fig", "grape", "kiwi"}
+	for _, w := range words {
+		d.Add(w)
+	}
+	const goroutines = 8
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				if n := d.PrefixCodes("ap").Count(); n != 2 {
+					t.Errorf("goroutine %d: PrefixCodes(ap) = %d codes, want 2", g, n)
+					return
+				}
+				if n := d.RangeCodes("banana", "fig", true, true).Count(); n != 4 {
+					t.Errorf("goroutine %d: RangeCodes = %d codes, want 4", g, n)
+					return
+				}
+				if rank := d.SortRank(); len(rank) != len(words) {
+					t.Errorf("goroutine %d: SortRank len %d, want %d", g, len(rank), len(words))
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+}
+
+// TestDictAddInvalidatesSortedView checks the lazy view is rebuilt after new
+// strings are interned, and that a previously returned snapshot is not
+// mutated in place.
+func TestDictAddInvalidatesSortedView(t *testing.T) {
+	d := NewDict()
+	d.Add("b")
+	d.Add("d")
+	before := d.SortRank()
+	d.Add("a")
+	after := d.SortRank()
+	if len(after) != 3 {
+		t.Fatalf("rank after Add has %d entries, want 3", len(after))
+	}
+	if got := d.PrefixCodes("a").Count(); got != 1 {
+		t.Fatalf("PrefixCodes(a) after Add = %d, want 1", got)
+	}
+	if len(before) != 2 {
+		t.Fatalf("earlier snapshot mutated: len %d, want 2", len(before))
+	}
+}

@@ -1,6 +1,7 @@
 package hostdb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -115,7 +116,7 @@ func TestDifferentialRandomPlans(t *testing.T) {
 			}
 
 			// Row interpreter.
-			hostRel, err := db.runHost(node)
+			hostRel, err := db.runHost(context.Background(), node)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -169,7 +170,7 @@ func TestDifferentialRandomAggregates(t *testing.T) {
 			Keys:  []plan.Expr{&plan.ColRef{Idx: 1, Name: "b", T: coltypes.Int()}},
 			Aggs:  []plan.AggExpr{agg},
 		})
-		hostRel, err := db.runHost(node)
+		hostRel, err := db.runHost(context.Background(), node)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,6 +15,7 @@ import (
 	"rapid/internal/coltypes"
 	"rapid/internal/encoding"
 	"rapid/internal/obs"
+	"rapid/internal/sched"
 	"rapid/internal/storage"
 )
 
@@ -26,6 +27,11 @@ type Database struct {
 
 	metrics *obs.Registry
 
+	// sched is the shared-SoC scheduler every offloaded query of this
+	// database executes on: one pool of virtual dpCores, admission control
+	// and work-unit-granular multiplexing across concurrent queries.
+	sched *sched.Scheduler
+
 	stopCheckpointer chan struct{}
 }
 
@@ -35,16 +41,41 @@ func New() *Database {
 }
 
 // NewWithMetrics creates an empty database sharing the given metrics
-// registry (nil allocates a fresh one).
+// registry (nil allocates a fresh one) and a default-configured scheduler.
 func NewWithMetrics(reg *obs.Registry) *Database {
+	return NewWithConfig(reg, sched.Config{})
+}
+
+// NewWithConfig creates an empty database with an explicit shared-SoC
+// scheduler configuration. The scheduler's metrics land in the database's
+// registry unless the config carries its own.
+func NewWithConfig(reg *obs.Registry, cfg sched.Config) *Database {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Database{tables: make(map[string]*HostTable), metrics: reg}
+	if cfg.Metrics == nil {
+		cfg.Metrics = reg
+	}
+	return &Database{
+		tables:  make(map[string]*HostTable),
+		metrics: reg,
+		sched:   sched.New(cfg),
+	}
 }
 
 // Metrics returns the database's metrics registry.
 func (db *Database) Metrics() *obs.Registry { return db.metrics }
+
+// Scheduler returns the database's shared-SoC scheduler (never nil), for
+// configuration inspection and tests that need to occupy admission slots.
+func (db *Database) Scheduler() *sched.Scheduler { return db.sched }
+
+// Close stops the database's background machinery: the checkpointer and the
+// shared scheduler's worker pool. In-flight queries fail with sched.ErrClosed.
+func (db *Database) Close() {
+	db.StopBackgroundCheckpointer()
+	db.sched.Close()
+}
 
 // ServeTelemetry starts an opt-in HTTP exporter for this database's metrics
 // registry on addr (Prometheus text on /metrics, liveness on /healthz).

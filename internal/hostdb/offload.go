@@ -1,6 +1,8 @@
 package hostdb
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"rapid/internal/power"
 	"rapid/internal/qcomp"
 	"rapid/internal/qef"
+	"rapid/internal/sched"
 	"rapid/internal/sqlparse"
 	"rapid/internal/storage"
 )
@@ -77,6 +80,10 @@ type QueryResult struct {
 	// (ModeDPU offloads only; zero otherwise — check HasEnergy).
 	Energy    power.Breakdown
 	HasEnergy bool
+	// QueueWait is the time the query spent in the shared-SoC scheduler's
+	// admission queue before RAPID execution began (zero for host-engine
+	// queries and immediate admissions).
+	QueueWait time.Duration
 }
 
 // RapidFraction returns the share of elapsed wall time spent in RAPID.
@@ -122,12 +129,22 @@ func stripExplainAnalyze(sql string) (string, bool) {
 // per-operator profiling and returns the profile in the result. Engine-wide
 // query counters land in the database's metrics registry.
 func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
+	return db.QueryCtx(context.Background(), sql, opts)
+}
+
+// QueryCtx is Query observing a context: cancellation and deadlines are
+// checked while the query waits for admission, at work-unit dispatch and at
+// every tile boundary, so a canceled query stops within one tile and returns
+// ctx.Err(). Cancellation and scheduler overload (sched.ErrOverloaded) are
+// returned directly — they never fall back to the host engine, since the
+// caller asked the whole query to stop (or be shed), not just the offload.
+func (db *Database) QueryCtx(ctx context.Context, sql string, opts QueryOptions) (*QueryResult, error) {
 	if inner, ok := stripExplainAnalyze(sql); ok {
 		sql = inner
 		opts.Profile = true
 	}
 	start := time.Now()
-	res, err := db.query(sql, opts)
+	res, err := db.query(ctx, sql, opts)
 	m := db.metrics
 	m.Histogram("hostdb_query_seconds").Observe(time.Since(start).Seconds())
 	m.Counter("hostdb_queries_total").Inc()
@@ -150,7 +167,20 @@ func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
 	return res, err
 }
 
-func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
+// noFallback reports whether a RAPID execution error must be returned as the
+// query's outcome instead of triggering host fallback: the query was
+// canceled / timed out, shed by admission control, or the database closed.
+func noFallback(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, sched.ErrOverloaded) ||
+		errors.Is(err, sched.ErrClosed)
+}
+
+func (db *Database) query(ctx context.Context, sql string, opts QueryOptions) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	hostStart := time.Now()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -188,7 +218,8 @@ func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
 			return nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
 		}
 		if admissible {
-			run, rerr := db.runRapid(node, opts)
+			run, rerr := db.runRapid(ctx, node, opts)
+			res.QueueWait = run.queueWait
 			if rerr == nil {
 				res.Rel = run.rel
 				res.Offloaded = true
@@ -200,6 +231,9 @@ func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
 				res.HasEnergy = run.hasEnergy
 				res.HostWall = time.Since(hostStart) - run.wall
 				return res, nil
+			}
+			if noFallback(rerr) {
+				return nil, rerr
 			}
 			// RAPID execution failed: fall back to the host plan (§3.2).
 			res.FellBack = true
@@ -214,7 +248,7 @@ func (db *Database) query(sql string, opts QueryOptions) (*QueryResult, error) {
 		}
 	}
 
-	rel, err := db.runHost(node)
+	rel, err := db.runHost(ctx, node)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +284,7 @@ func walkScans(n plan.Node, fn func(*plan.Scan)) {
 type rapidRun struct {
 	rel       *ops.Relation
 	wall      time.Duration
+	queueWait time.Duration
 	simSec    float64
 	x86Sec    float64
 	prof      *obs.Profile
@@ -259,10 +294,14 @@ type rapidRun struct {
 
 // runRapid is the RAPID operator (§3.1): it serializes the fragment plan to
 // the RAPID node (here: compiles it), triggers execution, and receives the
-// result relation "over the network". Every DPU execution feeds the
-// engine-wide telemetry counters and the activity energy model, whether or
-// not per-operator profiling was requested.
-func (db *Database) runRapid(node plan.Node, opts QueryOptions) (rapidRun, error) {
+// result relation "over the network". Execution goes through the shared-SoC
+// scheduler: the query is admitted (possibly waiting, bounded by the run
+// queue), its work units are multiplexed over the shared worker pool, and
+// its admission slot is released when execution ends — success, failure or
+// cancellation alike. Every DPU execution feeds the engine-wide telemetry
+// counters and the activity energy model, whether or not per-operator
+// profiling was requested.
+func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOptions) (rapidRun, error) {
 	if opts.InjectRapidFailure {
 		return rapidRun{}, fmt.Errorf("hostdb: injected RAPID node failure")
 	}
@@ -272,6 +311,13 @@ func (db *Database) runRapid(node plan.Node, opts QueryOptions) (rapidRun, error
 	}
 	ctx := qef.NewContext(opts.RapidMode)
 	ctx.Metrics = db.metrics
+	adm, err := db.sched.Admit(goCtx, sched.Request{Cores: ctx.Workers()})
+	if err != nil {
+		return rapidRun{}, err
+	}
+	defer adm.Release()
+	ctx.SetGoContext(goCtx)
+	ctx.Exec = adm
 	var prof *obs.Profile
 	if opts.Profile {
 		prof = obs.NewProfile(opts.RapidMode.String(), ctx.SoC.Config().NumCores, ctx.SoC.Config().FreqHz, compiled.SpanDefs())
@@ -281,9 +327,9 @@ func (db *Database) runRapid(node plan.Node, opts QueryOptions) (rapidRun, error
 	rel, err := compiled.Execute(ctx)
 	wall := time.Since(start)
 	if err != nil {
-		return rapidRun{wall: wall}, err
+		return rapidRun{wall: wall, queueWait: adm.QueueWait()}, err
 	}
-	run := rapidRun{rel: rel, wall: wall, simSec: ctx.SimElapsed(), prof: prof}
+	run := rapidRun{rel: rel, wall: wall, queueWait: adm.QueueWait(), simSec: ctx.SimElapsed(), prof: prof}
 	rdT, wrT := ctx.DMS.TotalsByDir()
 	if prof != nil {
 		busR, busW := ctx.BusSeconds()
@@ -293,15 +339,16 @@ func (db *Database) runRapid(node plan.Node, opts QueryOptions) (rapidRun, error
 			coreCy[i] = int64(co.Cycles())
 		}
 		prof.Finalize(obs.Totals{
-			WallSeconds:     wall.Seconds(),
-			SimSeconds:      run.simSec,
-			BusReadSeconds:  busR,
-			BusWriteSeconds: busW,
-			CoreCycles:      coreCy,
-			DMSReadBytes:    rdT.Bytes,
-			DMSWriteBytes:   wrT.Bytes,
-			DMSReadSeconds:  rdT.Seconds,
-			DMSWriteSeconds: wrT.Seconds,
+			WallSeconds:      wall.Seconds(),
+			QueueWaitSeconds: run.queueWait.Seconds(),
+			SimSeconds:       run.simSec,
+			BusReadSeconds:   busR,
+			BusWriteSeconds:  busW,
+			CoreCycles:       coreCy,
+			DMSReadBytes:     rdT.Bytes,
+			DMSWriteBytes:    wrT.Bytes,
+			DMSReadSeconds:   rdT.Seconds,
+			DMSWriteSeconds:  wrT.Seconds,
 		})
 	}
 	totalCycles := int64(ctx.SoC.TotalCycles())
@@ -323,12 +370,12 @@ func (db *Database) runRapid(node plan.Node, opts QueryOptions) (rapidRun, error
 
 // runHost executes the plan on the System X row engine and materializes the
 // rows as a relation using the plan's output schema.
-func (db *Database) runHost(node plan.Node) (*ops.Relation, error) {
+func (db *Database) runHost(ctx context.Context, node plan.Node) (*ops.Relation, error) {
 	it, err := db.BuildIterator(node)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := Drain(it)
+	rows, err := DrainCtx(ctx, it)
 	if err != nil {
 		return nil, err
 	}

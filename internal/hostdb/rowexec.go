@@ -1,6 +1,7 @@
 package hostdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -101,12 +102,27 @@ func (db *Database) BuildIterator(n plan.Node) (Iterator, error) {
 
 // Drain runs an iterator to completion through the full protocol.
 func Drain(it Iterator) ([][]int64, error) {
+	return DrainCtx(context.Background(), it)
+}
+
+// drainCheckRows is how many rows DrainCtx fetches between cancellation
+// checks — the host engine's analogue of the QEF's per-tile check.
+const drainCheckRows = 1024
+
+// DrainCtx is Drain observing a context: a canceled or expired ctx stops the
+// row loop within drainCheckRows rows and returns ctx.Err().
+func DrainCtx(ctx context.Context, it Iterator) ([][]int64, error) {
 	it.Allocate()
 	if err := it.Start(); err != nil {
 		return nil, err
 	}
 	var out [][]int64
 	for {
+		if len(out)%drainCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row, ok, err := it.Fetch()
 		if err != nil {
 			return nil, err
@@ -224,7 +240,7 @@ func rescaleVal(v int64, from, to int8) int64 {
 // dictVal decodes a dictionary code, rendering out-of-range codes as the
 // empty string. In the NULL-free engine a left-outer join pads unmatched
 // probe rows with code 0, which an empty build-side dictionary cannot
-// decode; the padding compares like '' everywhere.
+// decode; the padding compares like ” everywhere.
 func dictVal(d *encoding.Dict, code int64) string {
 	if code < 0 || code >= int64(d.Len()) {
 		return ""

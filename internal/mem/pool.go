@@ -256,3 +256,36 @@ func (p *TilePool) MarkHighWater() { p.highWater = p.dataBytes }
 // performed. A steady-state tile loop must stop growing after the first few
 // tiles; the QEF exports the delta as qef_pool_grows_total.
 func (p *TilePool) Grows() int64 { return p.grows }
+
+// RetainedBytes returns the bytes of backing storage the pool keeps alive
+// for reuse (typed arenas, bit-vectors and boxed data slabs), independent of
+// how much is currently taken. With pools owned by long-lived scheduler
+// workers this is the cross-query memory footprint of pooling.
+func (p *TilePool) RetainedBytes() int {
+	total := len(p.i8.buf) + 2*len(p.i16.buf) + 4*len(p.i32.buf) +
+		8*len(p.i64.buf) + 4*len(p.u32.buf)
+	for _, v := range p.bv.vecs {
+		total += v.SizeBytes()
+	}
+	for _, a := range p.dbuf {
+		for _, d := range a.slabs {
+			if d != nil {
+				total += d.Len() * d.Width().Bytes()
+			}
+		}
+	}
+	return total
+}
+
+// TrimTo bounds the pool's retained storage: when RetainedBytes exceeds
+// maxBytes the pool drops ALL backing arrays (arenas regrow lazily on the
+// next take). Scheduler workers call it between work units after serving a
+// memory-hungry query, so pooling survives across queries without one giant
+// query pinning its arenas forever. The caller must guarantee no pool
+// buffers are outstanding: TrimTo resets the pool outright.
+func (p *TilePool) TrimTo(maxBytes int) {
+	if p.RetainedBytes() <= maxBytes {
+		return
+	}
+	*p = TilePool{grows: p.grows}
+}

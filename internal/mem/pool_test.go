@@ -159,3 +159,48 @@ func TestTilePoolBVReuse(t *testing.T) {
 		t.Fatalf("recycled BV len %d count %d", v3.Len(), v3.Count())
 	}
 }
+
+func TestTilePoolRetainedBytesAndTrimTo(t *testing.T) {
+	p := NewTilePool()
+	if got := p.RetainedBytes(); got != 0 {
+		t.Fatalf("fresh pool retains %d bytes, want 0", got)
+	}
+	p.I64(1024)   // 8 KiB arena
+	p.I32(1024)   // 4 KiB arena
+	p.BV(1 << 12) // bit-vector backing
+	p.Reset()
+	retained := p.RetainedBytes()
+	if retained < 12*1024 {
+		t.Fatalf("after takes, RetainedBytes = %d, want >= 12 KiB", retained)
+	}
+
+	// Under the bound: TrimTo must keep the arenas (pooling stays effective).
+	p.TrimTo(retained)
+	if got := p.RetainedBytes(); got != retained {
+		t.Fatalf("TrimTo under bound dropped storage: %d -> %d", retained, got)
+	}
+	grows := p.Grows()
+	p.I64(1024)
+	if p.Grows() != grows {
+		t.Fatalf("take after no-op TrimTo grew the pool: arenas were dropped")
+	}
+	p.Reset()
+
+	// Over the bound: everything is dropped, but the grows counter survives
+	// (it feeds a monotonic metric).
+	p.TrimTo(retained - 1)
+	if got := p.RetainedBytes(); got != 0 {
+		t.Fatalf("TrimTo over bound retained %d bytes, want 0", got)
+	}
+	if p.Grows() != grows {
+		t.Fatalf("TrimTo reset the grows counter: %d -> %d", grows, p.Grows())
+	}
+
+	// The trimmed pool must still be usable: arenas regrow lazily.
+	if s := p.I64(16); len(s) != 16 {
+		t.Fatalf("take after trim returned %d elems, want 16", len(s))
+	}
+	if p.Grows() == grows {
+		t.Fatalf("take after trim should have regrown an arena")
+	}
+}

@@ -108,6 +108,9 @@ func (p *Profile) Format() string {
 	fmt.Fprintf(&b, "sim %.6gs  bus_rd %.6gs  bus_wr %.6gs  wall %.3fms\n",
 		p.totals.SimSeconds, p.totals.BusReadSeconds, p.totals.BusWriteSeconds,
 		p.totals.WallSeconds*1e3)
+	if p.totals.QueueWaitSeconds > 0 {
+		fmt.Fprintf(&b, "queue_wait %.3fms (shared-SoC admission)\n", p.totals.QueueWaitSeconds*1e3)
+	}
 	if p.isDPU() {
 		fmt.Fprintf(&b, "energy %.6g J (core %.6g + dms %.6g + idle %.6g)  provisioned %.6g J",
 			rep.Query.TotalJoules(),

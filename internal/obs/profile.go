@@ -189,15 +189,19 @@ func (s *OpSpan) TilesOut() int64 { return sum64(s.tilesOut) }
 // Totals are the whole-query counters frozen into a profile after
 // execution; CheckInvariants reconciles the spans against them.
 type Totals struct {
-	WallSeconds     float64
-	SimSeconds      float64
-	BusReadSeconds  float64
-	BusWriteSeconds float64
-	CoreCycles      []int64 // per-core counter deltas for the query
-	DMSReadBytes    int64
-	DMSWriteBytes   int64
-	DMSReadSeconds  float64
-	DMSWriteSeconds float64
+	WallSeconds float64
+	// QueueWaitSeconds is time the query spent in the scheduler's admission
+	// queue before execution began (zero when unscheduled or admitted
+	// immediately).
+	QueueWaitSeconds float64
+	SimSeconds       float64
+	BusReadSeconds   float64
+	BusWriteSeconds  float64
+	CoreCycles       []int64 // per-core counter deltas for the query
+	DMSReadBytes     int64
+	DMSWriteBytes    int64
+	DMSReadSeconds   float64
+	DMSWriteSeconds  float64
 }
 
 // Profile is the per-query observability record: the span tree plus the
@@ -400,17 +404,18 @@ type EnergySummary struct {
 
 // Summary is the JSON-friendly rendering of a whole profile.
 type Summary struct {
-	Mode            string         `json:"mode"`
-	Adapted         bool           `json:"adapted,omitempty"`
-	WallSeconds     float64        `json:"wall_seconds"`
-	SimSeconds      float64        `json:"sim_seconds"`
-	BusReadSeconds  float64        `json:"bus_read_seconds"`
-	BusWriteSeconds float64        `json:"bus_write_seconds"`
-	TotalCycles     int64          `json:"total_cycles"`
-	DMSReadBytes    int64          `json:"dms_read_bytes"`
-	DMSWriteBytes   int64          `json:"dms_write_bytes"`
-	Energy          *EnergySummary `json:"energy,omitempty"`
-	Ops             []SpanSummary  `json:"ops"`
+	Mode             string         `json:"mode"`
+	Adapted          bool           `json:"adapted,omitempty"`
+	WallSeconds      float64        `json:"wall_seconds"`
+	QueueWaitSeconds float64        `json:"queue_wait_seconds,omitempty"`
+	SimSeconds       float64        `json:"sim_seconds"`
+	BusReadSeconds   float64        `json:"bus_read_seconds"`
+	BusWriteSeconds  float64        `json:"bus_write_seconds"`
+	TotalCycles      int64          `json:"total_cycles"`
+	DMSReadBytes     int64          `json:"dms_read_bytes"`
+	DMSWriteBytes    int64          `json:"dms_write_bytes"`
+	Energy           *EnergySummary `json:"energy,omitempty"`
+	Ops              []SpanSummary  `json:"ops"`
 }
 
 // Summary renders the profile for JSON export. DPU profiles include the
@@ -420,15 +425,16 @@ func (p *Profile) Summary() Summary {
 		return Summary{}
 	}
 	out := Summary{
-		Mode:            p.Mode,
-		Adapted:         p.adapted,
-		WallSeconds:     p.totals.WallSeconds,
-		SimSeconds:      p.totals.SimSeconds,
-		BusReadSeconds:  p.totals.BusReadSeconds,
-		BusWriteSeconds: p.totals.BusWriteSeconds,
-		TotalCycles:     p.TotalCycles(),
-		DMSReadBytes:    p.totals.DMSReadBytes,
-		DMSWriteBytes:   p.totals.DMSWriteBytes,
+		Mode:             p.Mode,
+		Adapted:          p.adapted,
+		WallSeconds:      p.totals.WallSeconds,
+		QueueWaitSeconds: p.totals.QueueWaitSeconds,
+		SimSeconds:       p.totals.SimSeconds,
+		BusReadSeconds:   p.totals.BusReadSeconds,
+		BusWriteSeconds:  p.totals.BusWriteSeconds,
+		TotalCycles:      p.TotalCycles(),
+		DMSReadBytes:     p.totals.DMSReadBytes,
+		DMSWriteBytes:    p.totals.DMSWriteBytes,
 	}
 	var rep EnergyReport
 	if p.isDPU() {

@@ -43,6 +43,9 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 		defer a.tc.ReleaseScratch()
 		var tile Tile
 		for lo := 0; lo < rows; lo += tileRows {
+			if err := a.tc.Canceled(); err != nil {
+				return err
+			}
 			hi := lo + tileRows
 			if hi > rows {
 				hi = rows
@@ -92,6 +95,9 @@ func (a *Accessor) Sequential(cols []coltypes.Data, tileRows int, fn func(*Tile)
 	defer a.tc.ReleaseScratch()
 	var tile Tile
 	for lo := 0; lo < rows; lo += tileRows {
+		if err := a.tc.Canceled(); err != nil {
+			return err
+		}
 		hi := lo + tileRows
 		if hi > rows {
 			hi = rows

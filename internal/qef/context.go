@@ -13,6 +13,7 @@
 package qef
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,6 +47,18 @@ func (m Mode) String() string {
 	return "x86"
 }
 
+// Executor runs work-unit batches on behalf of a Context. A nil executor
+// means the context owns its parallelism outright (one goroutine per virtual
+// core, the pre-scheduler behavior); a non-nil executor — the shared-SoC
+// scheduler of internal/sched — multiplexes the units over a process-wide
+// worker pool so concurrent queries share one machine's worth of cores.
+// Implementations must preserve RunParallel's contract: unit i is pinned to
+// virtual core i mod Workers(), units of one virtual core execute in
+// ascending index order, and the deterministic first-error semantics hold.
+type Executor interface {
+	RunUnits(c *Context, units []WorkUnit) error
+}
+
 // Context is the execution environment shared by a query: the SoC, the DMS,
 // the ATE router and per-core simulated-time accumulators.
 type Context struct {
@@ -60,6 +73,14 @@ type Context struct {
 	// Metrics, when non-nil, receives engine-wide counters (shared across
 	// queries; typically the owning Database's registry).
 	Metrics *obs.Registry
+
+	// Exec, when non-nil, runs all work-unit batches (RunParallel and
+	// RunSerial) on a shared scheduler instead of context-owned goroutines.
+	Exec Executor
+
+	// goCtx carries the query's cancellation signal; nil means "never
+	// canceled". Set once before execution via SetGoContext.
+	goCtx context.Context
 
 	workers int
 
@@ -114,6 +135,21 @@ func NewContextWith(mode Mode, cfg dpu.Config) *Context {
 
 // Workers returns the number of parallel workers (virtual dpCores in use).
 func (c *Context) Workers() int { return c.workers }
+
+// SetGoContext installs the query's cancellation context. Must be called
+// before execution starts; tile loops and work-unit dispatch observe it.
+func (c *Context) SetGoContext(ctx context.Context) { c.goCtx = ctx }
+
+// Err returns the query's cancellation status: nil while the query may keep
+// running, or the context error (context.Canceled, context.DeadlineExceeded)
+// once it must stop. Checked at tile-loop boundaries and before every work
+// unit, so cancellation latency is bounded by one tile.
+func (c *Context) Err() error {
+	if c.goCtx == nil {
+		return nil
+	}
+	return c.goCtx.Err()
+}
 
 // Reset clears all accounting for a fresh measurement.
 func (c *Context) Reset() {
@@ -340,6 +376,17 @@ func (tc *TaskCtx) ResetScratch() {
 // for hand-built task contexts.
 func (tc *TaskCtx) Pool() *mem.TilePool { return tc.pool }
 
+// BindPool attaches the scratch pool serving this task context. The shared
+// scheduler calls it before every unit dispatch: the pool belongs to the
+// scheduler worker (not the virtual core), so pooled buffers survive across
+// queries while each pool still has exactly one goroutine using it at a
+// time. Scratch never outlives a unit, so rebinding between units is safe.
+func (tc *TaskCtx) BindPool(p *mem.TilePool) { tc.pool = p }
+
+// Canceled returns the owning query's cancellation status (see Context.Err).
+// Task sources call it once per tile.
+func (tc *TaskCtx) Canceled() error { return tc.Ctx.Err() }
+
 // beginSpanClock starts the unit's attribution interval.
 func (tc *TaskCtx) beginSpanClock() {
 	if tc.Core != nil {
@@ -421,6 +468,9 @@ func (c *Context) RunParallel(units []WorkUnit) error {
 	if len(units) == 0 {
 		return nil
 	}
+	if c.Exec != nil {
+		return c.Exec.RunUnits(c, units)
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(units))
 	// Index of the lowest failing unit observed so far; len(units) means
@@ -439,7 +489,7 @@ func (c *Context) RunParallel(units []WorkUnit) error {
 				if int64(i) > firstFailed.Load() {
 					return
 				}
-				if err := c.runUnit(tc, units[i]); err != nil {
+				if err := c.RunUnit(tc, units[i]); err != nil {
 					errs[i] = err
 					for {
 						cur := firstFailed.Load()
@@ -459,7 +509,10 @@ func (c *Context) RunParallel(units []WorkUnit) error {
 	return nil
 }
 
-func (c *Context) newTaskCtx(w int) *TaskCtx {
+// NewTaskCtx builds the execution state for virtual core w without binding a
+// scratch pool: the shared scheduler creates one per (query, virtual core)
+// and attaches a worker-owned pool via BindPool at each dispatch.
+func (c *Context) NewTaskCtx(w int) *TaskCtx {
 	tc := &TaskCtx{Ctx: c, CoreID: w}
 	if c.Mode == ModeDPU {
 		tc.Core = c.SoC.Core(w)
@@ -467,6 +520,11 @@ func (c *Context) newTaskCtx(w int) *TaskCtx {
 	} else {
 		tc.DMEM = mem.NewDMEMWithCapacity(c.SoC.Config().DMEMBytes)
 	}
+	return tc
+}
+
+func (c *Context) newTaskCtx(w int) *TaskCtx {
+	tc := c.NewTaskCtx(w)
 	if c.pools[w] == nil {
 		c.pools[w] = mem.NewTilePool()
 	}
@@ -474,7 +532,14 @@ func (c *Context) newTaskCtx(w int) *TaskCtx {
 	return tc
 }
 
-func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
+// RunUnit executes one work unit on its task context with full per-unit
+// accounting (scratch reset, span clock, cycle/transfer overlap). It is the
+// single execution path for both the context-owned run loops and the shared
+// scheduler's workers. A canceled query fails the unit before it starts.
+func (c *Context) RunUnit(tc *TaskCtx, u WorkUnit) error {
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("qef: work unit on core %d: %w", tc.CoreID, err)
+	}
 	c.CountMetric("qef_work_units_total", 1)
 	tc.transferSec = 0
 	tc.NoOverlap = false
@@ -526,6 +591,9 @@ func (c *Context) runUnit(tc *TaskCtx, u WorkUnit) error {
 // RunSerial executes one work unit on core 0 (coordinator work such as
 // final merges).
 func (c *Context) RunSerial(u WorkUnit) error {
+	if c.Exec != nil {
+		return c.Exec.RunUnits(c, []WorkUnit{u})
+	}
 	tc := c.newTaskCtx(0)
-	return c.runUnit(tc, u)
+	return c.RunUnit(tc, u)
 }

@@ -97,6 +97,37 @@ func TestMetamorphicTautology(t *testing.T) {
 	t.Logf("tautology: %d queries checked", checked)
 }
 
+// TestConcurrentDifferential is the scheduler-facing lane of the soak: every
+// generated query additionally runs on 6 concurrent sessions sharing the two
+// databases (and therefore their shared-SoC schedulers), each compared
+// against a serial host-oracle run. Run with -race to make it a scheduler
+// race detector as well as a differential check.
+func TestConcurrentDifferential(t *testing.T) {
+	n := *flagN / 4
+	if n < 30 {
+		n = 30
+	}
+	const parallel = 6
+	executed := 0
+	for scen := 0; executed < n; scen++ {
+		g := New(*flagSeed + 31337 + int64(scen)*1_000_003)
+		r, err := NewRunner(g.NewScenario())
+		if err != nil {
+			t.Fatalf("scenario %d: %v", scen, err)
+		}
+		for i := 0; i < queriesPerScenario && executed < n; i++ {
+			q := g.NextQuery()
+			if m := r.CheckConcurrent(q.SQL(), parallel); m != nil {
+				m.Minimized = r.Minimize(m.SQL)
+				t.Fatalf("%s", m.Reproducer())
+			}
+			executed++
+		}
+		r.Close()
+	}
+	t.Logf("concurrent: %d queries checked on %d simultaneous sessions", executed, parallel)
+}
+
 // TestGeneratorDeterminism pins the replayability contract: the same seed
 // must regenerate the identical scenario and query stream.
 func TestGeneratorDeterminism(t *testing.T) {

@@ -1,14 +1,17 @@
 package qgen
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rapid/internal/hostdb"
 	"rapid/internal/ops"
 	"rapid/internal/power"
 	"rapid/internal/qef"
+	"rapid/internal/sched"
 	"rapid/internal/storage"
 )
 
@@ -93,6 +96,13 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 		}
 	}
 	return r, nil
+}
+
+// Close stops the scheduler worker pools and background machinery of both
+// databases. The Runner is unusable afterwards.
+func (r *Runner) Close() {
+	r.primary.Close()
+	r.alt.Close()
 }
 
 // engineRun is one engine's outcome for a query.
@@ -201,6 +211,76 @@ func (r *Runner) CheckSQL(sql string) *Mismatch {
 		}
 		if d := diffBags(hostBag, bag(e.rel)); d != "" {
 			return r.mismatch("differential", sql, fmt.Sprintf("host vs %s: %s", e.name, d))
+		}
+	}
+	return nil
+}
+
+// CheckConcurrent executes the same SQL on `parallel` sessions at once —
+// cycling through the RAPID lanes, shared databases and all — and
+// differentially compares every concurrent result against a serial host
+// oracle run. Scheduler bugs (cross-query state leaks, tile-pool corruption,
+// accounting races under the shared SoC) surface as ordinary replayable
+// mismatches. A lane shed by admission control (ErrOverloaded) is tolerated:
+// load shedding is correct behavior, not a wrong answer.
+func (r *Runner) CheckConcurrent(sql string, parallel int) *Mismatch {
+	if parallel < 2 {
+		return nil
+	}
+	hres, herr := r.primary.Query(sql, engines[0].opts)
+	r.Executed++
+	if herr != nil {
+		// Rejection consistency across engines is already covered by the
+		// serial differential check; nothing to race here.
+		return nil
+	}
+	hostBag := bag(hres.Rel)
+
+	specs := engines[1:]
+	results := make([]engineRun, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		e := specs[i%len(specs)]
+		db := r.primary
+		if e.alt {
+			db = r.alt
+		}
+		wg.Add(1)
+		go func(slot int, name string, db *hostdb.Database, opts hostdb.QueryOptions) {
+			defer wg.Done()
+			res, err := db.Query(sql, opts)
+			switch {
+			case err != nil:
+				results[slot] = engineRun{name: name, err: err}
+			case res.FellBack:
+				results[slot] = engineRun{name: name, err: fmt.Errorf("RAPID execution fell back to host")}
+			default:
+				if perr := profErr(res); perr != nil {
+					results[slot] = engineRun{name: name, err: perr}
+				} else {
+					results[slot] = engineRun{name: name, rel: res.Rel}
+				}
+			}
+		}(i, e.name, db, e.opts)
+	}
+	wg.Wait()
+	r.Executed += parallel
+
+	for i, lane := range results {
+		if lane.err != nil {
+			if errors.Is(lane.err, sched.ErrOverloaded) {
+				continue
+			}
+			return r.mismatch("concurrent", sql, fmt.Sprintf(
+				"serial host executed but concurrent session %d (%s) failed: %v", i, lane.name, lane.err))
+		}
+		if lane.rel.NumCols() != hres.Rel.NumCols() {
+			return r.mismatch("concurrent", sql, fmt.Sprintf(
+				"column count host=%d session %d (%s)=%d", hres.Rel.NumCols(), i, lane.name, lane.rel.NumCols()))
+		}
+		if d := diffBags(hostBag, bag(lane.rel)); d != "" {
+			return r.mismatch("concurrent", sql, fmt.Sprintf(
+				"serial host vs concurrent session %d (%s): %s", i, lane.name, d))
 		}
 	}
 	return nil

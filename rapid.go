@@ -20,6 +20,7 @@
 package rapid
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -28,8 +29,14 @@ import (
 	"rapid/internal/encoding"
 	"rapid/internal/hostdb"
 	"rapid/internal/qef"
+	"rapid/internal/sched"
 	"rapid/internal/storage"
 )
+
+// ErrOverloaded is returned when the shared-SoC scheduler's admission queue
+// is full: the query was shed, not queued. Callers should retry with backoff
+// or reduce concurrency.
+var ErrOverloaded = sched.ErrOverloaded
 
 // Value is a logical cell value.
 type Value = storage.Value
@@ -109,6 +116,27 @@ type Options struct {
 	FailOnInadmissible bool
 }
 
+// SchedulerConfig tunes the shared-SoC scheduler every offloaded query of a
+// DB executes on. The zero value gives sensible defaults (32 virtual
+// dpCores, 8 concurrent queries, 64 queued).
+type SchedulerConfig struct {
+	// Workers is the number of shared virtual dpCores.
+	Workers int
+	// MaxConcurrent bounds the queries executing at once.
+	MaxConcurrent int
+	// MaxQueued bounds the admission queue; beyond it queries fail fast
+	// with ErrOverloaded.
+	MaxQueued int
+	// DMEMBudgetBytes bounds the aggregate scratchpad reservation of the
+	// admitted query set.
+	DMEMBudgetBytes int64
+}
+
+// Config tunes a database instance.
+type Config struct {
+	Scheduler SchedulerConfig
+}
+
 // DB is a RAPID-accelerated database: the System X host plus loaded RAPID
 // replicas.
 type DB struct {
@@ -116,7 +144,22 @@ type DB struct {
 }
 
 // Open creates an empty database.
-func Open() *DB { return &DB{host: hostdb.New()} }
+func Open() *DB { return OpenWith(Config{}) }
+
+// OpenWith creates an empty database with explicit configuration.
+func OpenWith(cfg Config) *DB {
+	sc := cfg.Scheduler
+	return &DB{host: hostdb.NewWithConfig(nil, sched.Config{
+		Workers:         sc.Workers,
+		MaxConcurrent:   sc.MaxConcurrent,
+		MaxQueued:       sc.MaxQueued,
+		DMEMBudgetBytes: sc.DMEMBudgetBytes,
+	})}
+}
+
+// Close stops the database's background machinery (checkpointer and the
+// scheduler's worker pool). Queries issued after Close fail.
+func (db *DB) Close() { db.host.Close() }
 
 // Host exposes the underlying host database (advanced use).
 func (db *DB) Host() *hostdb.Database { return db.host }
@@ -174,8 +217,20 @@ func (db *DB) Query(sql string) (*Result, error) {
 	return db.QueryWith(sql, Options{})
 }
 
+// QueryCtx runs a SQL query observing ctx: cancellation and deadlines take
+// effect while the query waits for admission and at every tile boundary of
+// execution, returning ctx.Err() promptly.
+func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	return db.QueryWithCtx(ctx, sql, Options{})
+}
+
 // QueryWith runs a SQL query with explicit options.
 func (db *DB) QueryWith(sql string, opts Options) (*Result, error) {
+	return db.QueryWithCtx(context.Background(), sql, opts)
+}
+
+// QueryWithCtx runs a SQL query with explicit options, observing ctx.
+func (db *DB) QueryWithCtx(ctx context.Context, sql string, opts Options) (*Result, error) {
 	qo := hostdb.QueryOptions{
 		FailOnInadmissible: opts.FailOnInadmissible,
 		RapidMode:          qef.ModeDPU,
@@ -193,7 +248,7 @@ func (db *DB) QueryWith(sql string, opts Options) (*Result, error) {
 		qo.Mode = hostdb.CostBased
 		qo.RapidMode = qef.ModeX86
 	}
-	r, err := db.host.Query(sql, qo)
+	r, err := db.host.QueryCtx(ctx, sql, qo)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +295,10 @@ func (r *Result) RapidFraction() float64 { return r.r.RapidFraction() }
 // SimulatedSeconds returns the DPU-simulated execution time (EngineRapidDPU
 // only; 0 otherwise).
 func (r *Result) SimulatedSeconds() float64 { return r.r.RapidSimSeconds }
+
+// QueueWait returns the time the query spent in the shared-SoC scheduler's
+// admission queue (zero for host-engine queries and immediate admissions).
+func (r *Result) QueueWait() time.Duration { return r.r.QueueWait }
 
 // Explain returns the bound logical plan.
 func (r *Result) Explain() string { return r.r.Explain }
