@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rapid/internal/bench"
@@ -39,6 +41,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write ModeDPU profiles of every TPC-H query as Chrome trace-event JSON to this file")
 	clients := flag.Int("clients", 0, "run the concurrency ladder up to this many simultaneous clients (0 = off)")
 	clientOps := flag.Int("client-ops", 8, "queries each client of the concurrency ladder issues")
+	trayNodes := flag.String("tray-nodes", "", "comma-separated tray node counts for the multi-node scaling experiment (e.g. 1,2,4,8; empty = off)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while the suite runs")
 	metricsOut := flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file")
 	flag.Parse()
@@ -65,7 +68,7 @@ func main() {
 		}
 	}
 
-	if *skipTPCH && *profilePath == "" && *tracePath == "" && *clients == 0 {
+	if *skipTPCH && *profilePath == "" && *tracePath == "" && *clients == 0 && *trayNodes == "" {
 		return
 	}
 	fmt.Printf("building TPC-H workload at SF %.3f...\n", *sf)
@@ -116,6 +119,23 @@ func main() {
 		}
 		t.AddNote("per-query latency includes admission queue wait; shed = queries rejected with ErrOverloaded")
 		fmt.Println(t)
+	}
+	if *trayNodes != "" {
+		var counts []int
+		for _, s := range strings.Split(*trayNodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "tray-nodes: bad node count %q\n", s)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		runs, err := bench.RunScaling(db, counts, []string{"Q1", "Q6", "Q12", "Q14"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RunScalingTable(runs))
 	}
 	if *profilePath != "" || *tracePath != "" {
 		if err := writeProfiles(db, *profilePath, *tracePath); err != nil {

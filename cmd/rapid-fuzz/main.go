@@ -7,12 +7,19 @@
 //
 // Usage:
 //
-//	rapid-fuzz [-n 10000] [-seed 1] [-parallel 0] [-keep-going] [-quiet]
+//	rapid-fuzz [-n 10000] [-seed 1] [-parallel 0] [-nodes ""] [-keep-going]
+//	           [-quiet]
 //
 // With -parallel K > 1, every generated query is additionally executed on K
 // concurrent sessions against the shared databases and each concurrent
 // result is compared to a serial host-oracle run, so shared-SoC scheduler
 // bugs surface as replayable reproducers.
+//
+// With -nodes (e.g. -nodes 1,2,4,8), every query also runs on multi-node
+// trays with all scenario tables hash-sharded, and each tray's result bag is
+// differentially compared against the host oracle — the distributed planner,
+// exchange operators and partial-aggregation merge get the same soak as the
+// single-node engine.
 //
 // Any failure is replayable with:
 //
@@ -23,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rapid/internal/qgen"
@@ -32,9 +41,22 @@ func main() {
 	n := flag.Int("n", 10000, "number of generated queries to check")
 	seed := flag.Int64("seed", 1, "master seed; fixed seed = identical run")
 	parallel := flag.Int("parallel", 0, "also run each query on K concurrent sessions and compare lanes (0 = off)")
+	nodes := flag.String("nodes", "", "comma-separated tray node counts for distributed differential lanes (e.g. 1,2,4,8; empty = off)")
 	keepGoing := flag.Bool("keep-going", false, "report every mismatch instead of stopping at the first")
 	quiet := flag.Bool("quiet", false, "suppress the periodic progress line")
 	flag.Parse()
+
+	var nodeCounts []int
+	if *nodes != "" {
+		for _, s := range strings.Split(*nodes, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || c < 1 {
+				fmt.Fprintf(os.Stderr, "-nodes: bad node count %q\n", s)
+				os.Exit(2)
+			}
+			nodeCounts = append(nodeCounts, c)
+		}
+	}
 
 	const perScenario = 20
 	start := time.Now()
@@ -55,6 +77,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scenario %d: %v\n", scen, err)
 			os.Exit(2)
+		}
+		if len(nodeCounts) > 0 {
+			if err := r.EnableTrays(nodeCounts); err != nil {
+				fmt.Fprintf(os.Stderr, "scenario %d: %v\n", scen, err)
+				os.Exit(2)
+			}
 		}
 		for i := 0; i < perScenario && executed < *n; i++ {
 			q := g.NextQuery()

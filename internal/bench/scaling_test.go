@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestQ6ScalingFloor is the ISSUE acceptance bar: sharding lineitem over 8
+// nodes must buy Q6 at least a 3x simulated-throughput speedup over the
+// 1-node tray.
+// The scale factor must be large enough that per-node scan work dominates
+// the tray's fixed costs (per-node sim floor + one gather message per
+// node); at SF 0.06 the modeled speedup is a deterministic 3.6x.
+func TestQ6ScalingFloor(t *testing.T) {
+	db, err := SetupTPCH(0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	runs, err := RunScaling(db, []int{1, 8}, []string{"Q6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ScalingSpeedup(runs, "Q6", 8); got < 3 {
+		t.Fatalf("Q6 1->8 node simulated speedup = %.2fx, want >= 3x", got)
+	}
+	tbl := RunScalingTable(runs)
+	if len(tbl.Rows) != len(runs) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(runs))
+	}
+}

@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rapid/internal/obs"
+	"rapid/internal/ops"
+	"rapid/internal/plan"
+	"rapid/internal/power"
+	"rapid/internal/qcomp"
+	"rapid/internal/qef"
+	"rapid/internal/sched"
+	"rapid/internal/sqlparse"
+)
+
+// QueryOptions tunes one tray query.
+type QueryOptions struct {
+	// Mode selects the per-node execution mode (ModeDPU simulates the SoC
+	// timing model, ModeX86 runs the same kernels natively).
+	Mode qef.Mode
+	// Analyze renders the distributed EXPLAIN ANALYZE trace into
+	// Result.Analyze. An `EXPLAIN ANALYZE <query>` SQL prefix sets it too.
+	Analyze bool
+}
+
+// NodeStats is one node's resource consumption for a query.
+type NodeStats struct {
+	Cycles        int64
+	DMSReadBytes  int64
+	DMSWriteBytes int64
+	SimSeconds    float64
+}
+
+// TrayEnergy is the energy decomposition of one distributed query:
+// per-node + coordinator activity, interconnect transfer energy, and the
+// idle floor of all N uncore domains over the query makespan.
+type TrayEnergy struct {
+	ActivityFJ int64 // dpCore cycles + DMS bytes, all nodes + coordinator
+	NetFJ      int64 // power.LinkEnergyFJ over every exchanged byte
+	IdleJ      float64
+}
+
+// TotalJoules returns the whole-tray energy of the query.
+func (e TrayEnergy) TotalJoules() float64 {
+	return float64(e.ActivityFJ+e.NetFJ)/power.FJPerJoule + e.IdleJ
+}
+
+// Result is the outcome of one distributed query.
+type Result struct {
+	Rel   *ops.Relation
+	Nodes int
+
+	// SimSeconds is the modeled distributed makespan: the slowest node's
+	// simulated time, plus the serialized interconnect time, plus the
+	// coordinator's merge time.
+	SimSeconds      float64
+	NodeSimSeconds  float64 // max over nodes
+	CoordSimSeconds float64
+	NetSeconds      float64
+
+	NetRows, NetBytes, NetTiles int64
+	Exchanges                   []ExchangeStats
+	PerNode                     []NodeStats
+	QueueWait                   time.Duration // max admission wait across nodes
+	Energy                      TrayEnergy
+
+	Explain string // logical plan (coordinator binding)
+	Analyze string // distributed EXPLAIN ANALYZE (when requested)
+}
+
+// query is the per-execution state of one distributed query: the node and
+// coordinator contexts, the cancellation fan-out, and the exchange trace.
+type query struct {
+	t    *Tray
+	reg  *obs.Registry
+	link LinkModel
+	mode qef.Mode
+
+	// outer is the caller's context; goCtx the derived cancelable context
+	// every node executes under. Any node failure calls cancel, tearing
+	// down the other nodes within one exchange tile / work unit.
+	outer  context.Context
+	goCtx  context.Context
+	cancel context.CancelFunc
+
+	nctx  []*qef.Context
+	coord *qef.Context
+
+	stats      []ExchangeStats
+	netSeconds float64
+	netBytes   int64
+	netRows    int64
+	netTiles   int64
+	steps      []string // execution-order trace for EXPLAIN ANALYZE
+}
+
+func (q *query) nodes() int { return len(q.nctx) }
+
+func (q *query) step(format string, args ...any) {
+	q.steps = append(q.steps, fmt.Sprintf(format, args...))
+}
+
+func stripExplainAnalyze(sql string) (string, bool) {
+	rest := strings.TrimSpace(sql)
+	fields := strings.Fields(rest)
+	if len(fields) >= 2 && strings.EqualFold(fields[0], "EXPLAIN") && strings.EqualFold(fields[1], "ANALYZE") {
+		idx := strings.Index(strings.ToUpper(rest), "ANALYZE") + len("ANALYZE")
+		return strings.TrimSpace(rest[idx:]), true
+	}
+	return sql, false
+}
+
+// Query executes a SQL query across the tray. See QueryCtx.
+func (t *Tray) Query(sql string, opts QueryOptions) (*Result, error) {
+	return t.QueryCtx(context.Background(), sql, opts)
+}
+
+// QueryCtx plans the query once at the coordinator, rewrites the plan into
+// N lockstep per-node copies over the shard replicas, admits the query on
+// every node's scheduler (all-or-nothing, in node order — ordered
+// acquisition keeps concurrent tray queries deadlock-free), executes
+// maximal node-local fragments in parallel with exchanges in between, and
+// merges at the coordinator. Canceling goCtx (or any node failing) cancels
+// every node within one exchange tile / scheduler work unit.
+func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	if inner, ok := stripExplainAnalyze(sql); ok {
+		sql = inner
+		opts.Analyze = true
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	// Bind once against node 0's shards — one join order for all nodes even
+	// when per-shard statistics differ — then rewrite per node.
+	scn := t.host.CurrentSCN()
+	bound, err := sqlparse.Bind(stmt, nodeCatalog{t: t, id: 0}, scn)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumNodes()
+	plans := make([]plan.Node, n)
+	for i := 0; i < n; i++ {
+		if plans[i], err = t.rewriteForNode(bound, i); err != nil {
+			return nil, err
+		}
+	}
+
+	qctx, cancel := context.WithCancel(goCtx)
+	defer cancel()
+	q := &query{
+		t: t, reg: t.reg, link: t.link, mode: opts.Mode,
+		outer: goCtx, goCtx: qctx, cancel: cancel,
+	}
+
+	// Per-node admission: each node's scheduler enforces its own
+	// concurrency and queue limits; a single overloaded node sheds the
+	// whole query (ErrOverloaded) after releasing what was admitted.
+	adms := make([]*sched.Admission, 0, n)
+	release := func() {
+		for _, a := range adms {
+			a.Release()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ctx := qef.NewContext(opts.Mode)
+		ctx.Metrics = t.reg
+		adm, aerr := t.nodes[i].sched.Admit(goCtx, sched.Request{Cores: ctx.Workers()})
+		if aerr != nil {
+			release()
+			return nil, aerr
+		}
+		adms = append(adms, adm)
+		ctx.SetGoContext(qctx)
+		ctx.Exec = adm
+		q.nctx = append(q.nctx, ctx)
+	}
+	defer release()
+	q.coord = qef.NewContext(opts.Mode)
+	q.coord.Metrics = t.reg
+	q.coord.SetGoContext(qctx)
+
+	rel, err := q.exec(plans)
+	if err != nil {
+		if cerr := goCtx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+
+	res := &Result{
+		Rel: rel, Nodes: n,
+		NetSeconds: q.netSeconds, NetRows: q.netRows, NetBytes: q.netBytes, NetTiles: q.netTiles,
+		Exchanges: q.stats,
+		Explain:   plan.Format(bound),
+	}
+	em := power.DefaultEnergyModel()
+	var totCycles, totRd, totWr int64
+	for i, ctx := range q.nctx {
+		cy := int64(ctx.SoC.TotalCycles())
+		rd, wr := ctx.DMS.TotalsByDir()
+		sim := ctx.SimElapsed()
+		res.PerNode = append(res.PerNode, NodeStats{
+			Cycles: cy, DMSReadBytes: rd.Bytes, DMSWriteBytes: wr.Bytes, SimSeconds: sim,
+		})
+		totCycles += cy
+		totRd += rd.Bytes
+		totWr += wr.Bytes
+		if sim > res.NodeSimSeconds {
+			res.NodeSimSeconds = sim
+		}
+		if w := adms[i].QueueWait(); w > res.QueueWait {
+			res.QueueWait = w
+		}
+	}
+	crd, cwr := q.coord.DMS.TotalsByDir()
+	totCycles += int64(q.coord.SoC.TotalCycles())
+	totRd += crd.Bytes
+	totWr += cwr.Bytes
+	res.CoordSimSeconds = q.coord.SimElapsed()
+	res.SimSeconds = res.NodeSimSeconds + res.NetSeconds + res.CoordSimSeconds
+
+	core, rdFJ, wrFJ := em.ActivityFJ(totCycles, totRd, totWr)
+	res.Energy = TrayEnergy{
+		ActivityFJ: core + rdFJ + wrFJ,
+		NetFJ:      power.LinkEnergyFJ(q.netBytes),
+		IdleJ:      float64(n) * em.UncoreIdleWatts * res.SimSeconds,
+	}
+
+	m := t.reg
+	m.Counter("rapid_dpcore_cycles_total").Add(totCycles)
+	m.Counter("rapid_dms_read_bytes_total").Add(totRd)
+	m.Counter("rapid_dms_write_bytes_total").Add(totWr)
+	m.Counter("rapid_sim_microseconds_total").Add(int64(res.SimSeconds * 1e6))
+	m.Counter("rapid_activity_energy_nanojoules_total").Add(res.Energy.ActivityFJ / 1e6)
+	m.Counter("rapid_idle_energy_nanojoules_total").Add(int64(res.Energy.IdleJ * 1e9))
+
+	if opts.Analyze {
+		res.Analyze = q.renderAnalyze(res)
+	}
+	return res, nil
+}
+
+// exec runs lockstep plan trees and returns the combined (coordinator-side)
+// result. Fragments below the first non-local operator run per node;
+// aggregations distribute as partials; everything else merges at the
+// coordinator.
+func (q *query) exec(nodes []plan.Node) (*ops.Relation, error) {
+	if err := q.goCtx.Err(); err != nil {
+		return nil, err
+	}
+	switch nodes[0].(type) {
+	case *plan.GroupBy:
+		rec, ok, err := q.tryLocal(childAt(nodes, 0))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return q.distributedGroupBy(nodes, rec)
+		}
+	case *plan.Scan, *plan.Filter, *plan.Project, *plan.Join:
+		rec, ok, err := q.tryLocal(nodes)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if rec.repl {
+				// Every node would produce the identical relation: run the
+				// fragment once and pull a single copy.
+				parts, err := q.materialize(rec, true, "fragment")
+				if err != nil {
+					return nil, err
+				}
+				return q.gather(parts[:1], "result")
+			}
+			parts, err := q.materialize(rec, false, "fragment")
+			if err != nil {
+				return nil, err
+			}
+			return q.gather(parts, "result")
+		}
+	}
+	return q.coordFragment(nodes)
+}
+
+// coordFragment executes one operator at the coordinator over the
+// (recursively distributed) results of its children.
+func (q *query) coordFragment(nodes []plan.Node) (*ops.Relation, error) {
+	n0 := nodes[0]
+	kids := n0.Children()
+	var inputs map[plan.Node]*ops.Relation
+	if len(kids) > 0 {
+		inputs = make(map[plan.Node]*ops.Relation, len(kids))
+		for k := range kids {
+			rel, err := q.exec(childAt(nodes, k))
+			if err != nil {
+				return nil, err
+			}
+			inputs[kids[k]] = rel
+		}
+	}
+	compiled, err := qcomp.CompileWithInputs(n0, inputs)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := compiled.Execute(q.coord)
+	if err != nil {
+		return nil, err
+	}
+	q.step("coordinator %s rows=%d", opName(n0), rel.Rows())
+	return rel, nil
+}
+
+// distributedGroupBy aggregates in two phases: exact per-node partials
+// (AVG lowered to SUM+COUNT, scalar aggregates carrying a __prows count so
+// empty shards can't poison MIN/MAX with their 0 sentinel), gathered and
+// folded at the coordinator with the same finalization arithmetic as the
+// single-node engine — distributed answers stay bit-identical.
+func (q *query) distributedGroupBy(nodes []plan.Node, rec *recipe) (*ops.Relation, error) {
+	n := q.nodes()
+	if rec.repl {
+		trees := make([]plan.Node, n)
+		for i := range trees {
+			gi := nodes[i].(*plan.GroupBy)
+			trees[i] = &plan.GroupBy{Input: rec.trees[i], Keys: gi.Keys, Aggs: gi.Aggs}
+		}
+		parts, err := q.runNodes(trees, rec.leaves, "group-by (replicated)", true)
+		if err != nil {
+			return nil, err
+		}
+		return q.gather(parts[:1], "result")
+	}
+	trees := make([]plan.Node, n)
+	for i := range trees {
+		gi := nodes[i].(*plan.GroupBy)
+		trees[i] = &plan.GroupBy{Input: rec.trees[i], Keys: gi.Keys, Aggs: partialAggs(gi)}
+	}
+	parts, err := q.runNodes(trees, rec.leaves, "partial group-by", false)
+	if err != nil {
+		return nil, err
+	}
+	gathered, err := q.gather(parts, "partials")
+	if err != nil {
+		return nil, err
+	}
+	out, err := q.mergePartials(nodes[0].(*plan.GroupBy), gathered)
+	if err != nil {
+		return nil, err
+	}
+	q.step("merge group-by groups=%d", out.Rows())
+	return out, nil
+}
+
+// materialize executes a recipe's per-node trees, returning one relation
+// per node (only node 0 when only0 — replicated fragments need a single
+// execution).
+func (q *query) materialize(rec *recipe, only0 bool, label string) ([]*ops.Relation, error) {
+	return q.runNodes(rec.trees, rec.leaves, label, only0)
+}
+
+// runNodes compiles and executes one plan tree per node concurrently, each
+// on its own node context (its scheduler's worker pool in ModeDPU). The
+// first failing node cancels the shared query context, stopping the others
+// at their next tile or work-unit boundary.
+func (q *query) runNodes(trees []plan.Node, leaves []map[plan.Node]*ops.Relation, label string, only0 bool) ([]*ops.Relation, error) {
+	n := len(trees)
+	count := n
+	if only0 {
+		count = 1
+	}
+	res := make([]*ops.Relation, n)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			compiled, err := qcomp.CompileWithInputs(trees[i], leaves[i])
+			if err == nil {
+				res[i], err = compiled.Execute(q.nctx[i])
+			}
+			if err != nil {
+				errs[i] = err
+				q.cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := q.pickError(errs); err != nil {
+		return nil, err
+	}
+	rows := make([]int64, count)
+	for i := 0; i < count; i++ {
+		rows[i] = int64(res[i].Rows())
+	}
+	q.step("fragment %s rows/node=%v", label, rows)
+	return res, nil
+}
+
+// pickError prefers a root-cause error over the cancellations it fanned
+// out: the caller's own cancellation wins, then any non-context node error,
+// then the first context error.
+func (q *query) pickError(errs []error) error {
+	var anyErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if anyErr == nil {
+			anyErr = e
+		}
+		if !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			return e
+		}
+	}
+	if anyErr != nil {
+		if err := q.outer.Err(); err != nil {
+			return err
+		}
+	}
+	return anyErr
+}
+
+func opName(n plan.Node) string {
+	s := n.String()
+	if i := strings.IndexAny(s, "(["); i > 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,440 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rapid/internal/ops"
+	"rapid/internal/plan"
+	"rapid/internal/storage"
+)
+
+// The distributed planner works on N lockstep plan trees — nodes[i] is node
+// i's structurally-identical copy of the query plan, differing only in
+// which shard its Scan leaves read (rewriteForNode). tryLocal classifies a
+// subtree's locality bottom-up: a fragment is node-local when every node
+// can execute its copy over its own shards and the union of the per-node
+// results equals the global result. Partitioned joins that are not
+// co-located get exchange operators spliced in as materialized relation
+// leaves (relLeaf), executed eagerly — the tray's version of the paper's
+// "maximally push work to where the data lives".
+
+// relLeaf is a plan leaf over an exchange output; CompileWithInputs maps it
+// to a qcomp relation node.
+type relLeaf struct {
+	rel *ops.Relation
+	fs  []plan.Field
+}
+
+func newRelLeaf(rel *ops.Relation) *relLeaf {
+	fs := make([]plan.Field, len(rel.Cols))
+	for i, c := range rel.Cols {
+		fs[i] = plan.Field{Name: c.Name, Type: c.Type, Dict: c.Dict}
+	}
+	return &relLeaf{rel: rel, fs: fs}
+}
+
+func (r *relLeaf) Schema() []plan.Field  { return r.fs }
+func (r *relLeaf) Children() []plan.Node { return nil }
+func (r *relLeaf) String() string        { return fmt.Sprintf("Exchange[rows=%d]", r.rel.Rows()) }
+
+// rewriteForNode derives node i's lockstep plan from the coordinator-bound
+// tree: Scans are re-targeted at node i's shard replica, everything else is
+// shallow-copied with the same (immutable) expressions. Binding once and
+// rewriting — instead of binding per node — keeps the join order identical
+// on every node even when shard statistics differ.
+func (t *Tray) rewriteForNode(n plan.Node, nodeID int) (plan.Node, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		shard, err := t.shardFor(nodeID, node.Table.Name())
+		if err != nil {
+			return nil, err
+		}
+		return plan.NewScan(shard, node.SCN, append([]int(nil), node.Cols...)), nil
+	case *plan.Filter:
+		in, err := t.rewriteForNode(node.Input, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Filter{Input: in, Pred: node.Pred}, nil
+	case *plan.Project:
+		in, err := t.rewriteForNode(node.Input, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Project{Input: in, Exprs: node.Exprs, Names: node.Names}, nil
+	case *plan.Join:
+		l, err := t.rewriteForNode(node.Left, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.rewriteForNode(node.Right, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Join{Type: node.Type, Left: l, Right: r, LeftKeys: node.LeftKeys, RightKeys: node.RightKeys}, nil
+	case *plan.GroupBy:
+		in, err := t.rewriteForNode(node.Input, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.GroupBy{Input: in, Keys: node.Keys, Aggs: node.Aggs}, nil
+	case *plan.Sort:
+		in, err := t.rewriteForNode(node.Input, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Sort{Input: in, Keys: node.Keys}, nil
+	case *plan.Limit:
+		in, err := t.rewriteForNode(node.Input, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Limit{Input: in, K: node.K}, nil
+	case *plan.SetOp:
+		l, err := t.rewriteForNode(node.Left, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.rewriteForNode(node.Right, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.SetOp{Kind: node.Kind, Left: l, Right: r}, nil
+	case *plan.Window:
+		in, err := t.rewriteForNode(node.Input, nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Window{Input: in, Func: node.Func, PartitionBy: node.PartitionBy,
+			OrderBy: node.OrderBy, ValueCol: node.ValueCol, Name: node.Name}, nil
+	}
+	return nil, fmt.Errorf("cluster: cannot distribute plan node %T", n)
+}
+
+// recipe is a node-local execution plan for one subtree: per-node trees to
+// compile (possibly with relLeaf exchange inputs) plus the partitioning
+// state of the combined output.
+type recipe struct {
+	// repl: every node produces the identical full result (subtree touches
+	// only replicated tables).
+	repl bool
+	// partCol is the output column every node's rows are partitioned on
+	// (-1 unknown/row-sliced); part is the partition function. Valid only
+	// when !repl.
+	partCol int
+	part    *storage.ShardMap
+	trees   []plan.Node
+	leaves  []map[plan.Node]*ops.Relation
+}
+
+func childAt(nodes []plan.Node, k int) []plan.Node {
+	out := make([]plan.Node, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Children()[k]
+	}
+	return out
+}
+
+func mergeLeaves(a, b []map[plan.Node]*ops.Relation) []map[plan.Node]*ops.Relation {
+	out := make([]map[plan.Node]*ops.Relation, len(a))
+	for i := range a {
+		m := make(map[plan.Node]*ops.Relation, len(a[i])+len(b[i]))
+		for k, v := range a[i] {
+			m[k] = v
+		}
+		for k, v := range b[i] {
+			m[k] = v
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func emptyLeaves(n int) []map[plan.Node]*ops.Relation {
+	return make([]map[plan.Node]*ops.Relation, n)
+}
+
+// alignedKey returns the join-key index whose column is the recipe's
+// partition column, or -1: the side is already partitioned on that key.
+func alignedKey(rec *recipe, keys []int) int {
+	if rec.repl || rec.partCol < 0 || rec.part == nil {
+		return -1
+	}
+	for k, c := range keys {
+		if c == rec.partCol {
+			return k
+		}
+	}
+	return -1
+}
+
+// tryLocal classifies the subtree and, when it is node-local (possibly
+// after exchanges), returns the per-node recipe. Exchanges are executed
+// eagerly here — by the time a recipe is returned, its relLeaf inputs are
+// materialized and distributed.
+func (q *query) tryLocal(nodes []plan.Node) (*recipe, bool, error) {
+	n := q.nodes()
+	switch n0 := nodes[0].(type) {
+	case *plan.Scan:
+		sm := n0.Table.ShardMap()
+		if sm == nil {
+			return nil, false, fmt.Errorf("cluster: table %q carries no shard map", n0.Table.Name())
+		}
+		rec := &recipe{
+			repl:    sm.Policy == storage.Replicated,
+			partCol: -1,
+			trees:   append([]plan.Node(nil), nodes...),
+			leaves:  emptyLeaves(n),
+		}
+		if !rec.repl {
+			for ci, c := range n0.Cols {
+				if c == sm.Key {
+					rec.partCol, rec.part = ci, sm
+					break
+				}
+			}
+		}
+		return rec, true, nil
+
+	case *plan.Filter:
+		child, ok, err := q.tryLocal(childAt(nodes, 0))
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		trees := make([]plan.Node, n)
+		for i := range trees {
+			trees[i] = &plan.Filter{Input: child.trees[i], Pred: nodes[i].(*plan.Filter).Pred}
+		}
+		return &recipe{repl: child.repl, partCol: child.partCol, part: child.part,
+			trees: trees, leaves: child.leaves}, true, nil
+
+	case *plan.Project:
+		child, ok, err := q.tryLocal(childAt(nodes, 0))
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		partCol := -1
+		if !child.repl && child.partCol >= 0 {
+			for j, e := range n0.Exprs {
+				if cr, isRef := e.(*plan.ColRef); isRef && cr.Idx == child.partCol {
+					partCol = j
+					break
+				}
+			}
+		}
+		part := child.part
+		if partCol < 0 {
+			part = nil
+		}
+		trees := make([]plan.Node, n)
+		for i := range trees {
+			pi := nodes[i].(*plan.Project)
+			trees[i] = &plan.Project{Input: child.trees[i], Exprs: pi.Exprs, Names: pi.Names}
+		}
+		return &recipe{repl: child.repl, partCol: partCol, part: part,
+			trees: trees, leaves: child.leaves}, true, nil
+
+	case *plan.Join:
+		l, ok, err := q.tryLocal(childAt(nodes, 0))
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		r, ok, err := q.tryLocal(childAt(nodes, 1))
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		return q.localizeJoin(nodes, l, r)
+	}
+	return nil, false, nil
+}
+
+// joinTrees assembles per-node join copies over the given child trees.
+func joinTrees(nodes []plan.Node, lt, rt []plan.Node) []plan.Node {
+	out := make([]plan.Node, len(nodes))
+	for i := range nodes {
+		ji := nodes[i].(*plan.Join)
+		out[i] = &plan.Join{Type: ji.Type, Left: lt[i], Right: rt[i],
+			LeftKeys: ji.LeftKeys, RightKeys: ji.RightKeys}
+	}
+	return out
+}
+
+// leafTrees turns per-node relations into relLeaf plan nodes plus their
+// input bindings. shared, when non-nil, binds the one relation to every
+// node (broadcast output) and parts is ignored.
+func leafTrees(n int, parts []*ops.Relation, shared *ops.Relation) ([]plan.Node, []map[plan.Node]*ops.Relation) {
+	trees := make([]plan.Node, n)
+	leaves := make([]map[plan.Node]*ops.Relation, n)
+	for i := 0; i < n; i++ {
+		rel := shared
+		if rel == nil {
+			rel = parts[i]
+		}
+		leaf := newRelLeaf(rel)
+		trees[i] = leaf
+		leaves[i] = map[plan.Node]*ops.Relation{leaf: rel}
+	}
+	return trees, leaves
+}
+
+// localizeJoin distributes a join whose two children are node-local,
+// inserting exchanges where the sides are not co-located:
+//
+//	repl ⋈ repl                       → local, replicated
+//	part ⋈ part, co-partitioned on key → local (the co-location fast path)
+//	part ⋈ repl                       → local, partitioned like the left
+//	repl ⋈ part, inner                → local, partitioned like the right
+//	repl ⋈ part, semi/anti/louter     → broadcast right + row-slice left
+//	                                    (probing per node would duplicate)
+//	part ⋈ part, one side aligned     → shuffle the other side to it
+//	part ⋈ part, neither aligned      → shuffle both by the join key, or
+//	                                    broadcast the small side when that
+//	                                    moves fewer bytes
+func (q *query) localizeJoin(nodes []plan.Node, l, r *recipe) (*recipe, bool, error) {
+	n := q.nodes()
+	j0 := nodes[0].(*plan.Join)
+	inner := j0.Type == plan.InnerJoin
+	nLeft := len(j0.Left.Schema())
+
+	switch {
+	case l.repl && r.repl:
+		return &recipe{repl: true, partCol: -1,
+			trees: joinTrees(nodes, l.trees, r.trees), leaves: mergeLeaves(l.leaves, r.leaves)}, true, nil
+
+	case !l.repl && !r.repl:
+		// Co-partitioned on a shared join key?
+		for k := range j0.LeftKeys {
+			if j0.LeftKeys[k] == l.partCol && j0.RightKeys[k] == r.partCol && l.part.SameFunction(r.part) {
+				return &recipe{partCol: l.partCol, part: l.part,
+					trees: joinTrees(nodes, l.trees, r.trees), leaves: mergeLeaves(l.leaves, r.leaves)}, true, nil
+			}
+		}
+		if k := alignedKey(l, j0.LeftKeys); k >= 0 {
+			// Left already lives on its join key: move only the right side.
+			rparts, err := q.materialize(r, false, "shuffle input")
+			if err != nil {
+				return nil, false, err
+			}
+			shuffled, err := q.shuffle(rparts, j0.RightKeys[k], l.part,
+				fmt.Sprintf("right by key[%d] to %s", k, l.part.Policy))
+			if err != nil {
+				return nil, false, err
+			}
+			rt, rl := leafTrees(n, shuffled, nil)
+			return &recipe{partCol: l.partCol, part: l.part,
+				trees: joinTrees(nodes, l.trees, rt), leaves: mergeLeaves(l.leaves, rl)}, true, nil
+		}
+		if k := alignedKey(r, j0.RightKeys); k >= 0 {
+			lparts, err := q.materialize(l, false, "shuffle input")
+			if err != nil {
+				return nil, false, err
+			}
+			shuffled, err := q.shuffle(lparts, j0.LeftKeys[k], r.part,
+				fmt.Sprintf("left by key[%d] to %s", k, r.part.Policy))
+			if err != nil {
+				return nil, false, err
+			}
+			lt, ll := leafTrees(n, shuffled, nil)
+			return &recipe{partCol: j0.LeftKeys[k], part: r.part,
+				trees: joinTrees(nodes, lt, r.trees), leaves: mergeLeaves(ll, r.leaves)}, true, nil
+		}
+		// Neither side aligned: materialize both, then pick the cheaper of
+		// shuffling both by the first key pair or broadcasting one side.
+		lparts, err := q.materialize(l, false, "exchange input")
+		if err != nil {
+			return nil, false, err
+		}
+		rparts, err := q.materialize(r, false, "exchange input")
+		if err != nil {
+			return nil, false, err
+		}
+		var bytesL, bytesR int64
+		for i := 0; i < n; i++ {
+			bytesL += relBytes(lparts[i])
+			bytesR += relBytes(rparts[i])
+		}
+		shuffleCost := (bytesL + bytesR) / int64(n) * int64(n-1)
+		bcastRCost := bytesR * int64(n-1)
+		bcastLCost := bytesL * int64(n-1)
+		if bcastRCost < shuffleCost && bcastRCost <= bcastLCost {
+			full, err := q.broadcast(rparts, "right (small side)")
+			if err != nil {
+				return nil, false, err
+			}
+			lt, ll := leafTrees(n, lparts, nil)
+			rt, rl := leafTrees(n, nil, full)
+			return &recipe{partCol: l.partCol, part: l.part,
+				trees: joinTrees(nodes, lt, rt), leaves: mergeLeaves(ll, rl)}, true, nil
+		}
+		if inner && bcastLCost < shuffleCost {
+			full, err := q.broadcast(lparts, "left (small side)")
+			if err != nil {
+				return nil, false, err
+			}
+			lt, ll := leafTrees(n, nil, full)
+			rt, rl := leafTrees(n, rparts, nil)
+			partCol := -1
+			if r.partCol >= 0 {
+				partCol = nLeft + r.partCol
+			}
+			return &recipe{partCol: partCol, part: r.part,
+				trees: joinTrees(nodes, lt, rt), leaves: mergeLeaves(ll, rl)}, true, nil
+		}
+		hash := &storage.ShardMap{Policy: storage.HashSharded, Key: 0, Nodes: n}
+		ls, err := q.shuffle(lparts, j0.LeftKeys[0], hash, "left by join key")
+		if err != nil {
+			return nil, false, err
+		}
+		rs, err := q.shuffle(rparts, j0.RightKeys[0], hash, "right by join key")
+		if err != nil {
+			return nil, false, err
+		}
+		lt, ll := leafTrees(n, ls, nil)
+		rt, rl := leafTrees(n, rs, nil)
+		return &recipe{partCol: j0.LeftKeys[0], part: hash,
+			trees: joinTrees(nodes, lt, rt), leaves: mergeLeaves(ll, rl)}, true, nil
+
+	case !l.repl: // left partitioned, right replicated: probe stays put.
+		return &recipe{partCol: l.partCol, part: l.part,
+			trees: joinTrees(nodes, l.trees, r.trees), leaves: mergeLeaves(l.leaves, r.leaves)}, true, nil
+
+	default: // left replicated, right partitioned
+		if inner {
+			partCol := -1
+			if r.partCol >= 0 {
+				partCol = nLeft + r.partCol
+			}
+			return &recipe{partCol: partCol, part: r.part,
+				trees: joinTrees(nodes, l.trees, r.trees), leaves: mergeLeaves(l.leaves, r.leaves)}, true, nil
+		}
+		// Semi/anti/left-outer with a replicated probe side: per-node
+		// probing would emit each left row once per node. Broadcast the
+		// right side so every node sees the full build input, and slice the
+		// replicated left by row index so each left row is probed exactly
+		// once (a free "virtual repartition" — the copies are already
+		// everywhere, no bytes move).
+		rparts, err := q.materialize(r, false, "broadcast input")
+		if err != nil {
+			return nil, false, err
+		}
+		full, err := q.broadcast(rparts, "right (build side)")
+		if err != nil {
+			return nil, false, err
+		}
+		lparts, err := q.materialize(l, false, "replicated probe")
+		if err != nil {
+			return nil, false, err
+		}
+		trees := make([]plan.Node, n)
+		leaves := make([]map[plan.Node]*ops.Relation, n)
+		for i := 0; i < n; i++ {
+			lleaf := newRelLeaf(sliceModulo(lparts[i], i, n))
+			rleaf := newRelLeaf(full)
+			ji := nodes[i].(*plan.Join)
+			trees[i] = &plan.Join{Type: ji.Type, Left: lleaf, Right: rleaf,
+				LeftKeys: ji.LeftKeys, RightKeys: ji.RightKeys}
+			leaves[i] = map[plan.Node]*ops.Relation{lleaf: lleaf.rel, rleaf: full}
+		}
+		return &recipe{partCol: -1, trees: trees, leaves: leaves}, true, nil
+	}
+}

@@ -1,0 +1,186 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rapid/internal/cluster"
+	"rapid/internal/coltypes"
+	"rapid/internal/hostdb"
+	"rapid/internal/storage"
+)
+
+// shardRows reads every row of a shard back as logical int64 tuples.
+func shardRows(st *storage.Table) [][]int64 {
+	var out [][]int64
+	for p := 0; p < st.NumPartitions(); p++ {
+		part := st.Partition(p)
+		for ci := 0; ci < part.NumChunks(); ci++ {
+			ch := part.Chunk(ci)
+			for r := 0; r < ch.Rows(); r++ {
+				row := make([]int64, ch.NumCols())
+				for c := 0; c < ch.NumCols(); c++ {
+					row[c] = ch.Col(c).Data().Get(r)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+func tupleBag(rows [][]int64) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameTupleBags(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkShardMap verifies the completeness invariant for one loaded table:
+// every host row lives on exactly one node (the one its key routes to), and
+// nothing else does.
+func checkShardMap(t *testing.T, tray *cluster.Tray, want [][]int64) bool {
+	t.Helper()
+	sm := tray.ShardMapOf("pt")
+	if sm == nil {
+		t.Log("no shard map after load")
+		return false
+	}
+	if err := sm.Validate(); err != nil {
+		t.Logf("invalid shard map: %v", err)
+		return false
+	}
+	var all [][]int64
+	for i := 0; i < tray.NumNodes(); i++ {
+		rows := shardRows(tray.Shard("pt", i))
+		for _, r := range rows {
+			if owner := sm.NodeFor(r[sm.Key]); owner != i {
+				t.Logf("row %v on node %d but NodeFor(%d) = %d", r, i, r[sm.Key], owner)
+				return false
+			}
+		}
+		all = append(all, rows...)
+	}
+	// Row-count equality plus multiset equality: together they say every
+	// host row appears on exactly one node, no duplicates, no strays.
+	if len(all) != len(want) {
+		t.Logf("shards hold %d rows, host has %d", len(all), len(want))
+		return false
+	}
+	if !sameTupleBags(tupleBag(all), tupleBag(want)) {
+		t.Log("shard union is not the host multiset")
+		return false
+	}
+	return true
+}
+
+// TestShardMapCompletenessProperty is the testing/quick property battery for
+// the shard loader: for random data, node counts and policies, (a) every
+// host row lands on exactly one node and that node is NodeFor(key), (b) the
+// union of shards is exactly the host multiset, and (c) mutating the host
+// table and re-loading round-trips the new contents the same way.
+func TestShardMapCompletenessProperty(t *testing.T) {
+	prop := func(keys []int16, width uint8, useRange bool) bool {
+		n := 2 + int(width)%7 // 2..8 nodes
+		db := hostdb.New()
+		defer db.Close()
+		schema := storage.MustSchema(
+			storage.ColumnDef{Name: "k", Type: coltypes.Int()},
+			storage.ColumnDef{Name: "a", Type: coltypes.Int()},
+			storage.ColumnDef{Name: "b", Type: coltypes.Int()},
+		)
+		if _, err := db.CreateTable("pt", schema); err != nil {
+			t.Log(err)
+			return false
+		}
+		var want [][]int64
+		rows := make([][]storage.Value, len(keys))
+		for i, k := range keys {
+			tuple := []int64{int64(k), int64(i), int64(k) * 3}
+			want = append(want, tuple)
+			rows[i] = []storage.Value{
+				storage.IntValue(tuple[0]), storage.IntValue(tuple[1]), storage.IntValue(tuple[2]),
+			}
+		}
+		if len(rows) > 0 {
+			if _, err := db.Insert("pt", rows); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if _, err := db.Load("pt", hostdb.LoadOptions{}); err != nil {
+			t.Log(err)
+			return false
+		}
+
+		tray, err := cluster.New(db, cluster.Config{Nodes: n})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer tray.Close()
+		spec := &cluster.ShardSpec{Policy: storage.HashSharded, Key: 0}
+		if useRange {
+			spec.Policy = storage.RangeSharded
+			// Equal-width int16 split points: strictly ascending, len n-1.
+			for i := 1; i < n; i++ {
+				spec.Bounds = append(spec.Bounds, -32768+int64(i)*65536/int64(n))
+			}
+		}
+		if err := tray.Load("pt", spec); err != nil {
+			t.Log(err)
+			return false
+		}
+		if !checkShardMap(t, tray, want) {
+			return false
+		}
+
+		// Round-trip: mutate the host table, re-load, and the shards must
+		// describe the new multiset under the same routing.
+		extra := make([][]storage.Value, 0, len(keys)+1)
+		for i, k := range keys {
+			tuple := []int64{int64(k) + 1, int64(i) + 1000, int64(k)}
+			want = append(want, tuple)
+			extra = append(extra, []storage.Value{
+				storage.IntValue(tuple[0]), storage.IntValue(tuple[1]), storage.IntValue(tuple[2]),
+			})
+		}
+		tuple := []int64{7, -1, 21}
+		want = append(want, tuple)
+		extra = append(extra, []storage.Value{
+			storage.IntValue(tuple[0]), storage.IntValue(tuple[1]), storage.IntValue(tuple[2]),
+		})
+		if _, err := db.Insert("pt", extra); err != nil {
+			t.Log(err)
+			return false
+		}
+		if _, err := db.Load("pt", hostdb.LoadOptions{}); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := tray.Load("pt", spec); err != nil {
+			t.Log(err)
+			return false
+		}
+		return checkShardMap(t, tray, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/hostdb"
+	"rapid/internal/obs"
+	"rapid/internal/sched"
+	"rapid/internal/sqlparse"
+	"rapid/internal/storage"
+)
+
+// Config tunes a tray.
+type Config struct {
+	// Nodes is the tray width (>= 1).
+	Nodes int
+	// ReplicateMaxRows is the auto-sharding threshold: tables at or below
+	// it are replicated to every node, larger ones hash-sharded on column
+	// 0. Default 64; negative disables replication (everything shards).
+	ReplicateMaxRows int
+	// Link overrides the interconnect model (zero fields take defaults).
+	Link LinkModel
+	// Sched configures each node's shared-SoC scheduler (every node gets
+	// its own pool; the Metrics field is overridden with the tray registry).
+	Sched sched.Config
+	// Metrics receives the tray's telemetry (net_* and per-node rapid_*
+	// counters). Nil allocates a fresh registry.
+	Metrics *obs.Registry
+}
+
+// ShardSpec requests an explicit sharding for one table.
+type ShardSpec struct {
+	Policy storage.ShardPolicy
+	Key    int     // sharding column (HashSharded/RangeSharded)
+	Bounds []int64 // RangeSharded split points (ascending, len Nodes-1)
+}
+
+// node is one tray member: a full SoC with its own scheduler/worker pool.
+// Its table shards live in the tray's shared state (trayTable.shards[id]).
+type node struct {
+	id    int
+	sched *sched.Scheduler
+}
+
+// trayTable is the tray-side state of one loaded logical table.
+type trayTable struct {
+	shard   *storage.ShardMap
+	spec    *ShardSpec // nil = auto; re-applied on reload
+	shards  []*storage.Table
+	loadSCN uint64 // host SCN the shards were built at
+}
+
+// Tray is an N-node RAPID cluster in front of one System X host database.
+// The host remains the source of truth; Load builds per-node shard
+// replicas (sharing the host dictionaries, so encoded values compare
+// across nodes), and Query executes distributed plans over them.
+type Tray struct {
+	host *hostdb.Database
+	reg  *obs.Registry
+	link LinkModel
+	cfg  Config
+
+	nodes []*node
+
+	mu     sync.Mutex
+	tables map[string]*trayTable
+
+	closed bool
+}
+
+// New builds a tray of cfg.Nodes full SoC nodes over the host database.
+func New(host *hostdb.Database, cfg Config) (*Tray, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: tray needs Nodes >= 1, got %d", cfg.Nodes)
+	}
+	if cfg.ReplicateMaxRows == 0 {
+		cfg.ReplicateMaxRows = 64
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	t := &Tray{
+		host:   host,
+		reg:    reg,
+		link:   cfg.Link.withDefaults(),
+		cfg:    cfg,
+		tables: make(map[string]*trayTable),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		sc := cfg.Sched
+		sc.Metrics = reg
+		t.nodes = append(t.nodes, &node{id: i, sched: sched.New(sc)})
+	}
+	t.describeMetrics()
+	return t, nil
+}
+
+func (t *Tray) describeMetrics() {
+	t.reg.Describe("rapid_net_exchanges_total", "Exchange operators executed on the tray interconnect.")
+	t.reg.Describe("rapid_net_shuffles_total", "Shuffle exchanges executed.")
+	t.reg.Describe("rapid_net_broadcasts_total", "Broadcast exchanges executed.")
+	t.reg.Describe("rapid_net_gathers_total", "Gather exchanges executed.")
+	t.reg.Describe("rapid_net_rows_total", "Rows moved across tray nodes (co-located deliveries excluded).")
+	t.reg.Describe("rapid_net_bytes_total", "Bytes moved across tray nodes in the widened 8-byte exchange format.")
+	t.reg.Describe("rapid_net_tiles_total", "Link messages (exchange tiles) sent between tray nodes.")
+	t.reg.Describe("rapid_net_microseconds_total", "Modeled serialized interconnect time.")
+	t.reg.Describe("rapid_net_energy_nanojoules_total", "Interconnect transfer energy (LinkFJPerByte).")
+}
+
+// NumNodes returns the tray width.
+func (t *Tray) NumNodes() int { return len(t.nodes) }
+
+// Host returns the backing host database.
+func (t *Tray) Host() *hostdb.Database { return t.host }
+
+// Metrics returns the tray's telemetry registry.
+func (t *Tray) Metrics() *obs.Registry { return t.reg }
+
+// Link returns the effective interconnect model.
+func (t *Tray) Link() LinkModel { return t.link }
+
+// NodeScheduler exposes node i's scheduler (tests occupy admission slots
+// through it).
+func (t *Tray) NodeScheduler(i int) *sched.Scheduler { return t.nodes[i].sched }
+
+// Close stops every node's worker pool. In-flight queries fail with
+// sched.ErrClosed.
+func (t *Tray) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	for _, n := range t.nodes {
+		n.sched.Close()
+	}
+}
+
+// Load builds (or rebuilds) the per-node shard replicas of a host table.
+// spec nil auto-shards: tables with at most ReplicateMaxRows rows are
+// replicated, larger ones hash-sharded on column 0.
+func (t *Tray) Load(table string, spec *ShardSpec) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.loadLocked(table, spec)
+}
+
+func (t *Tray) loadLocked(table string, spec *ShardSpec) error {
+	ht, err := t.host.Table(table)
+	if err != nil {
+		return err
+	}
+	loadSCN := t.host.CurrentSCN()
+	rows := ht.LiveValues()
+	n := len(t.nodes)
+
+	sm := &storage.ShardMap{Nodes: n}
+	switch {
+	case spec != nil:
+		sm.Policy, sm.Key = spec.Policy, spec.Key
+		sm.Bounds = append([]int64(nil), spec.Bounds...)
+	case t.cfg.ReplicateMaxRows >= 0 && len(rows) <= t.cfg.ReplicateMaxRows:
+		sm.Policy = storage.Replicated
+	default:
+		sm.Policy, sm.Key = storage.HashSharded, 0
+	}
+	if err := sm.Validate(); err != nil {
+		return err
+	}
+
+	// Every shard builder shares the host dictionaries: identical string
+	// codes on every node make group keys, sort ranks and bound literals
+	// comparable without recoding.
+	opts := storage.BuildOptions{ChunkRows: storage.DefaultChunkRows, SharedDicts: ht.Dicts()}
+	builders := make([]*storage.TableBuilder, n)
+	for i := range builders {
+		builders[i] = storage.NewTableBuilder(table, ht.Schema(), opts)
+	}
+	for _, vals := range rows {
+		if sm.Policy == storage.Replicated {
+			for _, b := range builders {
+				if err := b.Append(vals); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		encVal, err := encodeShardKey(ht, sm.Key, vals[sm.Key])
+		if err != nil {
+			return err
+		}
+		if err := builders[sm.NodeFor(encVal)].Append(vals); err != nil {
+			return err
+		}
+	}
+	tt := &trayTable{shard: sm, spec: spec, loadSCN: loadSCN, shards: make([]*storage.Table, n)}
+	for i, b := range builders {
+		st, err := b.Build()
+		if err != nil {
+			return err
+		}
+		st.SetShardMap(sm)
+		tt.shards[i] = st
+	}
+	t.tables[table] = tt
+	return nil
+}
+
+// encodeShardKey maps a logical value onto the encoded int64 domain the
+// shard map routes on — the same encoding the builders store, so the map's
+// placement always agrees with the shard contents.
+func encodeShardKey(ht *hostdb.HostTable, col int, v storage.Value) (int64, error) {
+	def := ht.Schema().Col(col)
+	switch def.Type.Kind {
+	case coltypes.KindString:
+		return int64(ht.Dicts()[col].Add(v.Str)), nil
+	case coltypes.KindDecimal:
+		u, ok := v.Dec.Rescale(def.Type.Scale)
+		if !ok {
+			return 0, fmt.Errorf("cluster: shard key decimal %v does not fit scale %d", v.Dec, def.Type.Scale)
+		}
+		return u, nil
+	default:
+		return v.Int, nil
+	}
+}
+
+// ShardMapOf returns the shard map of a loaded table (nil if not loaded).
+func (t *Tray) ShardMapOf(table string) *storage.ShardMap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tt, ok := t.tables[table]; ok {
+		return tt.shard
+	}
+	return nil
+}
+
+// Shard returns node i's shard replica of a loaded table (tests and the
+// property battery inspect placement through it).
+func (t *Tray) Shard(table string, i int) *storage.Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tt, ok := t.tables[table]; ok {
+		return tt.shards[i]
+	}
+	return nil
+}
+
+// shardFor resolves node i's current shard of a table, transparently
+// re-loading all shards when host mutations made them stale — the tray
+// analog of the single-node SCN admissibility rule (§3.3): instead of
+// falling back, the tray refreshes its replicas before binding.
+func (t *Tray) shardFor(nodeID int, table string) (*storage.Table, error) {
+	ht, err := t.host.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tt, ok := t.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("cluster: table %q not loaded on the tray (run Load first)", table)
+	}
+	if ht.MutationSCN() > tt.loadSCN {
+		if err := t.loadLocked(table, tt.spec); err != nil {
+			return nil, err
+		}
+		tt = t.tables[table]
+	}
+	return tt.shards[nodeID], nil
+}
+
+// nodeCatalog binds SQL against one node's shard replicas.
+type nodeCatalog struct {
+	t  *Tray
+	id int
+}
+
+func (c nodeCatalog) Lookup(name string) (*storage.Table, error) {
+	return c.t.shardFor(c.id, name)
+}
+
+var _ sqlparse.Catalog = nodeCatalog{}

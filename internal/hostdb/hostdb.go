@@ -101,6 +101,7 @@ type HostTable struct {
 	mu      sync.RWMutex
 	rows    [][]int64
 	journal []journalEntry // changes not yet propagated to RAPID
+	mutSCN  uint64         // SCN of the last row mutation (0 if never mutated)
 
 	rapid *storage.Table // loaded replica; nil until LOAD
 }
@@ -182,6 +183,38 @@ func (t *HostTable) Rapid() *storage.Table {
 	return t.rapid
 }
 
+// Dicts returns the table's per-column dictionaries (nil for non-string
+// columns). The tray loader shares them into every node shard so encoded
+// values compare across nodes.
+func (t *HostTable) Dicts() []*encoding.Dict { return t.dicts }
+
+// MutationSCN returns the SCN of the table's last row mutation (0 if the
+// table was never mutated). Shard replicas loaded at an older SCN are stale.
+func (t *HostTable) MutationSCN() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mutSCN
+}
+
+// LiveValues decodes the current live rows (tombstones skipped) into fresh
+// value slices — the scan feeding a tray shard load.
+func (t *HostTable) LiveValues() [][]storage.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([][]storage.Value, 0, len(t.rows))
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		vals := make([]storage.Value, t.schema.NumCols())
+		for c := range vals {
+			vals[c] = t.DecodeValue(c, row[c])
+		}
+		out = append(out, vals)
+	}
+	return out
+}
+
 // encodeRow converts logical values to the fixed-width integer row.
 func (t *HostTable) encodeRow(vals []storage.Value) ([]int64, error) {
 	if len(vals) != t.schema.NumCols() {
@@ -236,6 +269,7 @@ func (db *Database) Insert(table string, rows [][]storage.Value) (uint64, error)
 	scn := db.NextSCN()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.mutSCN = scn
 	journaled := 0
 	defer func() { db.checkpointLagGauge().Add(int64(journaled)) }()
 	for _, vals := range rows {
@@ -264,6 +298,7 @@ func (db *Database) Update(table string, row, col int, val storage.Value) (uint6
 	if row < 0 || row >= len(t.rows) {
 		return 0, fmt.Errorf("hostdb: row %d out of range", row)
 	}
+	t.mutSCN = scn
 	tmp := make([]storage.Value, t.schema.NumCols())
 	for c := range tmp {
 		tmp[c] = t.DecodeValue(c, t.rows[row][c])
@@ -294,6 +329,7 @@ func (db *Database) Delete(table string, row int) (uint64, error) {
 	if row < 0 || row >= len(t.rows) {
 		return 0, fmt.Errorf("hostdb: row %d out of range", row)
 	}
+	t.mutSCN = scn
 	if t.rapid != nil {
 		t.journal = append(t.journal, journalEntry{scn: scn, delRow: row, updRow: -1})
 		db.checkpointLagGauge().Add(1)

@@ -95,6 +95,15 @@ func (m EnergyModel) ProvisionedJoules(simSeconds float64) float64 {
 	return Energy(simSeconds, m.Provisioned)
 }
 
+// LinkFJPerByte is the tray interconnect energy per byte exchanged between
+// nodes: NIC serdes + switch traversal at roughly 30 pJ/byte, the published
+// ballpark for short-reach 10GbE-class links. Integer femtojoules like the
+// DMS rates, so exchange energy decompositions reconcile exactly.
+const LinkFJPerByte = 30000
+
+// LinkEnergyFJ prices bytes moved over the tray interconnect.
+func LinkEnergyFJ(bytes int64) int64 { return bytes * LinkFJPerByte }
+
 // PerfPerWattFromEnergy converts a reference execution (time on the
 // comparison system at its provisioned power) and a measured DPU energy
 // into the Fig 14 perf/watt ratio: how much more work per joule the DPU

@@ -21,8 +21,15 @@ type Compiled struct {
 }
 
 // Compile lowers a logical plan into a physical QEP.
-func Compile(n plan.Node) (*Compiled, error) {
-	pn, err := compileNode(n)
+func Compile(n plan.Node) (*Compiled, error) { return CompileWithInputs(n, nil) }
+
+// CompileWithInputs lowers a plan some of whose subtrees are already
+// materialized relations: a node found in inputs compiles to a relation
+// leaf instead of being lowered recursively. The distributed executor uses
+// this to splice exchange outputs (shuffled/broadcast/gathered relations)
+// under residual plan fragments.
+func CompileWithInputs(n plan.Node, inputs map[plan.Node]*ops.Relation) (*Compiled, error) {
+	pn, err := compileNode(n, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -470,26 +477,29 @@ func (p *pipelineNode) finalizeGrouped(raw *ops.Relation, nKeys int) (*ops.Relat
 // ---------------------------------------------------------------------------
 // Compilation.
 
-func compileNode(n plan.Node) (physNode, error) {
+func compileNode(n plan.Node, in map[plan.Node]*ops.Relation) (physNode, error) {
+	if rel, ok := in[n]; ok {
+		return newRelationNode(rel), nil
+	}
 	switch node := n.(type) {
 	case *plan.Scan:
 		return compileScan(node), nil
 	case *plan.Filter:
-		return compileFilter(node)
+		return compileFilter(node, in)
 	case *plan.Project:
-		return compileProject(node)
+		return compileProject(node, in)
 	case *plan.GroupBy:
-		return compileGroupBy(node)
+		return compileGroupBy(node, in)
 	case *plan.Join:
-		return compileJoin(node)
+		return compileJoin(node, in)
 	case *plan.Sort:
-		child, err := compileNode(node.Input)
+		child, err := compileNode(node.Input, in)
 		if err != nil {
 			return nil, err
 		}
 		return &sortNode{input: child, keys: node.Keys}, nil
 	case *plan.Limit:
-		child, err := compileNode(node.Input)
+		child, err := compileNode(node.Input, in)
 		if err != nil {
 			return nil, err
 		}
@@ -499,17 +509,17 @@ func compileNode(n plan.Node) (physNode, error) {
 		}
 		return &limitNode{input: child, k: node.K}, nil
 	case *plan.SetOp:
-		l, err := compileNode(node.Left)
+		l, err := compileNode(node.Left, in)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileNode(node.Right)
+		r, err := compileNode(node.Right, in)
 		if err != nil {
 			return nil, err
 		}
 		return &setopNode{left: l, right: r, kind: node.Kind}, nil
 	case *plan.Window:
-		child, err := compileNode(node.Input)
+		child, err := compileNode(node.Input, in)
 		if err != nil {
 			return nil, err
 		}
@@ -550,8 +560,8 @@ func asPipeline(pn physNode) *pipelineNode {
 	return &pipelineNode{input: pn, cols: cols, est: pn.estRows()}
 }
 
-func compileFilter(f *plan.Filter) (physNode, error) {
-	child, err := compileNode(f.Input)
+func compileFilter(f *plan.Filter, in map[plan.Node]*ops.Relation) (physNode, error) {
+	child, err := compileNode(f.Input, in)
 	if err != nil {
 		return nil, err
 	}
@@ -569,8 +579,8 @@ func compileFilter(f *plan.Filter) (physNode, error) {
 	return p, nil
 }
 
-func compileProject(pr *plan.Project) (physNode, error) {
-	child, err := compileNode(pr.Input)
+func compileProject(pr *plan.Project, in map[plan.Node]*ops.Relation) (physNode, error) {
+	child, err := compileNode(pr.Input, in)
 	if err != nil {
 		return nil, err
 	}
@@ -655,8 +665,8 @@ func compileProject(pr *plan.Project) (physNode, error) {
 // 32 dpCores (§5.4).
 const lowNDVMaxGroups = 4096
 
-func compileGroupBy(g *plan.GroupBy) (physNode, error) {
-	child, err := compileNode(g.Input)
+func compileGroupBy(g *plan.GroupBy, in map[plan.Node]*ops.Relation) (physNode, error) {
+	child, err := compileNode(g.Input, in)
 	if err != nil {
 		return nil, err
 	}

@@ -76,12 +76,12 @@ type joinNode struct {
 	opID    int
 }
 
-func compileJoin(j *plan.Join) (physNode, error) {
-	left, err := compileNode(j.Left)
+func compileJoin(j *plan.Join, in map[plan.Node]*ops.Relation) (physNode, error) {
+	left, err := compileNode(j.Left, in)
 	if err != nil {
 		return nil, err
 	}
-	right, err := compileNode(j.Right)
+	right, err := compileNode(j.Right, in)
 	if err != nil {
 		return nil, err
 	}

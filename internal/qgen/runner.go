@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"rapid/internal/cluster"
 	"rapid/internal/hostdb"
 	"rapid/internal/ops"
 	"rapid/internal/power"
@@ -52,11 +53,19 @@ func profErr(res *hostdb.QueryResult) error {
 	return nil
 }
 
+// trayLane is one distributed execution lane: a tray of n nodes over the
+// primary database, with every scenario table hash-sharded.
+type trayLane struct {
+	nodes int
+	tray  *cluster.Tray
+}
+
 // Runner owns the two databases loaded from a scenario and executes checks.
 type Runner struct {
 	Sc      *Scenario
 	primary *hostdb.Database
 	alt     *hostdb.Database
+	trays   []trayLane
 
 	// Executed counts engine executions; Rejected counts queries that every
 	// engine consistently refused (parse/bind errors), which is fine — the
@@ -98,9 +107,33 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 	return r, nil
 }
 
+// EnableTrays adds a distributed differential lane per node count: each is a
+// tray of n SoC nodes over the primary database with every scenario table
+// hash-sharded (ReplicateMaxRows < 0), so exchange operators, repartitioning
+// joins and empty shards are exercised on every generated query.
+func (r *Runner) EnableTrays(nodeCounts []int) error {
+	for _, n := range nodeCounts {
+		tray, err := cluster.New(r.primary, cluster.Config{Nodes: n, ReplicateMaxRows: -1})
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Sc.Tables {
+			if err := tray.Load(t.Name, nil); err != nil {
+				tray.Close()
+				return fmt.Errorf("tray(%d): load %s: %w", n, t.Name, err)
+			}
+		}
+		r.trays = append(r.trays, trayLane{nodes: n, tray: tray})
+	}
+	return nil
+}
+
 // Close stops the scheduler worker pools and background machinery of both
 // databases. The Runner is unusable afterwards.
 func (r *Runner) Close() {
+	for _, tl := range r.trays {
+		tl.tray.Close()
+	}
 	r.primary.Close()
 	r.alt.Close()
 }
@@ -113,7 +146,7 @@ type engineRun struct {
 }
 
 func (r *Runner) runAll(sql string) []engineRun {
-	out := make([]engineRun, len(engines))
+	out := make([]engineRun, len(engines), len(engines)+len(r.trays))
 	for i, e := range engines {
 		db := r.primary
 		if e.alt {
@@ -134,6 +167,16 @@ func (r *Runner) runAll(sql string) []engineRun {
 			} else {
 				out[i] = engineRun{name: e.name, rel: res.Rel}
 			}
+		}
+	}
+	for _, tl := range r.trays {
+		name := fmt.Sprintf("tray%d", tl.nodes)
+		res, err := tl.tray.Query(sql, cluster.QueryOptions{Mode: qef.ModeX86})
+		r.Executed++
+		if err != nil {
+			out = append(out, engineRun{name: name, err: err})
+		} else {
+			out = append(out, engineRun{name: name, rel: res.Rel})
 		}
 	}
 	return out

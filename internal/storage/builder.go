@@ -19,6 +19,12 @@ type BuildOptions struct {
 	ChunkRows int
 	// TryRLE enables the RLE layer on vectors where it compresses.
 	TryRLE bool
+	// SharedDicts, when non-nil, supplies the dictionary for string columns
+	// (nil entries still get a fresh one). The tray loader passes the host
+	// table's dictionaries so every node shard encodes values identically —
+	// group keys, sort ranks and literals then compare across nodes without
+	// recoding.
+	SharedDicts []*encoding.Dict
 }
 
 func (o *BuildOptions) normalize() {
@@ -64,7 +70,11 @@ func NewTableBuilder(name string, schema *Schema, opts BuildOptions) *TableBuild
 		def := schema.Col(i)
 		b.meta[i] = ColumnMeta{Def: def, Scale: def.Type.Scale}
 		if def.Type.Kind == coltypes.KindString {
-			b.meta[i].Dict = encoding.NewDict()
+			if i < len(opts.SharedDicts) && opts.SharedDicts[i] != nil {
+				b.meta[i].Dict = opts.SharedDicts[i]
+			} else {
+				b.meta[i].Dict = encoding.NewDict()
+			}
 		}
 	}
 	return b

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardPolicy selects how a table's rows are distributed over the nodes of
+// a RAPID tray (paper §7.4 runs SF1000 sharded over 8 servers).
+type ShardPolicy int
+
+const (
+	// Replicated stores a full copy of the table on every node. Right for
+	// small dimension tables: joins against them never need an exchange.
+	Replicated ShardPolicy = iota
+	// HashSharded routes row r to node uint64(enc(key)) % Nodes.
+	HashSharded
+	// RangeSharded routes rows by comparing the encoded key against the
+	// ascending split Bounds (len Nodes-1): node 0 gets keys <= Bounds[0],
+	// node i gets Bounds[i-1] < key <= Bounds[i], the last node the rest.
+	RangeSharded
+)
+
+func (p ShardPolicy) String() string {
+	switch p {
+	case Replicated:
+		return "replicated"
+	case HashSharded:
+		return "hash"
+	case RangeSharded:
+		return "range"
+	}
+	return fmt.Sprintf("ShardPolicy(%d)", int(p))
+}
+
+// ShardMap describes how one logical table is split across tray nodes. The
+// same map doubles as the partitioning function of exchange operators: a
+// shuffle that re-partitions a relation "by hash on column k over N nodes"
+// is exactly ShardMap{Policy: HashSharded, Key: k, Nodes: N}.
+type ShardMap struct {
+	Policy ShardPolicy
+	// Key is the sharding column (encoded-value domain); unused when
+	// Replicated.
+	Key int
+	// Nodes is the tray width the map was built for.
+	Nodes int
+	// Bounds are the RangeSharded split points (ascending, len Nodes-1).
+	Bounds []int64
+}
+
+// Validate checks internal consistency.
+func (m *ShardMap) Validate() error {
+	if m.Nodes <= 0 {
+		return fmt.Errorf("storage: shard map needs Nodes >= 1, got %d", m.Nodes)
+	}
+	switch m.Policy {
+	case Replicated:
+		return nil
+	case HashSharded:
+		if m.Key < 0 {
+			return fmt.Errorf("storage: hash shard map needs a key column")
+		}
+		return nil
+	case RangeSharded:
+		if m.Key < 0 {
+			return fmt.Errorf("storage: range shard map needs a key column")
+		}
+		if len(m.Bounds) != m.Nodes-1 {
+			return fmt.Errorf("storage: range shard map over %d nodes needs %d bounds, got %d",
+				m.Nodes, m.Nodes-1, len(m.Bounds))
+		}
+		if !sort.SliceIsSorted(m.Bounds, func(i, j int) bool { return m.Bounds[i] < m.Bounds[j] }) {
+			return fmt.Errorf("storage: range shard bounds must be strictly ascending")
+		}
+		for i := 1; i < len(m.Bounds); i++ {
+			if m.Bounds[i] == m.Bounds[i-1] {
+				return fmt.Errorf("storage: range shard bounds must be strictly ascending")
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("storage: unknown shard policy %d", int(m.Policy))
+}
+
+// NodeFor returns the owning node of an encoded key value. For Replicated
+// maps every node owns the row; NodeFor returns 0 (the canonical owner).
+func (m *ShardMap) NodeFor(enc int64) int {
+	switch m.Policy {
+	case HashSharded:
+		return int(uint64(enc) % uint64(m.Nodes))
+	case RangeSharded:
+		// First bound >= key wins; past the last bound -> last node.
+		lo, hi := 0, len(m.Bounds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if enc <= m.Bounds[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	default:
+		return 0
+	}
+}
+
+// SameFunction reports whether two maps route equal key values to the same
+// node, i.e. relations partitioned by them on their join keys are
+// co-partitioned and the join needs no exchange.
+func (m *ShardMap) SameFunction(o *ShardMap) bool {
+	if m == nil || o == nil {
+		return false
+	}
+	if m.Policy != o.Policy || m.Nodes != o.Nodes {
+		return false
+	}
+	if m.Policy == RangeSharded {
+		if len(m.Bounds) != len(o.Bounds) {
+			return false
+		}
+		for i := range m.Bounds {
+			if m.Bounds[i] != o.Bounds[i] {
+				return false
+			}
+		}
+	}
+	return m.Policy == HashSharded || m.Policy == RangeSharded
+}
+
+// SetShardMap records the tray shard map this table is one shard of (set by
+// the cluster loader on each node replica).
+func (t *Table) SetShardMap(m *ShardMap) { t.shard = m }
+
+// ShardMap returns the shard map recorded by SetShardMap, or nil for
+// single-node tables.
+func (t *Table) ShardMap() *ShardMap { return t.shard }

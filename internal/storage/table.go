@@ -27,6 +27,7 @@ type Table struct {
 	meta   []ColumnMeta
 	parts  []*Partition
 	stats  *TableStats
+	shard  *ShardMap // tray shard map this table is one shard of (nil single-node)
 
 	mu      sync.RWMutex
 	baseSCN uint64 // SCN up to which changes are merged into base data

@@ -21,10 +21,12 @@ package rapid
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"rapid/internal/cluster"
 	"rapid/internal/coltypes"
 	"rapid/internal/encoding"
 	"rapid/internal/hostdb"
@@ -135,12 +137,23 @@ type SchedulerConfig struct {
 // Config tunes a database instance.
 type Config struct {
 	Scheduler SchedulerConfig
+	// Nodes >= 1 attaches a multi-node RAPID tray (paper §7.4): offloaded
+	// queries execute sharded across that many SoC nodes, with exchange
+	// operators over a modeled interconnect and a coordinator merge. Load
+	// builds the per-node shards alongside the single-node replica. 0 (the
+	// default) disables the tray.
+	Nodes int
+	// ReplicateMaxRows tunes tray auto-sharding: tables at or below this
+	// many rows replicate to every node, larger ones hash-shard on column
+	// 0. 0 takes the default (64); negative shards everything.
+	ReplicateMaxRows int
 }
 
 // DB is a RAPID-accelerated database: the System X host plus loaded RAPID
-// replicas.
+// replicas, and optionally a multi-node tray.
 type DB struct {
 	host *hostdb.Database
+	tray *cluster.Tray
 }
 
 // Open creates an empty database.
@@ -149,20 +162,40 @@ func Open() *DB { return OpenWith(Config{}) }
 // OpenWith creates an empty database with explicit configuration.
 func OpenWith(cfg Config) *DB {
 	sc := cfg.Scheduler
-	return &DB{host: hostdb.NewWithConfig(nil, sched.Config{
+	scfg := sched.Config{
 		Workers:         sc.Workers,
 		MaxConcurrent:   sc.MaxConcurrent,
 		MaxQueued:       sc.MaxQueued,
 		DMEMBudgetBytes: sc.DMEMBudgetBytes,
-	})}
+	}
+	db := &DB{host: hostdb.NewWithConfig(nil, scfg)}
+	if cfg.Nodes >= 1 {
+		// cluster.New only fails on Nodes < 1, checked above.
+		db.tray, _ = cluster.New(db.host, cluster.Config{
+			Nodes:            cfg.Nodes,
+			ReplicateMaxRows: cfg.ReplicateMaxRows,
+			Sched:            scfg,
+		})
+	}
+	return db
 }
 
-// Close stops the database's background machinery (checkpointer and the
-// scheduler's worker pool). Queries issued after Close fail.
-func (db *DB) Close() { db.host.Close() }
+// Close stops the database's background machinery (checkpointer, the
+// scheduler's worker pool, and the tray's per-node pools). Queries issued
+// after Close fail.
+func (db *DB) Close() {
+	if db.tray != nil {
+		db.tray.Close()
+	}
+	db.host.Close()
+}
 
 // Host exposes the underlying host database (advanced use).
 func (db *DB) Host() *hostdb.Database { return db.host }
+
+// Tray exposes the multi-node tray, nil unless Config.Nodes >= 1
+// (advanced use: shard inspection, per-node schedulers, net telemetry).
+func (db *DB) Tray() *cluster.Tray { return db.tray }
 
 // CreateTable registers a table.
 func (db *DB) CreateTable(name string, cols ...Column) error {
@@ -194,10 +227,16 @@ func (db *DB) Delete(table string, row int) error {
 }
 
 // Load builds the RAPID columnar replica of a table (the LOAD command of
-// paper §4.4). Queries can only offload fragments whose tables are loaded.
+// paper §4.4) and, when a tray is attached, its per-node shard replicas.
+// Queries can only offload fragments whose tables are loaded.
 func (db *DB) Load(table string) error {
-	_, err := db.host.Load(table, hostdb.LoadOptions{ScanThreads: 4})
-	return err
+	if _, err := db.host.Load(table, hostdb.LoadOptions{ScanThreads: 4}); err != nil {
+		return err
+	}
+	if db.tray != nil {
+		return db.tray.Load(table, nil)
+	}
+	return nil
 }
 
 // Checkpoint propagates pending changes of a table to its RAPID replica.
@@ -229,8 +268,53 @@ func (db *DB) QueryWith(sql string, opts Options) (*Result, error) {
 	return db.QueryWithCtx(context.Background(), sql, opts)
 }
 
+// trayUnrecoverable reports errors the host must not paper over with a
+// fallback: the caller canceled, or admission control shed the query.
+func trayUnrecoverable(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, sched.ErrOverloaded) || errors.Is(err, sched.ErrClosed)
+}
+
+// queryTray routes an offloadable query to the tray and adapts the
+// distributed result. EngineAuto falls back to the host row engine when
+// distribution itself fails (e.g. a referenced table was never loaded).
+func (db *DB) queryTray(ctx context.Context, sql string, opts Options) (*Result, error) {
+	mode := qef.ModeX86
+	if opts.Engine == EngineRapidDPU {
+		mode = qef.ModeDPU
+	}
+	start := time.Now()
+	res, err := db.tray.QueryCtx(ctx, sql, cluster.QueryOptions{Mode: mode})
+	if err != nil {
+		if opts.Engine == EngineAuto && !trayUnrecoverable(err) {
+			r, herr := db.host.QueryCtx(ctx, sql, hostdb.QueryOptions{Mode: hostdb.ForceHost})
+			if herr != nil {
+				return nil, herr
+			}
+			r.FellBack = true
+			return &Result{r: r}, nil
+		}
+		return nil, err
+	}
+	explain := res.Explain
+	if res.Analyze != "" {
+		explain = res.Analyze
+	}
+	return &Result{r: &hostdb.QueryResult{
+		Rel:             res.Rel,
+		Offloaded:       true,
+		RapidWall:       time.Since(start),
+		RapidSimSeconds: res.SimSeconds,
+		Explain:         explain,
+		QueueWait:       res.QueueWait,
+	}}, nil
+}
+
 // QueryWithCtx runs a SQL query with explicit options, observing ctx.
 func (db *DB) QueryWithCtx(ctx context.Context, sql string, opts Options) (*Result, error) {
+	if db.tray != nil && opts.Engine != EngineHost {
+		return db.queryTray(ctx, sql, opts)
+	}
 	qo := hostdb.QueryOptions{
 		FailOnInadmissible: opts.FailOnInadmissible,
 		RapidMode:          qef.ModeDPU,

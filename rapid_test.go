@@ -184,3 +184,76 @@ func TestSchemaErrors(t *testing.T) {
 		t.Fatal("query on missing table must fail")
 	}
 }
+
+func TestPublicAPITray(t *testing.T) {
+	single := exampleDB(t)
+	defer single.Close()
+	want, err := single.QueryWith(
+		`SELECT region, COUNT(*) AS n, SUM(amount) AS total
+		 FROM sales GROUP BY region ORDER BY region`, Options{Engine: EngineHost})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nodes := range []int{1, 3} {
+		db := OpenWith(Config{Nodes: nodes})
+		if db.Tray() == nil || db.Tray().NumNodes() != nodes {
+			t.Fatalf("nodes=%d: tray not attached", nodes)
+		}
+		if err := db.CreateTable("sales",
+			IntCol("id"), StringCol("region"), DateCol("day"),
+			DecimalCol("amount", 2), BoolCol("online")); err != nil {
+			t.Fatal(err)
+		}
+		regions := []string{"north", "south", "east", "west"}
+		var rows [][]Value
+		for i := 0; i < 2000; i++ {
+			rows = append(rows, []Value{
+				Int(int64(i)), String(regions[i%4]),
+				Date(2023, 1+(i%12), 1+(i%28)),
+				Decimal(fmt.Sprintf("%d.%02d", i%500, i%100)),
+				Bool(i%2 == 0),
+			})
+		}
+		if err := db.Insert("sales", rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Load("sales"); err != nil {
+			t.Fatal(err)
+		}
+		for _, engine := range []Engine{EngineAuto, EngineRapidDPU, EngineRapidX86} {
+			res, err := db.QueryWith(
+				`SELECT region, COUNT(*) AS n, SUM(amount) AS total
+				 FROM sales GROUP BY region ORDER BY region`, Options{Engine: engine})
+			if err != nil {
+				t.Fatalf("nodes=%d engine %d: %v", nodes, engine, err)
+			}
+			if !res.Offloaded() {
+				t.Fatalf("nodes=%d engine %d: tray query must report offloaded", nodes, engine)
+			}
+			if res.Rows() != want.Rows() {
+				t.Fatalf("nodes=%d engine %d: rows = %d, want %d", nodes, engine, res.Rows(), want.Rows())
+			}
+			for r := 0; r < want.Rows(); r++ {
+				for c := 0; c < want.NumCols(); c++ {
+					if res.Get(r, c) != want.Get(r, c) {
+						t.Fatalf("nodes=%d engine %d: cell (%d,%d) = %s, want %s",
+							nodes, engine, r, c, res.Get(r, c), want.Get(r, c))
+					}
+				}
+			}
+			if engine == EngineRapidDPU && res.SimulatedSeconds() <= 0 {
+				t.Fatal("tray DPU query must report simulated time")
+			}
+		}
+		// EngineHost bypasses the tray entirely.
+		res, err := db.QueryWith(`SELECT COUNT(*) FROM sales`, Options{Engine: EngineHost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Offloaded() {
+			t.Fatal("EngineHost must not route to the tray")
+		}
+		db.Close()
+	}
+}
