@@ -6,12 +6,16 @@
 //
 //	rapid-bench [-sf 0.01] [-reps 3] [-micro-rows 2097152] [-skip-tpch]
 //	            [-clients 0] [-client-ops 8]
-//	            [-profile out.json] [-trace out.json] [-metrics addr]
-//	            [-metrics-out file]
+//	            [-profile out.json] [-trace out.json]
+//	            [-tray-trace out.json] [-tray-trace-nodes 4]
+//	            [-metrics addr] [-pprof] [-metrics-out file]
 //
 // With -clients N > 0 the suite adds a concurrency ladder: closed-loop
 // fleets of 1, 4, 16, ..., N clients drive the shared-SoC scheduler with the
 // TPC-H mix and report throughput, tail latency and shed queries per rung.
+// -tray-trace runs the distributed TPC-H queries on a tray and writes one
+// stitched Chrome trace: a lane per node plus the coordinator, with flow
+// events for every cross-node exchange stream.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"rapid/internal/bench"
+	"rapid/internal/cluster"
 	"rapid/internal/hostdb"
 	"rapid/internal/obs"
 	"rapid/internal/power"
@@ -42,7 +47,10 @@ func main() {
 	clients := flag.Int("clients", 0, "run the concurrency ladder up to this many simultaneous clients (0 = off)")
 	clientOps := flag.Int("client-ops", 8, "queries each client of the concurrency ladder issues")
 	trayNodes := flag.String("tray-nodes", "", "comma-separated tray node counts for the multi-node scaling experiment (e.g. 1,2,4,8; empty = off)")
+	trayTracePath := flag.String("tray-trace", "", "write a stitched distributed Chrome trace of the tray TPC-H queries to this file")
+	trayTraceNodes := flag.Int("tray-trace-nodes", 4, "tray width for -tray-trace")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while the suite runs")
+	pprofOn := flag.Bool("pprof", false, "expose Go runtime profiles on /debug/pprof/* of the -metrics endpoint")
 	metricsOut := flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file")
 	flag.Parse()
 
@@ -68,7 +76,7 @@ func main() {
 		}
 	}
 
-	if *skipTPCH && *profilePath == "" && *tracePath == "" && *clients == 0 && *trayNodes == "" {
+	if *skipTPCH && *profilePath == "" && *tracePath == "" && *clients == 0 && *trayNodes == "" && *trayTracePath == "" {
 		return
 	}
 	fmt.Printf("building TPC-H workload at SF %.3f...\n", *sf)
@@ -80,7 +88,7 @@ func main() {
 	}
 	fmt.Printf("loaded in %.1fs\n\n", time.Since(start).Seconds())
 	if *metricsAddr != "" {
-		srv, err := db.ServeTelemetry(*metricsAddr)
+		srv, err := db.ServeTelemetryWith(*metricsAddr, *pprofOn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 			os.Exit(1)
@@ -137,6 +145,13 @@ func main() {
 		}
 		fmt.Println(bench.RunScalingTable(runs))
 	}
+	if *trayTracePath != "" {
+		if err := writeTrayTrace(db, *trayTracePath, *trayTraceNodes); err != nil {
+			fmt.Fprintln(os.Stderr, "tray-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stitched distributed trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *trayTracePath)
+	}
 	if *profilePath != "" || *tracePath != "" {
 		if err := writeProfiles(db, *profilePath, *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "profile:", err)
@@ -149,6 +164,9 @@ func main() {
 			fmt.Printf("Chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
 		}
 	}
+	if t := histogramSummary(db); len(t.Rows) > 0 {
+		fmt.Println(t)
+	}
 	if *metricsOut != "" {
 		if err := os.WriteFile(*metricsOut, []byte(db.Metrics().RenderPrometheus()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics-out:", err)
@@ -156,6 +174,67 @@ func main() {
 		}
 		fmt.Printf("metrics exposition written to %s\n", *metricsOut)
 	}
+}
+
+// histogramSummary renders p50/p99 of the fleet histograms accumulated over
+// the whole run (empty histograms are skipped).
+func histogramSummary(db *hostdb.Database) *bench.Table {
+	t := &bench.Table{
+		Title:   "Latency and energy distributions (whole run, bucketed estimates)",
+		Headers: []string{"histogram", "count", "p50", "p99"},
+	}
+	for _, e := range []struct {
+		name, unit string
+		scale      float64
+	}{
+		{"hostdb_query_seconds", "ms", 1e3},
+		{"sched_queue_wait_seconds", "ms", 1e3},
+		{"rapid_query_cycles", "Mcycles", 1e-6},
+		{"rapid_query_energy_nanojoules", "mJ", 1e-6},
+	} {
+		v := db.Metrics().Histogram(e.name).View()
+		if v.Count == 0 {
+			continue
+		}
+		t.AddRow(e.name, fmt.Sprint(v.Count),
+			fmt.Sprintf("%.3f %s", v.Quantile(0.50)*e.scale, e.unit),
+			fmt.Sprintf("%.3f %s", v.Quantile(0.99)*e.scale, e.unit))
+	}
+	return t
+}
+
+// writeTrayTrace runs the distributed TPC-H queries on an n-node tray in
+// ModeDPU with trace recording on, stitches every execution into one Chrome
+// trace — a coordinator lane plus one lane per node, flow events for every
+// cross-node exchange stream — and writes it to path.
+func writeTrayTrace(db *hostdb.Database, path string, nodes int) error {
+	tray, err := cluster.New(db, cluster.Config{Nodes: nodes})
+	if err != nil {
+		return err
+	}
+	defer tray.Close()
+	for _, name := range tpch.TableNames() {
+		if err := tray.Load(name, nil); err != nil {
+			return fmt.Errorf("load %s: %w", name, err)
+		}
+	}
+	b := obs.NewTraceBuilder()
+	for _, qname := range []string{"Q1", "Q6", "Q12", "Q14"} {
+		q, ok := tpch.QueryByName(qname)
+		if !ok {
+			return fmt.Errorf("unknown query %s", qname)
+		}
+		res, err := tray.Query(q.SQL, cluster.QueryOptions{Mode: qef.ModeDPU, Trace: true})
+		if err != nil {
+			return fmt.Errorf("%s: %w", qname, err)
+		}
+		b.AddDistributedQuery(qname, qef.ModeDPU.String(), nodes, res.Trace)
+	}
+	data, err := b.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // writeProfiles runs every TPC-H query once in ModeDPU with profiling on,

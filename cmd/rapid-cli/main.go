@@ -7,12 +7,16 @@
 //	          [-trace out.json]
 //
 // Shell commands: \q quit, \tables, \engine <mode>, \explain <sql>,
-// \queries (list TPC-H queries), \run <name> (run one by name).
+// \queries (list TPC-H queries), \run <name> (run one by name),
+// \ps (active queries), \kill <id> (cancel by QueryID), \journal [n]
+// (recent query-journal records).
 // Prefix any query with EXPLAIN ANALYZE to get the per-operator profile
 // (cycles, DMS bytes, energy, rows/tiles) of the RAPID execution.
-// -metrics serves the Prometheus exposition on addr while the shell runs;
-// -trace accumulates every profiled query into a Chrome trace-event JSON
-// (load in chrome://tracing or ui.perfetto.dev) written on exit.
+// -metrics serves the observability endpoint on addr while the shell runs
+// (Prometheus on /metrics, live queries on /debug/queries; -pprof adds
+// /debug/pprof/*); -trace accumulates every profiled query into a Chrome
+// trace-event JSON (load in chrome://tracing or ui.perfetto.dev) written
+// on exit.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +38,7 @@ func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor to preload")
 	engine := flag.String("engine", "auto", "execution engine: auto|host|dpu|x86")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
+	pprof := flag.Bool("pprof", false, "expose Go runtime profiles on /debug/pprof/* of the -metrics endpoint")
 	tracePath := flag.String("trace", "", "write profiled queries as Chrome trace-event JSON to this file on exit")
 	flag.Parse()
 
@@ -43,7 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *metricsAddr != "" {
-		srv, err := db.ServeTelemetry(*metricsAddr)
+		srv, err := db.ServeTelemetryWith(*metricsAddr, *pprof)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -106,8 +112,20 @@ func main() {
 				}
 			case strings.HasPrefix(trimmed, `\explain `):
 				exec(db, strings.TrimPrefix(trimmed, `\explain `), opts, true)
+			case trimmed == `\ps`:
+				printActive(db)
+			case strings.HasPrefix(trimmed, `\kill `):
+				killQuery(db, strings.TrimSpace(strings.TrimPrefix(trimmed, `\kill `)))
+			case trimmed == `\journal` || strings.HasPrefix(trimmed, `\journal `):
+				n := 10
+				if rest := strings.TrimSpace(strings.TrimPrefix(trimmed, `\journal`)); rest != "" {
+					if v, err := strconv.Atoi(rest); err == nil && v > 0 {
+						n = v
+					}
+				}
+				printJournal(db, n)
 			default:
-				fmt.Println(`unknown command; \q \tables \queries \engine \run \explain`)
+				fmt.Println(`unknown command; \q \tables \queries \engine \run \explain \ps \kill \journal`)
 			}
 			prompt()
 			continue
@@ -125,6 +143,66 @@ func main() {
 // trace, when non-nil, accumulates every profiled query for -trace.
 var trace *obs.TraceBuilder
 var traceSeq int
+
+// oneLine collapses SQL to a single truncated line for table output.
+func oneLine(sql string, max int) string {
+	s := strings.Join(strings.Fields(sql), " ")
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}
+
+// printActive renders the \ps table: the live query set, sorted by ID.
+func printActive(db *hostdb.Database) {
+	qs := db.ActiveQueries()
+	if len(qs) == 0 {
+		fmt.Println("no active queries")
+		return
+	}
+	fmt.Printf("  %-6s %-6s %-10s %-5s %-10s %s\n", "id", "mode", "phase", "nodes", "elapsed", "sql")
+	for _, q := range qs {
+		fmt.Printf("  %-6d %-6s %-10s %-5d %-10s %s\n",
+			q.ID, q.Mode, q.Phase, q.Nodes, q.Elapsed.Round(time.Millisecond), oneLine(q.SQL, 48))
+	}
+}
+
+// killQuery cancels an active query by its \ps / journal ID.
+func killQuery(db *hostdb.Database, arg string) {
+	id, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		fmt.Println("usage: \\kill <id>")
+		return
+	}
+	if db.CancelQuery(id) {
+		fmt.Printf("query %d canceled\n", id)
+	} else {
+		fmt.Printf("no active query with id %d\n", id)
+	}
+}
+
+// printJournal renders the newest n query-journal records, oldest first.
+func printJournal(db *hostdb.Database, n int) {
+	j := db.QueryJournal()
+	recs := j.Tail(n)
+	if len(recs) == 0 {
+		fmt.Println("journal empty")
+		return
+	}
+	fmt.Printf("  %-6s %-8s %-6s %-5s %8s %10s %6s %s\n", "id", "outcome", "mode", "nodes", "rows", "wall", "slow", "sql")
+	for _, r := range recs {
+		slow := ""
+		if r.Slow {
+			slow = "SLOW"
+		}
+		fmt.Printf("  %-6d %-8s %-6s %-5d %8d %10s %6s %s\n",
+			r.ID, r.Outcome, r.Mode, r.Nodes, r.Rows,
+			time.Duration(r.WallNs).Round(time.Microsecond), slow, oneLine(r.SQL, 40))
+	}
+	fmt.Printf("  total=%d ok=%d shed=%d canceled=%d error=%d slow=%d\n",
+		j.Total(), j.OutcomeCount(obs.OutcomeOK), j.OutcomeCount(obs.OutcomeShed),
+		j.OutcomeCount(obs.OutcomeCanceled), j.OutcomeCount(obs.OutcomeError), j.SlowCount())
+}
 
 func optsFor(engine string) hostdb.QueryOptions {
 	switch engine {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rapid/internal/coltypes"
+	"rapid/internal/obs"
 	"rapid/internal/ops"
 	"rapid/internal/storage"
 )
@@ -56,6 +57,16 @@ type ExchangeStats struct {
 	// PerNodeRows is rows delivered per destination (Shuffle/Broadcast) or
 	// contributed per source (Gather).
 	PerNodeRows []int64
+	// PerSourceRows is rows contributed per source node (all kinds). For
+	// Gather it aliases PerNodeRows' meaning.
+	PerSourceRows []int64
+	// MovedMatrix[src][dst] counts rows that crossed the interconnect per
+	// source→destination stream (co-located deliveries excluded, so the
+	// diagonal is zero). Nil for Gather, where every row flows to the
+	// coordinator: PerSourceRows is the per-stream breakdown there. The
+	// matrix total equals MovedRows exactly — trace flow events are built
+	// from it.
+	MovedMatrix [][]int64
 }
 
 // exchangeRowBytes is the wire width: exchanges ship tiles in the widened
@@ -105,13 +116,18 @@ func (q *query) shuffle(parts []*ops.Relation, keyCol int, part *storage.ShardMa
 	for d := 0; d < n; d++ {
 		outs[d] = newBuilders(proto)
 	}
-	st := ExchangeStats{Kind: Shuffle, Label: label, PerNodeRows: make([]int64, n)}
+	st := ExchangeStats{
+		Kind: Shuffle, Label: label,
+		PerNodeRows:   make([]int64, n),
+		PerSourceRows: make([]int64, n),
+	}
 	rowBytes := exchangeRowBytes(proto)
 	// movedPer[src][dst] counts cross-node rows for tile accounting.
 	movedPer := make([][]int64, n)
 	for s := range movedPer {
 		movedPer[s] = make([]int64, n)
 	}
+	st.MovedMatrix = movedPer
 	for src, rel := range parts {
 		if rel == nil {
 			continue
@@ -119,6 +135,7 @@ func (q *query) shuffle(parts []*ops.Relation, keyCol int, part *storage.ShardMa
 		key := rel.Cols[keyCol].Data
 		rows := rel.Rows()
 		st.RowsIn += int64(rows)
+		st.PerSourceRows[src] += int64(rows)
 		for r := 0; r < rows; r++ {
 			if r%q.link.TileRows == 0 {
 				if err := q.goCtx.Err(); err != nil {
@@ -163,14 +180,28 @@ func (q *query) broadcast(parts []*ops.Relation, label string) (*ops.Relation, e
 	n := q.nodes()
 	proto := firstNonNil(parts)
 	bs := newBuilders(proto)
-	st := ExchangeStats{Kind: Broadcast, Label: label, PerNodeRows: make([]int64, n)}
+	st := ExchangeStats{
+		Kind: Broadcast, Label: label,
+		PerNodeRows:   make([]int64, n),
+		PerSourceRows: make([]int64, n),
+		MovedMatrix:   make([][]int64, n),
+	}
+	for s := range st.MovedMatrix {
+		st.MovedMatrix[s] = make([]int64, n)
+	}
 	rowBytes := exchangeRowBytes(proto)
-	for _, rel := range parts {
+	for src, rel := range parts {
 		if rel == nil {
 			continue
 		}
 		rows := rel.Rows()
 		st.RowsIn += int64(rows)
+		st.PerSourceRows[src] += int64(rows)
+		for d := 0; d < n; d++ {
+			if d != src {
+				st.MovedMatrix[src][d] += int64(rows)
+			}
+		}
 		for r := 0; r < rows; r++ {
 			if r%q.link.TileRows == 0 {
 				if err := q.goCtx.Err(); err != nil {
@@ -205,7 +236,11 @@ func (q *query) gather(parts []*ops.Relation, label string) (*ops.Relation, erro
 	n := q.nodes()
 	proto := firstNonNil(parts)
 	bs := newBuilders(proto)
-	st := ExchangeStats{Kind: Gather, Label: label, PerNodeRows: make([]int64, n)}
+	st := ExchangeStats{
+		Kind: Gather, Label: label,
+		PerNodeRows:   make([]int64, n),
+		PerSourceRows: make([]int64, n),
+	}
 	rowBytes := exchangeRowBytes(proto)
 	for src, rel := range parts {
 		if rel == nil {
@@ -214,6 +249,7 @@ func (q *query) gather(parts []*ops.Relation, label string) (*ops.Relation, erro
 		rows := rel.Rows()
 		st.RowsIn += int64(rows)
 		st.PerNodeRows[src] = int64(rows)
+		st.PerSourceRows[src] = int64(rows)
 		for r := 0; r < rows; r++ {
 			if r%q.link.TileRows == 0 {
 				if err := q.goCtx.Err(); err != nil {
@@ -259,10 +295,30 @@ func firstNonNil(parts []*ops.Relation) *ops.Relation {
 	return &ops.Relation{}
 }
 
+// exchangeSpan converts an ExchangeStats into its obs-side trace record
+// (obs stays cluster-agnostic; the slices are shared, not copied — stats
+// are immutable once recorded).
+func exchangeSpan(st ExchangeStats) *obs.ExchangeSpan {
+	sp := &obs.ExchangeSpan{
+		Kind: st.Kind.String(), Label: st.Label, Seconds: st.Seconds,
+		RowsIn: st.RowsIn, RowsOut: st.RowsOut,
+		MovedRows: st.MovedRows, MovedBytes: st.MovedBytes, Tiles: st.Tiles,
+		PerSourceRows: st.PerSourceRows,
+		MovedMatrix:   st.MovedMatrix,
+	}
+	if st.Kind != Gather {
+		sp.PerDestRows = st.PerNodeRows
+	}
+	return sp
+}
+
 // record accumulates an executed exchange into the query's trace and the
 // tray-wide net_* telemetry.
 func (q *query) record(st ExchangeStats) {
 	q.stats = append(q.stats, st)
+	if q.traceOn {
+		q.trace = append(q.trace, obs.DistStep{Label: st.Label, Exchange: exchangeSpan(st)})
+	}
 	q.step("exchange %s %s moved_rows=%d bytes=%d", st.Kind, st.Label, st.MovedRows, st.MovedBytes)
 	q.netSeconds += st.Seconds
 	q.netBytes += st.MovedBytes

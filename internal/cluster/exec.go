@@ -26,6 +26,11 @@ type QueryOptions struct {
 	// Analyze renders the distributed EXPLAIN ANALYZE trace into
 	// Result.Analyze. An `EXPLAIN ANALYZE <query>` SQL prefix sets it too.
 	Analyze bool
+	// Trace records per-node fragment profiles and exchange spans into
+	// Result.Trace, ready for obs.TraceBuilder.AddDistributedQuery — one
+	// stitched Chrome trace with a lane per node and flow events for every
+	// cross-node data stream.
+	Trace bool
 }
 
 // NodeStats is one node's resource consumption for a query.
@@ -55,6 +60,10 @@ type Result struct {
 	Rel   *ops.Relation
 	Nodes int
 
+	// QueryID is the fleet-wide identifier the query was journaled under
+	// (shared with the host database's active-query table).
+	QueryID uint64
+
 	// SimSeconds is the modeled distributed makespan: the slowest node's
 	// simulated time, plus the serialized interconnect time, plus the
 	// coordinator's merge time.
@@ -69,8 +78,22 @@ type Result struct {
 	QueueWait                   time.Duration // max admission wait across nodes
 	Energy                      TrayEnergy
 
+	// TotalCycles is dpCore cycles across all nodes plus the coordinator
+	// (the exact integer added to rapid_dpcore_cycles_total).
+	TotalCycles int64
+	// EnergyNJ is activity+idle energy in nanojoules — the exact integers
+	// added to the energy counters, so journal sums reconcile with them.
+	EnergyNJ int64
+	// DMEMHighWater is the max DMEM bytes reserved on any dpCore of any
+	// node during the query (ModeDPU only).
+	DMEMHighWater int
+
 	Explain string // logical plan (coordinator binding)
 	Analyze string // distributed EXPLAIN ANALYZE (when requested)
+
+	// Trace is the ordered fragment/exchange record for distributed trace
+	// stitching (set when QueryOptions.Trace).
+	Trace []obs.DistStep
 }
 
 // query is the per-execution state of one distributed query: the node and
@@ -97,6 +120,9 @@ type query struct {
 	netRows    int64
 	netTiles   int64
 	steps      []string // execution-order trace for EXPLAIN ANALYZE
+
+	traceOn bool           // record fragment profiles + exchange spans
+	trace   []obs.DistStep // stitched-trace steps, in execution order
 }
 
 func (q *query) nodes() int { return len(q.nctx) }
@@ -127,10 +153,71 @@ func (t *Tray) Query(sql string, opts QueryOptions) (*Result, error) {
 // maximal node-local fragments in parallel with exchanges in between, and
 // merges at the coordinator. Canceling goCtx (or any node failing) cancels
 // every node within one exchange tile / scheduler work unit.
+//
+// Every query — including sheds, cancellations and failures — is journaled
+// in the host database's query journal under a fleet-wide QueryID, and
+// visible in the host's active-query table while it runs (cancel-by-ID
+// tears the whole tray query down).
 func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*Result, error) {
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
+	cctx, cancel := context.WithCancel(goCtx)
+	defer cancel()
+	start := time.Now()
+	active := t.host.Active()
+	id := active.NextID()
+	h := active.Register(id, sql, opts.Mode.String(), t.NumNodes(), cancel)
+	defer h.Done()
+
+	res, err := t.queryCtx(cctx, sql, opts, h)
+	wall := time.Since(start)
+
+	rec := obs.QueryRecord{
+		ID:          id,
+		Fingerprint: obs.Fingerprint(sql),
+		SQL:         sql,
+		Mode:        opts.Mode.String(),
+		Nodes:       t.NumNodes(),
+		Outcome:     trayOutcome(err),
+		WallNs:      int64(wall),
+		Start:       start.UnixNano(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if res != nil {
+		res.QueryID = id
+		if res.Rel != nil {
+			rec.Rows = int64(res.Rel.Rows())
+		}
+		rec.Cycles = res.TotalCycles
+		rec.EnergyNJ = res.EnergyNJ
+		rec.NetBytes = res.NetBytes
+		rec.QueueWaitNs = int64(res.QueueWait)
+		rec.DMEMHighNow = int64(res.DMEMHighWater)
+	}
+	t.host.QueryJournal().Record(rec)
+	t.reg.Histogram("cluster_query_seconds", obs.DefLatencyBuckets...).Observe(wall.Seconds())
+	return res, err
+}
+
+// trayOutcome classifies a distributed query's terminal error for the
+// journal (mirrors the host database's classification).
+func trayOutcome(err error) obs.QueryOutcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, sched.ErrOverloaded):
+		return obs.OutcomeShed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeCanceled
+	}
+	return obs.OutcomeError
+}
+
+func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h obs.ActiveHandle) (*Result, error) {
+	h.SetPhase("planning")
 	if inner, ok := stripExplainAnalyze(sql); ok {
 		sql = inner
 		opts.Analyze = true
@@ -159,11 +246,13 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 	q := &query{
 		t: t, reg: t.reg, link: t.link, mode: opts.Mode,
 		outer: goCtx, goCtx: qctx, cancel: cancel,
+		traceOn: opts.Trace,
 	}
 
 	// Per-node admission: each node's scheduler enforces its own
 	// concurrency and queue limits; a single overloaded node sheds the
 	// whole query (ErrOverloaded) after releasing what was admitted.
+	h.SetPhase("queued")
 	adms := make([]*sched.Admission, 0, n)
 	release := func() {
 		for _, a := range adms {
@@ -173,7 +262,7 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 	for i := 0; i < n; i++ {
 		ctx := qef.NewContext(opts.Mode)
 		ctx.Metrics = t.reg
-		adm, aerr := t.nodes[i].sched.Admit(goCtx, sched.Request{Cores: ctx.Workers()})
+		adm, aerr := t.nodes[i].sched.Admit(goCtx, sched.Request{Cores: ctx.Workers(), QueryID: h.ID()})
 		if aerr != nil {
 			release()
 			return nil, aerr
@@ -184,6 +273,7 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 		q.nctx = append(q.nctx, ctx)
 	}
 	defer release()
+	h.SetPhase("executing")
 	q.coord = qef.NewContext(opts.Mode)
 	q.coord.Metrics = t.reg
 	q.coord.SetGoContext(qctx)
@@ -227,6 +317,7 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 	totWr += cwr.Bytes
 	res.CoordSimSeconds = q.coord.SimElapsed()
 	res.SimSeconds = res.NodeSimSeconds + res.NetSeconds + res.CoordSimSeconds
+	res.TotalCycles = totCycles
 
 	core, rdFJ, wrFJ := em.ActivityFJ(totCycles, totRd, totWr)
 	res.Energy = TrayEnergy{
@@ -234,17 +325,39 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 		NetFJ:      power.LinkEnergyFJ(q.netBytes),
 		IdleJ:      float64(n) * em.UncoreIdleWatts * res.SimSeconds,
 	}
+	if opts.Mode == qef.ModeDPU {
+		for _, ctx := range append(append([]*qef.Context(nil), q.nctx...), q.coord) {
+			for _, co := range ctx.SoC.Cores() {
+				if hw := co.DMEM().HighWater(); hw > res.DMEMHighWater {
+					res.DMEMHighWater = hw
+				}
+			}
+		}
+	}
+
+	// The per-query histograms observe the exact integers added to the
+	// counters below, so histogram sums reconcile with counter totals
+	// exactly (both stay below 2^53, where float64 addition is lossless).
+	actNJ := res.Energy.ActivityFJ / 1e6
+	idleNJ := int64(res.Energy.IdleJ * 1e9)
+	res.EnergyNJ = actNJ + idleNJ
 
 	m := t.reg
 	m.Counter("rapid_dpcore_cycles_total").Add(totCycles)
 	m.Counter("rapid_dms_read_bytes_total").Add(totRd)
 	m.Counter("rapid_dms_write_bytes_total").Add(totWr)
 	m.Counter("rapid_sim_microseconds_total").Add(int64(res.SimSeconds * 1e6))
-	m.Counter("rapid_activity_energy_nanojoules_total").Add(res.Energy.ActivityFJ / 1e6)
-	m.Counter("rapid_idle_energy_nanojoules_total").Add(int64(res.Energy.IdleJ * 1e9))
+	m.Counter("rapid_activity_energy_nanojoules_total").Add(actNJ)
+	m.Counter("rapid_idle_energy_nanojoules_total").Add(idleNJ)
+	m.Histogram("rapid_query_cycles", obs.DefCycleBuckets...).Observe(float64(totCycles))
+	m.Histogram("rapid_query_energy_nanojoules", obs.DefEnergyNJBuckets...).Observe(float64(res.EnergyNJ))
+	m.Histogram("rapid_query_net_bytes", obs.DefBytesBuckets...).Observe(float64(q.netBytes))
 
 	if opts.Analyze {
 		res.Analyze = q.renderAnalyze(res)
+	}
+	if q.traceOn {
+		res.Trace = q.trace
 	}
 	return res, nil
 }
@@ -311,9 +424,23 @@ func (q *query) coordFragment(nodes []plan.Node) (*ops.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	var prof *obs.Profile
+	var snap fragSnap
+	if q.traceOn {
+		prof = obs.NewProfile(q.mode.String(), q.coord.SoC.Config().NumCores, q.coord.SoC.Config().FreqHz, compiled.SpanDefs())
+		snap = snapFrag(q.coord)
+		q.coord.Prof = prof
+	}
 	rel, err := compiled.Execute(q.coord)
+	if prof != nil {
+		q.coord.Prof = nil
+	}
 	if err != nil {
 		return nil, err
+	}
+	if prof != nil {
+		finishFrag(prof, q.coord, snap)
+		q.trace = append(q.trace, obs.DistStep{Label: "coordinator " + opName(n0), Coord: prof})
 	}
 	q.step("coordinator %s rows=%d", opName(n0), rel.Rows())
 	return rel, nil
@@ -366,6 +493,70 @@ func (q *query) materialize(rec *recipe, only0 bool, label string) ([]*ops.Relat
 	return q.runNodes(rec.trees, rec.leaves, label, only0)
 }
 
+// fragSnap is one context's cumulative counters at a fragment boundary.
+// A node context accumulates across every fragment of the query, so a
+// fragment's profile is finalized from the deltas since its snapshot.
+type fragSnap struct {
+	cycles     []int64
+	rdB, wrB   int64
+	rdS, wrS   float64
+	busR, busW float64
+	sim        float64
+	start      time.Time
+}
+
+func snapFrag(ctx *qef.Context) fragSnap {
+	cores := ctx.SoC.Cores()
+	cy := make([]int64, len(cores))
+	for i, co := range cores {
+		cy[i] = int64(co.Cycles())
+	}
+	rdT, wrT := ctx.DMS.TotalsByDir()
+	busR, busW := ctx.BusSeconds()
+	return fragSnap{
+		cycles: cy,
+		rdB:    rdT.Bytes, wrB: wrT.Bytes,
+		rdS: rdT.Seconds, wrS: wrT.Seconds,
+		busR: busR, busW: busW,
+		sim:   ctx.SimElapsed(),
+		start: time.Now(),
+	}
+}
+
+// finishFrag finalizes a fragment profile from the counter deltas since
+// the snapshot. SimSeconds takes the max of the elapsed-sim and bus-time
+// deltas: SimElapsed is a running max across engines, so its delta alone
+// could undercut the fragment's own bus time and break the profile's
+// SimSeconds >= bus-seconds invariant.
+func finishFrag(prof *obs.Profile, ctx *qef.Context, s fragSnap) {
+	cores := ctx.SoC.Cores()
+	cy := make([]int64, len(cores))
+	for i, co := range cores {
+		cy[i] = int64(co.Cycles()) - s.cycles[i]
+	}
+	rdT, wrT := ctx.DMS.TotalsByDir()
+	busR, busW := ctx.BusSeconds()
+	dBusR, dBusW := busR-s.busR, busW-s.busW
+	sim := ctx.SimElapsed() - s.sim
+	if dBusR > sim {
+		sim = dBusR
+	}
+	if dBusW > sim {
+		sim = dBusW
+	}
+	prof.Finalize(obs.Totals{
+		WallSeconds:     time.Since(s.start).Seconds(),
+		SimSeconds:      sim,
+		BusReadSeconds:  dBusR,
+		BusWriteSeconds: dBusW,
+		CoreCycles:      cy,
+		DMSReadBytes:    rdT.Bytes - s.rdB,
+		DMSWriteBytes:   wrT.Bytes - s.wrB,
+		DMSReadSeconds:  rdT.Seconds - s.rdS,
+		DMSWriteSeconds: wrT.Seconds - s.wrS,
+	})
+}
+
 // runNodes compiles and executes one plan tree per node concurrently, each
 // on its own node context (its scheduler's worker pool in ModeDPU). The
 // first failing node cancels the shared query context, stopping the others
@@ -378,14 +569,31 @@ func (q *query) runNodes(trees []plan.Node, leaves []map[plan.Node]*ops.Relation
 	}
 	res := make([]*ops.Relation, n)
 	errs := make([]error, count)
+	var profs []*obs.Profile
+	if q.traceOn {
+		profs = make([]*obs.Profile, n)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < count; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			ctx := q.nctx[i]
 			compiled, err := qcomp.CompileWithInputs(trees[i], leaves[i])
 			if err == nil {
-				res[i], err = compiled.Execute(q.nctx[i])
+				if q.traceOn {
+					prof := obs.NewProfile(q.mode.String(), ctx.SoC.Config().NumCores, ctx.SoC.Config().FreqHz, compiled.SpanDefs())
+					snap := snapFrag(ctx)
+					ctx.Prof = prof
+					res[i], err = compiled.Execute(ctx)
+					ctx.Prof = nil
+					if err == nil {
+						finishFrag(prof, ctx, snap)
+						profs[i] = prof
+					}
+				} else {
+					res[i], err = compiled.Execute(ctx)
+				}
 			}
 			if err != nil {
 				errs[i] = err
@@ -396,6 +604,9 @@ func (q *query) runNodes(trees []plan.Node, leaves []map[plan.Node]*ops.Relation
 	wg.Wait()
 	if err := q.pickError(errs); err != nil {
 		return nil, err
+	}
+	if q.traceOn {
+		q.trace = append(q.trace, obs.DistStep{Label: label, NodeProfiles: profs})
 	}
 	rows := make([]int64, count)
 	for i := 0; i < count; i++ {

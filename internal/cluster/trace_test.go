@@ -1,0 +1,185 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rapid/internal/cluster"
+	"rapid/internal/obs"
+	"rapid/internal/qef"
+	"rapid/internal/tpch"
+)
+
+// TestDistributedTraceGoldenStructure is the golden-structure test for
+// stitched distributed traces: a 4-node TPC-H Q12 run with trace recording
+// on must produce one Chrome-trace process with a coordinator lane plus one
+// lane per node, fragment profiles that pass the accounting invariants and
+// reconcile with the tray's per-node counters, and flow events that match
+// the exchange statistics exactly.
+func TestDistributedTraceGoldenStructure(t *testing.T) {
+	const nodes = 4
+	db := tpchHost(t)
+	tray := newTray(t, db, cluster.Config{Nodes: nodes})
+	defer tray.Close()
+	q, _ := tpch.QueryByName("Q12") // co-partitioned join + shuffle-free agg + gather
+
+	res, err := tray.Query(q.SQL, cluster.QueryOptions{Mode: qef.ModeDPU, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("Trace empty with QueryOptions.Trace set")
+	}
+
+	// Step shape: exactly one of NodeProfiles / Coord / Exchange per step,
+	// and the exchange steps mirror res.Exchanges one-to-one in order.
+	var exSpans []*obs.ExchangeSpan
+	var coordCycles, nodeCycles int64
+	perNode := make([]int64, nodes)
+	for _, st := range res.Trace {
+		set := 0
+		if st.NodeProfiles != nil {
+			set++
+		}
+		if st.Coord != nil {
+			set++
+		}
+		if st.Exchange != nil {
+			set++
+		}
+		if set != 1 {
+			t.Fatalf("step %q sets %d groups, want exactly 1", st.Label, set)
+		}
+		switch {
+		case st.Exchange != nil:
+			exSpans = append(exSpans, st.Exchange)
+		case st.Coord != nil:
+			if err := st.Coord.CheckInvariants(); err != nil {
+				t.Fatalf("coordinator fragment %q: %v", st.Label, err)
+			}
+			coordCycles += st.Coord.TotalCycles()
+		default:
+			for i, p := range st.NodeProfiles {
+				if p == nil {
+					continue
+				}
+				if err := p.CheckInvariants(); err != nil {
+					t.Fatalf("node %d fragment %q: %v", i, st.Label, err)
+				}
+				perNode[i] += p.TotalCycles()
+				nodeCycles += p.TotalCycles()
+			}
+		}
+	}
+	if len(exSpans) != len(res.Exchanges) {
+		t.Fatalf("trace has %d exchange steps, result has %d exchanges", len(exSpans), len(res.Exchanges))
+	}
+	var wantFlows int
+	for i, sp := range exSpans {
+		st := res.Exchanges[i]
+		if sp.Kind != st.Kind.String() || sp.MovedRows != st.MovedRows || sp.MovedBytes != st.MovedBytes {
+			t.Fatalf("exchange %d: span %s/%d/%d vs stats %s/%d/%d",
+				i, sp.Kind, sp.MovedRows, sp.MovedBytes, st.Kind, st.MovedRows, st.MovedBytes)
+		}
+		var rows int64
+		for _, f := range sp.Flows() {
+			rows += f.Rows
+		}
+		if rows != st.MovedRows {
+			t.Fatalf("exchange %d (%s): flow rows sum to %d, MovedRows is %d", i, sp.Kind, rows, st.MovedRows)
+		}
+		wantFlows += len(sp.Flows())
+	}
+	// Q12 always ends in a gather of the partial aggregates: 4 contributing
+	// nodes means at least 4 flows even when the join is fully co-located.
+	if wantFlows < nodes {
+		t.Fatalf("only %d flows; the final gather alone contributes %d", wantFlows, nodes)
+	}
+
+	// Fragment cycle sums reconcile with the tray's own counters.
+	for i := range perNode {
+		if perNode[i] != res.PerNode[i].Cycles {
+			t.Fatalf("node %d: trace fragments sum to %d cycles, PerNode reports %d", i, perNode[i], res.PerNode[i].Cycles)
+		}
+	}
+	if got := nodeCycles + coordCycles; got != res.TotalCycles {
+		t.Fatalf("trace cycles %d (nodes %d + coord %d) != TotalCycles %d", got, nodeCycles, coordCycles, res.TotalCycles)
+	}
+
+	// Rendered trace: one process, a named lane per node plus the
+	// coordinator, and one flow start/finish pair per cross-node stream.
+	b := obs.NewTraceBuilder()
+	b.AddDistributedQuery("Q12", qef.ModeDPU.String(), nodes, res.Trace)
+	data, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	lanes := map[int]string{}
+	pids := map[int]bool{}
+	starts, finishes := 0, 0
+	var flowRows int64
+	for _, ev := range doc.TraceEvents {
+		pids[ev.Pid] = true
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			lanes[ev.Tid], _ = ev.Args["name"].(string)
+		case ev.Ph == "s":
+			starts++
+			flowRows += int64(ev.Args["rows"].(float64))
+		case ev.Ph == "f":
+			finishes++
+		}
+	}
+	if len(pids) != 1 {
+		t.Fatalf("trace spans %d processes, want 1", len(pids))
+	}
+	if len(lanes) != nodes+1 {
+		t.Fatalf("trace has %d lanes, want %d (coordinator + %d nodes)", len(lanes), nodes+1, nodes)
+	}
+	if lanes[0] != "coordinator" {
+		t.Fatalf("tid 0 named %q, want coordinator", lanes[0])
+	}
+	for i := 0; i < nodes; i++ {
+		if want := "node " + string(rune('0'+i)); lanes[i+1] != want {
+			t.Fatalf("tid %d named %q, want %q", i+1, lanes[i+1], want)
+		}
+	}
+	if starts != wantFlows || finishes != wantFlows {
+		t.Fatalf("flow events %d/%d, want %d starts and finishes (one per exchange stream)", starts, finishes, wantFlows)
+	}
+	var wantRows int64
+	for _, st := range res.Exchanges {
+		wantRows += st.MovedRows
+	}
+	if flowRows != wantRows {
+		t.Fatalf("flow rows total %d, exchange MovedRows total %d", flowRows, wantRows)
+	}
+}
+
+// TestTrayTraceOffByDefault pins that trace recording costs nothing unless
+// asked for: no Trace steps without the option.
+func TestTrayTraceOffByDefault(t *testing.T) {
+	db := tpchHost(t)
+	tray := newTray(t, db, cluster.Config{Nodes: 2})
+	defer tray.Close()
+	q, _ := tpch.QueryByName("Q6")
+	res, err := tray.Query(q.SQL, cluster.QueryOptions{Mode: qef.ModeX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatalf("Trace recorded without QueryOptions.Trace: %d steps", len(res.Trace))
+	}
+}

@@ -27,6 +27,14 @@ type Database struct {
 
 	metrics *obs.Registry
 
+	// qjournal is the fleet query journal (bounded completion ring) and
+	// active the live in-flight query set / QueryID authority. An attached
+	// cluster tray shares both, so the fleet has one ID space and one
+	// journal. ("Journal" elsewhere in this package means a table's change
+	// journal for RAPID propagation — an unrelated mechanism.)
+	qjournal *obs.Journal
+	active   *obs.ActiveSet
+
 	// sched is the shared-SoC scheduler every offloaded query of this
 	// database executes on: one pool of virtual dpCores, admission control
 	// and work-unit-granular multiplexing across concurrent queries.
@@ -57,14 +65,34 @@ func NewWithConfig(reg *obs.Registry, cfg sched.Config) *Database {
 		cfg.Metrics = reg
 	}
 	return &Database{
-		tables:  make(map[string]*HostTable),
-		metrics: reg,
-		sched:   sched.New(cfg),
+		tables:   make(map[string]*HostTable),
+		metrics:  reg,
+		qjournal: obs.NewJournal(0),
+		active:   obs.NewActiveSet(),
+		sched:    sched.New(cfg),
 	}
 }
 
 // Metrics returns the database's metrics registry.
 func (db *Database) Metrics() *obs.Registry { return db.metrics }
+
+// QueryJournal returns the database's query journal: the bounded ring of
+// per-query completion records with cumulative outcome counters and JSONL
+// export.
+func (db *Database) QueryJournal() *obs.Journal { return db.qjournal }
+
+// Active returns the live query set (the QueryID authority shared with an
+// attached tray).
+func (db *Database) Active() *obs.ActiveSet { return db.active }
+
+// ActiveQueries returns a snapshot of the in-flight queries, sorted by
+// QueryID.
+func (db *Database) ActiveQueries() []obs.ActiveQuery { return db.active.Snapshot() }
+
+// CancelQuery cancels the in-flight query with the given ID. It returns
+// false when no such query is running. The canceled query returns
+// context.Canceled to its caller and journals a "canceled" outcome.
+func (db *Database) CancelQuery(id uint64) bool { return db.active.Cancel(id) }
 
 // Scheduler returns the database's shared-SoC scheduler (never nil), for
 // configuration inspection and tests that need to occupy admission slots.
@@ -77,11 +105,23 @@ func (db *Database) Close() {
 	db.sched.Close()
 }
 
-// ServeTelemetry starts an opt-in HTTP exporter for this database's metrics
-// registry on addr (Prometheus text on /metrics, liveness on /healthz).
-// Close the returned server to stop it.
+// ServeTelemetry starts an opt-in HTTP exporter for this database's
+// observability surface on addr: Prometheus text on /metrics, the live
+// active-query table plus recent journal records on /debug/queries,
+// liveness on /healthz. Close the returned server to stop it.
 func (db *Database) ServeTelemetry(addr string) (*obs.TelemetryServer, error) {
-	return obs.ServeTelemetry(addr, db.metrics)
+	return db.ServeTelemetryWith(addr, false)
+}
+
+// ServeTelemetryWith is ServeTelemetry with the Go runtime profiles
+// (/debug/pprof/*) optionally exposed alongside.
+func (db *Database) ServeTelemetryWith(addr string, enablePprof bool) (*obs.TelemetryServer, error) {
+	return obs.ServeTelemetryWith(addr, obs.TelemetryConfig{
+		Registry:    db.metrics,
+		Active:      db.active,
+		Journal:     db.qjournal,
+		EnablePprof: enablePprof,
+	})
 }
 
 // checkpointLagGauge tracks journal entries not yet propagated to RAPID.

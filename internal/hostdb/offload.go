@@ -84,6 +84,18 @@ type QueryResult struct {
 	// admission queue before RAPID execution began (zero for host-engine
 	// queries and immediate admissions).
 	QueueWait time.Duration
+	// QueryID is the fleet-wide query identifier assigned at issue, the key
+	// into the query journal and the active-query table.
+	QueryID uint64
+	// Cycles is the total dpCore cycle count of the RAPID execution (ModeDPU
+	// offloads; zero otherwise).
+	Cycles int64
+	// EnergyNJ is the total (activity + idle) energy of the RAPID execution
+	// in nanojoules — the same integer fed to the rapid_*_energy counters.
+	EnergyNJ int64
+	// DMEMHighWater is the largest per-core scratchpad reservation the query
+	// reached, bytes (ModeDPU offloads; zero otherwise).
+	DMEMHighWater int
 }
 
 // RapidFraction returns the share of elapsed wall time spent in RAPID.
@@ -139,14 +151,27 @@ func (db *Database) Query(sql string, opts QueryOptions) (*QueryResult, error) {
 // returned directly — they never fall back to the host engine, since the
 // caller asked the whole query to stop (or be shed), not just the offload.
 func (db *Database) QueryCtx(ctx context.Context, sql string, opts QueryOptions) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if inner, ok := stripExplainAnalyze(sql); ok {
 		sql = inner
 		opts.Profile = true
 	}
+	// Issue: allocate the fleet-wide QueryID, register in the active-query
+	// table (making the query cancelable by ID) and run under a derived
+	// context so CancelQuery can reach it.
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	id := db.active.NextID()
+	h := db.active.Register(id, sql, requestedMode(opts), 1, cancel)
+	defer h.Done()
+
 	start := time.Now()
-	res, err := db.query(ctx, sql, opts)
+	res, err := db.query(qctx, sql, opts, h)
+	wall := time.Since(start)
 	m := db.metrics
-	m.Histogram("hostdb_query_seconds").Observe(time.Since(start).Seconds())
+	m.Histogram("hostdb_query_seconds").Observe(wall.Seconds())
 	m.Counter("hostdb_queries_total").Inc()
 	switch {
 	case err != nil:
@@ -164,7 +189,61 @@ func (db *Database) QueryCtx(ctx context.Context, sql string, opts QueryOptions)
 		}
 		m.Counter("hostdb_queries_host").Inc()
 	}
+
+	// Completion: one journal record per issued query, terminal outcome
+	// included, whether it succeeded, shed, canceled or failed.
+	rec := obs.QueryRecord{
+		ID: id, Fingerprint: obs.Fingerprint(sql), SQL: sql,
+		Mode: "host", Nodes: 1,
+		Outcome: outcomeFor(err),
+		WallNs:  int64(wall),
+		Start:   start.UnixNano(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if res != nil {
+		if res.Offloaded {
+			rec.Mode = opts.RapidMode.String()
+		}
+		if res.Rel != nil {
+			rec.Rows = int64(res.Rel.Rows())
+		}
+		rec.Cycles = res.Cycles
+		rec.EnergyNJ = res.EnergyNJ
+		rec.QueueWaitNs = int64(res.QueueWait)
+		rec.DMEMHighNow = int64(res.DMEMHighWater)
+		res.QueryID = id
+	}
+	db.qjournal.Record(rec)
 	return res, err
+}
+
+// requestedMode labels the engine the options ask for, before execution
+// resolves it ("auto" = cost-based decision pending).
+func requestedMode(opts QueryOptions) string {
+	switch opts.Mode {
+	case ForceHost:
+		return "host"
+	case ForceOffload:
+		return opts.RapidMode.String()
+	default:
+		return "auto"
+	}
+}
+
+// outcomeFor classifies a query's terminal state for the journal.
+func outcomeFor(err error) obs.QueryOutcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, sched.ErrOverloaded):
+		return obs.OutcomeShed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeCanceled
+	default:
+		return obs.OutcomeError
+	}
 }
 
 // noFallback reports whether a RAPID execution error must be returned as the
@@ -177,10 +256,11 @@ func noFallback(err error) bool {
 		errors.Is(err, sched.ErrClosed)
 }
 
-func (db *Database) query(ctx context.Context, sql string, opts QueryOptions) (*QueryResult, error) {
+func (db *Database) query(ctx context.Context, sql string, opts QueryOptions, h obs.ActiveHandle) (*QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	h.SetPhase("planning")
 	hostStart := time.Now()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -218,7 +298,7 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions) (*
 			return nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
 		}
 		if admissible {
-			run, rerr := db.runRapid(ctx, node, opts)
+			run, rerr := db.runRapid(ctx, node, opts, h)
 			res.QueueWait = run.queueWait
 			if rerr == nil {
 				res.Rel = run.rel
@@ -229,6 +309,9 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions) (*
 				res.Profile = run.prof
 				res.Energy = run.energy
 				res.HasEnergy = run.hasEnergy
+				res.Cycles = run.cycles
+				res.EnergyNJ = run.energyNJ
+				res.DMEMHighWater = run.dmemHigh
 				res.HostWall = time.Since(hostStart) - run.wall
 				return res, nil
 			}
@@ -248,6 +331,7 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions) (*
 		}
 	}
 
+	h.SetPhase("host-execute")
 	rel, err := db.runHost(ctx, node)
 	if err != nil {
 		return nil, err
@@ -290,6 +374,9 @@ type rapidRun struct {
 	prof      *obs.Profile
 	energy    power.Breakdown
 	hasEnergy bool
+	cycles    int64
+	energyNJ  int64 // activity + idle nanojoules, as fed to the counters
+	dmemHigh  int   // max per-core DMEM high-water, bytes
 }
 
 // runRapid is the RAPID operator (§3.1): it serializes the fragment plan to
@@ -301,7 +388,7 @@ type rapidRun struct {
 // cancellation alike. Every DPU execution feeds the engine-wide telemetry
 // counters and the activity energy model, whether or not per-operator
 // profiling was requested.
-func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOptions) (rapidRun, error) {
+func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOptions, h obs.ActiveHandle) (rapidRun, error) {
 	if opts.InjectRapidFailure {
 		return rapidRun{}, fmt.Errorf("hostdb: injected RAPID node failure")
 	}
@@ -311,11 +398,13 @@ func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOp
 	}
 	ctx := qef.NewContext(opts.RapidMode)
 	ctx.Metrics = db.metrics
-	adm, err := db.sched.Admit(goCtx, sched.Request{Cores: ctx.Workers()})
+	h.SetPhase("queued")
+	adm, err := db.sched.Admit(goCtx, sched.Request{Cores: ctx.Workers(), QueryID: h.ID()})
 	if err != nil {
 		return rapidRun{}, err
 	}
 	defer adm.Release()
+	h.SetPhase("executing")
 	ctx.SetGoContext(goCtx)
 	ctx.Exec = adm
 	var prof *obs.Profile
@@ -352,18 +441,32 @@ func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOp
 		})
 	}
 	totalCycles := int64(ctx.SoC.TotalCycles())
+	run.cycles = totalCycles
 	run.x86Sec = power.X86ModelSeconds(float64(totalCycles), ctx.DMS.Totals().Bytes)
 	if opts.RapidMode == qef.ModeDPU {
 		run.energy = power.DefaultEnergyModel().Activity(totalCycles, rdT.Bytes, wrT.Bytes, run.simSec)
 		run.hasEnergy = true
+		// The per-query histograms observe the exact integers added to the
+		// counters, so histogram sums reconcile with counter totals exactly
+		// (both stay below 2^53, where float64 addition is lossless).
+		actNJ := int64(run.energy.ActivityJoules() * 1e9)
+		idleNJ := int64(run.energy.IdleJ * 1e9)
+		run.energyNJ = actNJ + idleNJ
+		for _, co := range ctx.SoC.Cores() {
+			if hw := co.DMEM().HighWater(); hw > run.dmemHigh {
+				run.dmemHigh = hw
+			}
+		}
 		m := db.metrics
 		m.Counter("rapid_dpcore_cycles_total").Add(totalCycles)
 		m.Counter("rapid_dms_read_bytes_total").Add(rdT.Bytes)
 		m.Counter("rapid_dms_write_bytes_total").Add(wrT.Bytes)
 		m.Counter("rapid_dms_descriptors_total").Add(int64(rdT.Descriptors + wrT.Descriptors))
 		m.Counter("rapid_sim_microseconds_total").Add(int64(run.simSec * 1e6))
-		m.Counter("rapid_activity_energy_nanojoules_total").Add(int64(run.energy.ActivityJoules() * 1e9))
-		m.Counter("rapid_idle_energy_nanojoules_total").Add(int64(run.energy.IdleJ * 1e9))
+		m.Counter("rapid_activity_energy_nanojoules_total").Add(actNJ)
+		m.Counter("rapid_idle_energy_nanojoules_total").Add(idleNJ)
+		m.Histogram("rapid_query_cycles", obs.DefCycleBuckets...).Observe(float64(totalCycles))
+		m.Histogram("rapid_query_energy_nanojoules", obs.DefEnergyNJBuckets...).Observe(float64(run.energyNJ))
 	}
 	return run, nil
 }

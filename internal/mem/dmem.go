@@ -37,6 +37,7 @@ func (e *ErrDMEMExhausted) Error() string {
 type DMEM struct {
 	capacity int
 	used     int
+	high     int   // max used since creation; survives Reset (observability)
 	marks    []int // stack of Mark offsets for scoped release
 }
 
@@ -65,6 +66,9 @@ func (d *DMEM) Alloc(n int) error {
 		return &ErrDMEMExhausted{Requested: n, Free: d.capacity - d.used}
 	}
 	d.used += n
+	if d.used > d.high {
+		d.high = d.used
+	}
 	return nil
 }
 
@@ -90,6 +94,11 @@ func (d *DMEM) Capacity() int { return d.capacity }
 
 // Used returns the currently reserved byte count.
 func (d *DMEM) Used() int { return d.used }
+
+// HighWater returns the maximum reserved byte count since creation. Unlike
+// Used it survives Reset (tasks reset DMEM between work units), so a query
+// that owns the core can read its true scratchpad footprint afterwards.
+func (d *DMEM) HighWater() int { return d.high }
 
 // Free returns the available byte count.
 func (d *DMEM) Free() int { return d.capacity - d.used }

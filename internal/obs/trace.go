@@ -20,6 +20,8 @@ type traceEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat,omitempty"`
 	Ph    string         `json:"ph"`
+	ID    int            `json:"id,omitempty"` // flow-event binding ("s"/"f" pairs)
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	TsUS  float64        `json:"ts"`
@@ -29,12 +31,13 @@ type traceEvent struct {
 
 // TraceBuilder accumulates queries into one Chrome trace.
 type TraceBuilder struct {
-	events  []traceEvent
-	nextPid int
+	events   []traceEvent
+	nextPid  int
+	nextFlow int
 }
 
 // NewTraceBuilder returns an empty trace.
-func NewTraceBuilder() *TraceBuilder { return &TraceBuilder{nextPid: 1} }
+func NewTraceBuilder() *TraceBuilder { return &TraceBuilder{nextPid: 1, nextFlow: 1} }
 
 // Empty reports whether no query has been added.
 func (b *TraceBuilder) Empty() bool { return b == nil || len(b.events) == 0 }

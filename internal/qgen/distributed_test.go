@@ -37,6 +37,9 @@ func TestDistributedDifferential(t *testing.T) {
 			}
 			executed++
 		}
+		if m := r.CheckJournal(); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
 		rejected += r.Rejected
 		r.Close()
 	}

@@ -35,6 +35,9 @@ func TestDifferentialSQL(t *testing.T) {
 			}
 			executed++
 		}
+		if m := r.CheckJournal(); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
 		rejected += r.Rejected
 	}
 	t.Logf("differential: %d queries checked across %d engines (%d rejected consistently)",
@@ -65,6 +68,9 @@ func TestMetamorphicTLP(t *testing.T) {
 			}
 			checked++
 		}
+		if m := r.CheckJournal(); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
 	}
 	t.Logf("tlp: %d queries partition-checked", checked)
 }
@@ -92,6 +98,9 @@ func TestMetamorphicTautology(t *testing.T) {
 				t.Fatalf("%s", m.Reproducer())
 			}
 			checked++
+		}
+		if m := r.CheckJournal(); m != nil {
+			t.Fatalf("%s", m.Reproducer())
 		}
 	}
 	t.Logf("tautology: %d queries checked", checked)
@@ -122,6 +131,9 @@ func TestConcurrentDifferential(t *testing.T) {
 				t.Fatalf("%s", m.Reproducer())
 			}
 			executed++
+		}
+		if m := r.CheckJournal(); m != nil {
+			t.Fatalf("%s", m.Reproducer())
 		}
 		r.Close()
 	}

@@ -9,6 +9,7 @@ import (
 
 	"rapid/internal/cluster"
 	"rapid/internal/hostdb"
+	"rapid/internal/obs"
 	"rapid/internal/ops"
 	"rapid/internal/power"
 	"rapid/internal/qef"
@@ -136,6 +137,40 @@ func (r *Runner) Close() {
 	}
 	r.primary.Close()
 	r.alt.Close()
+}
+
+// CheckJournal verifies the query-journal bookkeeping after a soak: every
+// engine execution the runner issued appears in exactly one journal with a
+// terminal outcome (tray-lane queries journal into the primary database's
+// journal), the cumulative outcome counters account for every record, and
+// no query is stuck in the active table. Call it once at the end of a run —
+// it compares totals, so partial checks mid-soak would race in-flight
+// queries.
+func (r *Runner) CheckJournal() *Mismatch {
+	var total int64
+	for _, db := range []*hostdb.Database{r.primary, r.alt} {
+		j := db.QueryJournal()
+		var sum int64
+		for _, o := range []obs.QueryOutcome{obs.OutcomeOK, obs.OutcomeShed, obs.OutcomeCanceled, obs.OutcomeError} {
+			sum += j.OutcomeCount(o)
+		}
+		if sum != j.Total() {
+			return r.mismatch("journal", "", fmt.Sprintf(
+				"outcome counters sum to %d but the journal total is %d", sum, j.Total()))
+		}
+		total += j.Total()
+	}
+	if total != int64(r.Executed) {
+		return r.mismatch("journal", "", fmt.Sprintf(
+			"journals hold %d records but the runner issued %d engine executions", total, r.Executed))
+	}
+	for _, db := range []*hostdb.Database{r.primary, r.alt} {
+		if act := db.ActiveQueries(); len(act) != 0 {
+			return r.mismatch("journal", "", fmt.Sprintf(
+				"%d queries still in the active table after the soak", len(act)))
+		}
+	}
+	return nil
 }
 
 // engineRun is one engine's outcome for a query.

@@ -95,6 +95,10 @@ func (c Config) withDefaults() Config {
 
 // Request describes one query's resource demand at admission time.
 type Request struct {
+	// QueryID is the fleet-wide query identifier (obs.ActiveSet allocated),
+	// carried through admission so scheduler-side records and the query
+	// journal reconcile by ID. Zero means unidentified.
+	QueryID uint64
 	// Cores is the number of virtual cores the query's context will use.
 	// Zero means the full shared SoC.
 	Cores int
@@ -368,6 +372,10 @@ type Admission struct {
 
 // QueueWait returns how long the query waited in the admission queue.
 func (a *Admission) QueueWait() time.Duration { return a.wait }
+
+// QueryID returns the fleet-wide query identifier the request carried
+// (zero when the caller did not assign one).
+func (a *Admission) QueryID() uint64 { return a.req.QueryID }
 
 // Release returns the query's reservation, unblocking queued admissions.
 // Call it exactly once, after the last RunUnits call has returned.

@@ -30,10 +30,17 @@ import (
 	"rapid/internal/coltypes"
 	"rapid/internal/encoding"
 	"rapid/internal/hostdb"
+	"rapid/internal/obs"
 	"rapid/internal/qef"
 	"rapid/internal/sched"
 	"rapid/internal/storage"
 )
+
+// ActiveQuery is one in-flight query as reported by ActiveQueries.
+type ActiveQuery = obs.ActiveQuery
+
+// QueryRecord is one completed query's journal entry.
+type QueryRecord = obs.QueryRecord
 
 // ErrOverloaded is returned when the shared-SoC scheduler's admission queue
 // is full: the query was shed, not queued. Callers should retry with backoff
@@ -170,11 +177,14 @@ func OpenWith(cfg Config) *DB {
 	}
 	db := &DB{host: hostdb.NewWithConfig(nil, scfg)}
 	if cfg.Nodes >= 1 {
-		// cluster.New only fails on Nodes < 1, checked above.
+		// cluster.New only fails on Nodes < 1, checked above. The tray
+		// shares the host's registry so /metrics exposes one fleet-wide
+		// surface (host, scheduler, per-node rapid_* and net_* series).
 		db.tray, _ = cluster.New(db.host, cluster.Config{
 			Nodes:            cfg.Nodes,
 			ReplicateMaxRows: cfg.ReplicateMaxRows,
 			Sched:            scfg,
+			Metrics:          db.host.Metrics(),
 		})
 	}
 	return db
@@ -196,6 +206,35 @@ func (db *DB) Host() *hostdb.Database { return db.host }
 // Tray exposes the multi-node tray, nil unless Config.Nodes >= 1
 // (advanced use: shard inspection, per-node schedulers, net telemetry).
 func (db *DB) Tray() *cluster.Tray { return db.tray }
+
+// Metrics returns the telemetry registry. Host, scheduler and (when a tray
+// is attached) per-node engine series all land in this one registry.
+func (db *DB) Metrics() *obs.Registry { return db.host.Metrics() }
+
+// QueryJournal returns the query journal: a bounded ring of per-query
+// completion records (fingerprint, mode, nodes, rows, cycles, energy,
+// queue wait, outcome) with cumulative outcome counters, a slow-query
+// threshold and JSONL export. Tray queries journal here too.
+func (db *DB) QueryJournal() *obs.Journal { return db.host.QueryJournal() }
+
+// ActiveQueries returns a snapshot of the queries in flight right now —
+// single-node and tray executions alike — sorted by QueryID.
+func (db *DB) ActiveQueries() []ActiveQuery { return db.host.ActiveQueries() }
+
+// CancelQuery cancels the in-flight query with the given ID (as shown by
+// ActiveQueries or a Result's QueryID). It returns false when no such
+// query is running. The canceled query returns context.Canceled and
+// journals a "canceled" outcome.
+func (db *DB) CancelQuery(id uint64) bool { return db.host.CancelQuery(id) }
+
+// ServeTelemetry starts an HTTP exporter on addr ("127.0.0.1:0" picks a
+// free port): Prometheus text on /metrics, the live active-query table and
+// recent journal records on /debug/queries, and — when pprof is true — the
+// Go runtime profiles on /debug/pprof/*. Close the returned server to stop
+// it.
+func (db *DB) ServeTelemetry(addr string, pprof bool) (*obs.TelemetryServer, error) {
+	return db.host.ServeTelemetryWith(addr, pprof)
+}
 
 // CreateTable registers a table.
 func (db *DB) CreateTable(name string, cols ...Column) error {
@@ -302,6 +341,7 @@ func (db *DB) queryTray(ctx context.Context, sql string, opts Options) (*Result,
 	}
 	return &Result{r: &hostdb.QueryResult{
 		Rel:             res.Rel,
+		QueryID:         res.QueryID,
 		Offloaded:       true,
 		RapidWall:       time.Since(start),
 		RapidSimSeconds: res.SimSeconds,
@@ -383,6 +423,10 @@ func (r *Result) SimulatedSeconds() float64 { return r.r.RapidSimSeconds }
 // QueueWait returns the time the query spent in the shared-SoC scheduler's
 // admission queue (zero for host-engine queries and immediate admissions).
 func (r *Result) QueueWait() time.Duration { return r.r.QueueWait }
+
+// QueryID returns the fleet-wide identifier the query was journaled under
+// (usable with CancelQuery while running, and to find its journal record).
+func (r *Result) QueryID() uint64 { return r.r.QueryID }
 
 // Explain returns the bound logical plan.
 func (r *Result) Explain() string { return r.r.Explain }
