@@ -52,6 +52,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while the suite runs")
 	pprofOn := flag.Bool("pprof", false, "expose Go runtime profiles on /debug/pprof/* of the -metrics endpoint")
 	metricsOut := flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file")
+	pruning := flag.Bool("pruning", false, "run the zone-map pruning effectiveness experiment (shipdate-clustered lineitem, pruning on vs off)")
 	flag.Parse()
 
 	fmt.Println("RAPID reproduction benchmark suite")
@@ -74,6 +75,22 @@ func main() {
 		for _, t := range bench.RunAblations(*microRows) {
 			fmt.Println(t)
 		}
+	}
+
+	if *pruning {
+		fmt.Printf("building shipdate-clustered TPC-H workload at SF %.3f...\n", *sf)
+		cdb, err := bench.SetupTPCHClustered(*sf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pruning setup:", err)
+			os.Exit(1)
+		}
+		runs, err := bench.RunPruning(cdb, []string{"Q6", "Q14"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pruning:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RunPruningTable(runs))
+		cdb.Close()
 	}
 
 	if *skipTPCH && *profilePath == "" && *tracePath == "" && *clients == 0 && *trayNodes == "" && *trayTracePath == "" {

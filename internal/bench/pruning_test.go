@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestQ6PruningFloor is the ISSUE acceptance bar for zone-map pruning: on a
+// shipdate-clustered SF 0.05 lineitem, Q6's one-year shipdate range must
+// prune at least half of all scannable tiles, bill strictly fewer cycles
+// than the force-disabled run, and return the identical answer (checked
+// inside RunPruning).
+func TestQ6PruningFloor(t *testing.T) {
+	db, err := SetupTPCHClustered(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	runs, err := RunPruning(db, []string{"Q6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runs[0]
+	if r.TilesTotal == 0 {
+		t.Fatal("Q6 profile reported no scannable tiles")
+	}
+	if rate := r.SkipRate(); rate < 0.5 {
+		t.Fatalf("Q6 skip rate = %.1f%% (%d/%d tiles), want >= 50%%",
+			100*rate, r.TilesPruned, r.TilesTotal)
+	}
+	if r.CyclesOn >= r.CyclesOff {
+		t.Fatalf("pruned run billed %d cycles, unpruned %d — skipped tiles are not free",
+			r.CyclesOn, r.CyclesOff)
+	}
+	tbl := RunPruningTable(runs)
+	if len(tbl.Rows) != len(runs) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(runs))
+	}
+	t.Logf("\n%s", tbl)
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rapid/internal/coltypes"
 	"rapid/internal/obs"
 	"rapid/internal/ops"
 	"rapid/internal/plan"
@@ -31,6 +32,10 @@ type QueryOptions struct {
 	// stitched Chrome trace with a lane per node and flow events for every
 	// cross-node data stream.
 	Trace bool
+	// DisablePruning turns off zone-map pruning at every level (shard
+	// fragments at the coordinator, tiles inside each node). Metamorphic
+	// test lanes use it to assert pruning never changes results.
+	DisablePruning bool
 }
 
 // NodeStats is one node's resource consumption for a query.
@@ -88,6 +93,12 @@ type Result struct {
 	// node during the query (ModeDPU only).
 	DMEMHighWater int
 
+	// ShardsPruned counts node fragments the coordinator skipped entirely
+	// because the shard's zone summary proved the fragment empty; TilesPruned
+	// sums the tiles zone maps skipped inside the nodes that did run.
+	ShardsPruned int
+	TilesPruned  int64
+
 	Explain string // logical plan (coordinator binding)
 	Analyze string // distributed EXPLAIN ANALYZE (when requested)
 
@@ -123,6 +134,9 @@ type query struct {
 
 	traceOn bool           // record fragment profiles + exchange spans
 	trace   []obs.DistStep // stitched-trace steps, in execution order
+
+	noPrune      bool // QueryOptions.DisablePruning, fanned to every context
+	shardsPruned int  // node fragments skipped via shard zone summaries
 }
 
 func (q *query) nodes() int { return len(q.nctx) }
@@ -247,6 +261,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 		t: t, reg: t.reg, link: t.link, mode: opts.Mode,
 		outer: goCtx, goCtx: qctx, cancel: cancel,
 		traceOn: opts.Trace,
+		noPrune: opts.DisablePruning,
 	}
 
 	// Per-node admission: each node's scheduler enforces its own
@@ -262,6 +277,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 	for i := 0; i < n; i++ {
 		ctx := qef.NewContext(opts.Mode)
 		ctx.Metrics = t.reg
+		ctx.NoPrune = opts.DisablePruning
 		adm, aerr := t.nodes[i].sched.Admit(goCtx, sched.Request{Cores: ctx.Workers(), QueryID: h.ID()})
 		if aerr != nil {
 			release()
@@ -276,6 +292,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 	h.SetPhase("executing")
 	q.coord = qef.NewContext(opts.Mode)
 	q.coord.Metrics = t.reg
+	q.coord.NoPrune = opts.DisablePruning
 	q.coord.SetGoContext(qctx)
 
 	rel, err := q.exec(plans)
@@ -289,8 +306,9 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 	res := &Result{
 		Rel: rel, Nodes: n,
 		NetSeconds: q.netSeconds, NetRows: q.netRows, NetBytes: q.netBytes, NetTiles: q.netTiles,
-		Exchanges: q.stats,
-		Explain:   plan.Format(bound),
+		Exchanges:    q.stats,
+		Explain:      plan.Format(bound),
+		ShardsPruned: q.shardsPruned,
 	}
 	em := power.DefaultEnergyModel()
 	var totCycles, totRd, totWr int64
@@ -304,6 +322,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 		totCycles += cy
 		totRd += rd.Bytes
 		totWr += wr.Bytes
+		res.TilesPruned += ctx.TilesPruned()
 		if sim > res.NodeSimSeconds {
 			res.NodeSimSeconds = sim
 		}
@@ -312,6 +331,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 		}
 	}
 	crd, cwr := q.coord.DMS.TotalsByDir()
+	res.TilesPruned += q.coord.TilesPruned()
 	totCycles += int64(q.coord.SoC.TotalCycles())
 	totRd += crd.Bytes
 	totWr += cwr.Bytes
@@ -459,7 +479,10 @@ func (q *query) distributedGroupBy(nodes []plan.Node, rec *recipe) (*ops.Relatio
 			gi := nodes[i].(*plan.GroupBy)
 			trees[i] = &plan.GroupBy{Input: rec.trees[i], Keys: gi.Keys, Aggs: gi.Aggs}
 		}
-		parts, err := q.runNodes(trees, rec.leaves, "group-by (replicated)", true)
+		// prunable=false: an aggregation over an empty input still yields
+		// identity rows (scalar aggregates), so skipping the fragment would
+		// change the answer.
+		parts, err := q.runNodes(trees, rec.leaves, "group-by (replicated)", true, false)
 		if err != nil {
 			return nil, err
 		}
@@ -470,7 +493,7 @@ func (q *query) distributedGroupBy(nodes []plan.Node, rec *recipe) (*ops.Relatio
 		gi := nodes[i].(*plan.GroupBy)
 		trees[i] = &plan.GroupBy{Input: rec.trees[i], Keys: gi.Keys, Aggs: partialAggs(gi)}
 	}
-	parts, err := q.runNodes(trees, rec.leaves, "partial group-by", false)
+	parts, err := q.runNodes(trees, rec.leaves, "partial group-by", false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -490,7 +513,9 @@ func (q *query) distributedGroupBy(nodes []plan.Node, rec *recipe) (*ops.Relatio
 // per node (only node 0 when only0 — replicated fragments need a single
 // execution).
 func (q *query) materialize(rec *recipe, only0 bool, label string) ([]*ops.Relation, error) {
-	return q.runNodes(rec.trees, rec.leaves, label, only0)
+	// Materialized fragments merge with union semantics, so a fragment the
+	// shard zones prove empty can be replaced by an empty relation.
+	return q.runNodes(rec.trees, rec.leaves, label, only0, true)
 }
 
 // fragSnap is one context's cumulative counters at a fragment boundary.
@@ -561,7 +586,13 @@ func finishFrag(prof *obs.Profile, ctx *qef.Context, s fragSnap) {
 // on its own node context (its scheduler's worker pool in ModeDPU). The
 // first failing node cancels the shared query context, stopping the others
 // at their next tile or work-unit boundary.
-func (q *query) runNodes(trees []plan.Node, leaves []map[plan.Node]*ops.Relation, label string, only0 bool) ([]*ops.Relation, error) {
+//
+// When prunable (union-semantics fragments only), the coordinator first
+// consults each shard's zone summary: a fragment the summary proves empty is
+// never compiled, admitted or executed — its node contributes a zero-row
+// relation with the fragment's schema and burns no cycles, DMS traffic or
+// energy.
+func (q *query) runNodes(trees []plan.Node, leaves []map[plan.Node]*ops.Relation, label string, only0, prunable bool) ([]*ops.Relation, error) {
 	n := len(trees)
 	count := n
 	if only0 {
@@ -569,12 +600,32 @@ func (q *query) runNodes(trees []plan.Node, leaves []map[plan.Node]*ops.Relation
 	}
 	res := make([]*ops.Relation, n)
 	errs := make([]error, count)
+	var skip []bool
+	if prunable && !q.noPrune {
+		skip = make([]bool, count)
+		pruned := 0
+		for i := 0; i < count; i++ {
+			if qcomp.ShardZonePruned(trees[i]) {
+				skip[i] = true
+				res[i] = emptyRelation(trees[i].Schema())
+				pruned++
+			}
+		}
+		if pruned > 0 {
+			q.shardsPruned += pruned
+			q.reg.Counter("rapid_shards_pruned_total").Add(int64(pruned))
+			q.step("shard zones pruned %d/%d %s fragments", pruned, count, label)
+		}
+	}
 	var profs []*obs.Profile
 	if q.traceOn {
 		profs = make([]*obs.Profile, n)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < count; i++ {
+		if skip != nil && skip[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -638,6 +689,18 @@ func (q *query) pickError(errs []error) error {
 		}
 	}
 	return anyErr
+}
+
+// emptyRelation builds a zero-row relation with the given schema — the
+// stand-in result of a shard-pruned fragment, keeping column names, types
+// and dictionaries so downstream merges see the same shape as an executed
+// fragment that matched nothing.
+func emptyRelation(fields []plan.Field) *ops.Relation {
+	cols := make([]ops.Col, len(fields))
+	for i, f := range fields {
+		cols[i] = ops.Col{Name: f.Name, Type: f.Type, Dict: f.Dict, Data: coltypes.I64{}}
+	}
+	return &ops.Relation{Cols: cols}
 }
 
 func opName(n plan.Node) string {

@@ -106,6 +106,8 @@ func (t *Tray) describeMetrics() {
 	t.reg.Describe("rapid_net_rows_total", "Rows moved across tray nodes (co-located deliveries excluded).")
 	t.reg.Describe("rapid_net_bytes_total", "Bytes moved across tray nodes in the widened 8-byte exchange format.")
 	t.reg.Describe("rapid_net_tiles_total", "Link messages (exchange tiles) sent between tray nodes.")
+	t.reg.Describe("rapid_shards_pruned_total", "Node fragments skipped before fan-out because shard zone summaries proved them empty.")
+	t.reg.Describe("rapid_tiles_pruned_total", "Storage tiles skipped by zone maps without DMEM admission, DMS traffic, cycles or energy.")
 	t.reg.Describe("rapid_net_microseconds_total", "Modeled serialized interconnect time.")
 	t.reg.Describe("rapid_net_energy_nanojoules_total", "Interconnect transfer energy (LinkFJPerByte).")
 }

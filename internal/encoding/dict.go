@@ -197,19 +197,21 @@ func (d *Dict) MatchCodes(match func(string) bool) *CodeSet {
 }
 
 // CompareCodes returns the set of codes whose strings satisfy `s op val`
-// for op in <, <=, >, >=.
-func (d *Dict) CompareCodes(op string, val string) *CodeSet {
+// for op in <, <=, >, >=. An unsupported operator is a query error (the
+// generic comparison path upstream should have handled =/<>), not a panic:
+// a malformed plan must fail the query, not crash the worker.
+func (d *Dict) CompareCodes(op string, val string) (*CodeSet, error) {
 	switch op {
 	case "<":
-		return d.RangeCodes("", val, true, false)
+		return d.RangeCodes("", val, true, false), nil
 	case "<=":
-		return d.RangeCodes("", val, true, true)
+		return d.RangeCodes("", val, true, true), nil
 	case ">":
-		return d.RangeCodes(val, "", false, true)
+		return d.RangeCodes(val, "", false, true), nil
 	case ">=":
-		return d.RangeCodes(val, "", true, true)
+		return d.RangeCodes(val, "", true, true), nil
 	}
-	panic(fmt.Sprintf("encoding: unsupported dict comparison %q", op))
+	return nil, fmt.Errorf("encoding: unsupported dict comparison %q", op)
 }
 
 // SortRank returns, for each code, its rank in string order. ORDER BY on a

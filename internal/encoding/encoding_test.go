@@ -221,17 +221,28 @@ func TestDictCompareCodes(t *testing.T) {
 	for _, w := range []string{"a", "b", "c", "d"} {
 		d.Add(w)
 	}
-	if cs := d.CompareCodes("<", "c"); cs.Count() != 2 {
+	cmp := func(op, val string) *CodeSet {
+		t.Helper()
+		cs, err := d.CompareCodes(op, val)
+		if err != nil {
+			t.Fatalf("CompareCodes(%q, %q): %v", op, val, err)
+		}
+		return cs
+	}
+	if cs := cmp("<", "c"); cs.Count() != 2 {
 		t.Fatalf("< c: %d", cs.Count())
 	}
-	if cs := d.CompareCodes("<=", "c"); cs.Count() != 3 {
+	if cs := cmp("<=", "c"); cs.Count() != 3 {
 		t.Fatalf("<= c: %d", cs.Count())
 	}
-	if cs := d.CompareCodes(">", "a"); cs.Count() != 3 {
+	if cs := cmp(">", "a"); cs.Count() != 3 {
 		t.Fatalf("> a: %d", cs.Count())
 	}
-	if cs := d.CompareCodes(">=", "b"); cs.Count() != 3 {
+	if cs := cmp(">=", "b"); cs.Count() != 3 {
 		t.Fatalf(">= b: %d", cs.Count())
+	}
+	if _, err := d.CompareCodes("~", "c"); err == nil {
+		t.Fatal("unsupported operator must be an error, not a panic")
 	}
 }
 

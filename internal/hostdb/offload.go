@@ -48,6 +48,10 @@ type QueryOptions struct {
 	// finished profile is returned in QueryResult.Profile. Also set by the
 	// EXPLAIN ANALYZE prefix.
 	Profile bool
+	// DisablePruning turns off zone-map scan pruning for this query. Results
+	// must be identical either way (the metamorphic test lanes assert it);
+	// the switch exists for those lanes and for isolating pruning effects.
+	DisablePruning bool
 }
 
 // QueryResult is the outcome of one query.
@@ -96,6 +100,10 @@ type QueryResult struct {
 	// DMEMHighWater is the largest per-core scratchpad reservation the query
 	// reached, bytes (ModeDPU offloads; zero otherwise).
 	DMEMHighWater int
+	// TilesPruned is the number of storage chunks zone-map pruning skipped
+	// during the RAPID execution (zero on the host path or with pruning
+	// disabled).
+	TilesPruned int64
 }
 
 // RapidFraction returns the share of elapsed wall time spent in RAPID.
@@ -312,6 +320,7 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions, h 
 				res.Cycles = run.cycles
 				res.EnergyNJ = run.energyNJ
 				res.DMEMHighWater = run.dmemHigh
+				res.TilesPruned = run.tilesPruned
 				res.HostWall = time.Since(hostStart) - run.wall
 				return res, nil
 			}
@@ -366,17 +375,18 @@ func walkScans(n plan.Node, fn func(*plan.Scan)) {
 
 // rapidRun is the outcome of one RAPID execution.
 type rapidRun struct {
-	rel       *ops.Relation
-	wall      time.Duration
-	queueWait time.Duration
-	simSec    float64
-	x86Sec    float64
-	prof      *obs.Profile
-	energy    power.Breakdown
-	hasEnergy bool
-	cycles    int64
-	energyNJ  int64 // activity + idle nanojoules, as fed to the counters
-	dmemHigh  int   // max per-core DMEM high-water, bytes
+	rel         *ops.Relation
+	wall        time.Duration
+	queueWait   time.Duration
+	simSec      float64
+	x86Sec      float64
+	prof        *obs.Profile
+	energy      power.Breakdown
+	hasEnergy   bool
+	cycles      int64
+	energyNJ    int64 // activity + idle nanojoules, as fed to the counters
+	dmemHigh    int   // max per-core DMEM high-water, bytes
+	tilesPruned int64 // chunks skipped by zone-map pruning
 }
 
 // runRapid is the RAPID operator (§3.1): it serializes the fragment plan to
@@ -398,6 +408,7 @@ func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOp
 	}
 	ctx := qef.NewContext(opts.RapidMode)
 	ctx.Metrics = db.metrics
+	ctx.NoPrune = opts.DisablePruning
 	h.SetPhase("queued")
 	adm, err := db.sched.Admit(goCtx, sched.Request{Cores: ctx.Workers(), QueryID: h.ID()})
 	if err != nil {
@@ -418,7 +429,7 @@ func (db *Database) runRapid(goCtx context.Context, node plan.Node, opts QueryOp
 	if err != nil {
 		return rapidRun{wall: wall, queueWait: adm.QueueWait()}, err
 	}
-	run := rapidRun{rel: rel, wall: wall, queueWait: adm.QueueWait(), simSec: ctx.SimElapsed(), prof: prof}
+	run := rapidRun{rel: rel, wall: wall, queueWait: adm.QueueWait(), simSec: ctx.SimElapsed(), prof: prof, tilesPruned: ctx.TilesPruned()}
 	rdT, wrT := ctx.DMS.TotalsByDir()
 	if prof != nil {
 		busR, busW := ctx.BusSeconds()

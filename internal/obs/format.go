@@ -111,6 +111,11 @@ func (p *Profile) Format() string {
 	if p.totals.QueueWaitSeconds > 0 {
 		fmt.Fprintf(&b, "queue_wait %.3fms (shared-SoC admission)\n", p.totals.QueueWaitSeconds*1e3)
 	}
+	if tot := p.TilesTotal(); tot > 0 {
+		pruned := p.TilesPruned()
+		fmt.Fprintf(&b, "tiles_pruned %d/%d (%.1f%%) via zone maps, %d scanned\n",
+			pruned, tot, 100*float64(pruned)/float64(tot), p.TilesScanned())
+	}
 	if p.isDPU() {
 		fmt.Fprintf(&b, "energy %.6g J (core %.6g + dms %.6g + idle %.6g)  provisioned %.6g J",
 			rep.Query.TotalJoules(),

@@ -59,20 +59,32 @@ type OpSpan struct {
 	rowsOut    []int64
 	tilesIn    []int64
 	tilesOut   []int64
+
+	// Zone-map scan accounting, in storage-chunk granularity (the accessor
+	// may sub-tile a chunk under DMEM degradation, so chunks — not accessor
+	// tiles — are the stable unit). chunksTotal/chunksPruned are written by
+	// the orchestrator (slot 0); chunksScanned is ticked per work unit on its
+	// core. Invariant: pruned + scanned == total per span.
+	chunksTotal   []int64
+	chunksPruned  []int64
+	chunksScanned []int64
 }
 
 func newOpSpan(cores int) *OpSpan {
 	return &OpSpan{
-		cycles:     make([]int64, cores),
-		wallNs:     make([]int64, cores),
-		readBytes:  make([]int64, cores),
-		writeBytes: make([]int64, cores),
-		readSec:    make([]float64, cores),
-		writeSec:   make([]float64, cores),
-		rowsIn:     make([]int64, cores),
-		rowsOut:    make([]int64, cores),
-		tilesIn:    make([]int64, cores),
-		tilesOut:   make([]int64, cores),
+		cycles:        make([]int64, cores),
+		wallNs:        make([]int64, cores),
+		readBytes:     make([]int64, cores),
+		writeBytes:    make([]int64, cores),
+		readSec:       make([]float64, cores),
+		writeSec:      make([]float64, cores),
+		rowsIn:        make([]int64, cores),
+		rowsOut:       make([]int64, cores),
+		tilesIn:       make([]int64, cores),
+		tilesOut:      make([]int64, cores),
+		chunksTotal:   make([]int64, cores),
+		chunksPruned:  make([]int64, cores),
+		chunksScanned: make([]int64, cores),
 	}
 }
 
@@ -122,6 +134,32 @@ func (s *OpSpan) TickOut(core int, rows int64) {
 	}
 	s.rowsOut[core] += rows
 	s.tilesOut[core]++
+}
+
+// AddTilesTotal records the scan's total chunk (zone-map tile) count,
+// orchestrator-side before fan-out.
+func (s *OpSpan) AddTilesTotal(n int64) {
+	if s == nil {
+		return
+	}
+	s.chunksTotal[0] += n
+}
+
+// AddTilesPruned records chunks skipped by zone-map pruning,
+// orchestrator-side before fan-out.
+func (s *OpSpan) AddTilesPruned(n int64) {
+	if s == nil {
+		return
+	}
+	s.chunksPruned[0] += n
+}
+
+// TickTileScanned counts one chunk actually scanned, on its core.
+func (s *OpSpan) TickTileScanned(core int) {
+	if s == nil {
+		return
+	}
+	s.chunksScanned[core]++
 }
 
 // AddRowsIn counts materialized input rows (orchestrator-side, no tile).
@@ -185,6 +223,16 @@ func (s *OpSpan) TilesIn() int64 { return sum64(s.tilesIn) }
 
 // TilesOut returns total output tiles.
 func (s *OpSpan) TilesOut() int64 { return sum64(s.tilesOut) }
+
+// TilesTotal returns the span's total scannable chunks (zero for non-scan
+// spans).
+func (s *OpSpan) TilesTotal() int64 { return sum64(s.chunksTotal) }
+
+// TilesPruned returns chunks the span skipped via zone maps.
+func (s *OpSpan) TilesPruned() int64 { return sum64(s.chunksPruned) }
+
+// TilesScanned returns chunks the span actually scanned.
+func (s *OpSpan) TilesScanned() int64 { return sum64(s.chunksScanned) }
 
 // Totals are the whole-query counters frozen into a profile after
 // execution; CheckInvariants reconciles the spans against them.
@@ -272,6 +320,42 @@ func (p *Profile) Totals() Totals { return p.totals }
 // TotalCycles returns the whole-query cycle total (sum over cores).
 func (p *Profile) TotalCycles() int64 { return sum64(p.totals.CoreCycles) }
 
+// TilesTotal returns the query-wide scannable chunk count over all spans.
+func (p *Profile) TilesTotal() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range p.spans {
+		n += s.TilesTotal()
+	}
+	return n
+}
+
+// TilesPruned returns the query-wide zone-pruned chunk count over all spans.
+func (p *Profile) TilesPruned() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range p.spans {
+		n += s.TilesPruned()
+	}
+	return n
+}
+
+// TilesScanned returns the query-wide scanned chunk count over all spans.
+func (p *Profile) TilesScanned() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range p.spans {
+		n += s.TilesScanned()
+	}
+	return n
+}
+
 // CheckInvariants verifies that the per-operator decomposition exactly
 // reconciles with the whole-query totals:
 //
@@ -282,7 +366,11 @@ func (p *Profile) TotalCycles() int64 { return sum64(p.totals.CoreCycles) }
 //     busier direction;
 //  4. along every conserving data-flow edge, parent rows-in equals the
 //     summed rows-out of its children (skipped after a runtime plan
-//     adaptation, which re-executes part of the stream).
+//     adaptation, which re-executes part of the stream);
+//  5. per scan span, zone-pruned plus scanned chunks equal the scan's total
+//     chunks — no tile silently disappears and no tile is double-counted
+//     (also skipped after a plan adaptation, which aborts a scan mid-stream
+//     before re-executing it).
 func (p *Profile) CheckInvariants() error {
 	if p == nil {
 		return nil
@@ -356,6 +444,23 @@ func (p *Profile) CheckInvariants() error {
 			}
 		}
 	}
+	// 5. Zone-map pruning accounting: pruned + scanned == total per span.
+	if !p.adapted {
+		for i, s := range p.spans {
+			total := s.TilesTotal()
+			if total == 0 && s.TilesPruned() == 0 && s.TilesScanned() == 0 {
+				continue
+			}
+			if got := s.TilesPruned() + s.TilesScanned(); got != total {
+				name := ""
+				if i < len(p.Defs) {
+					name = p.Defs[i].Name
+				}
+				return fmt.Errorf("obs: operator %d (%s) pruned %d + scanned %d != total tiles %d",
+					i, name, s.TilesPruned(), s.TilesScanned(), total)
+			}
+		}
+	}
 	return nil
 }
 
@@ -387,6 +492,9 @@ type SpanSummary struct {
 	RowsOut      int64    `json:"rows_out"`
 	TilesIn      int64    `json:"tiles_in"`
 	TilesOut     int64    `json:"tiles_out"`
+	TilesTotal   int64    `json:"tiles_total,omitempty"`
+	TilesPruned  int64    `json:"tiles_pruned,omitempty"`
+	TilesScanned int64    `json:"tiles_scanned,omitempty"`
 }
 
 // EnergySummary is the JSON rendering of a query's activity energy.
@@ -414,6 +522,9 @@ type Summary struct {
 	TotalCycles      int64          `json:"total_cycles"`
 	DMSReadBytes     int64          `json:"dms_read_bytes"`
 	DMSWriteBytes    int64          `json:"dms_write_bytes"`
+	TilesTotal       int64          `json:"tiles_total,omitempty"`
+	TilesPruned      int64          `json:"tiles_pruned,omitempty"`
+	TilesScanned     int64          `json:"tiles_scanned,omitempty"`
 	Energy           *EnergySummary `json:"energy,omitempty"`
 	Ops              []SpanSummary  `json:"ops"`
 }
@@ -435,6 +546,9 @@ func (p *Profile) Summary() Summary {
 		TotalCycles:      p.TotalCycles(),
 		DMSReadBytes:     p.totals.DMSReadBytes,
 		DMSWriteBytes:    p.totals.DMSWriteBytes,
+		TilesTotal:       p.TilesTotal(),
+		TilesPruned:      p.TilesPruned(),
+		TilesScanned:     p.TilesScanned(),
 	}
 	var rep EnergyReport
 	if p.isDPU() {
@@ -458,6 +572,7 @@ func (p *Profile) Summary() Summary {
 			ReadSeconds: s.ReadSeconds(), WriteSeconds: s.WriteSeconds(),
 			RowsIn: s.RowsIn(), RowsOut: s.RowsOut(),
 			TilesIn: s.TilesIn(), TilesOut: s.TilesOut(),
+			TilesTotal: s.TilesTotal(), TilesPruned: s.TilesPruned(), TilesScanned: s.TilesScanned(),
 		}
 		if out.Energy != nil {
 			ss.EnergyUJ = fjJoules(rep.Spans[i].ActivityFJ()) * 1e6

@@ -156,7 +156,7 @@ func TestScanFilterCollect(t *testing.T) {
 				Next: sink,
 			}
 		}
-		if err := TableScan(ctx, snap, []int{0, 1}, 256, chain); err != nil {
+		if err := TableScan(ctx, snap, []int{0, 1}, 256, nil, chain); err != nil {
 			t.Fatal(err)
 		}
 		rel := sink.Relation()
@@ -185,7 +185,7 @@ func TestScanSeesDeletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	sink := &CountSink{}
-	err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0}, 256, func() qef.Operator { return sink })
+	err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0}, 256, nil, func() qef.Operator { return sink })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestFilterRIDSwitch(t *testing.T) {
 			Next:  probe,
 		}
 	}
-	if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0}, 512, chain); err != nil {
+	if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0}, 512, nil, chain); err != nil {
 		t.Fatal(err)
 	}
 	if !probe.sawRIDs {
@@ -251,7 +251,7 @@ func TestMaterializeAndProject(t *testing.T) {
 				},
 			}
 		}
-		if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0, 1}, 256, chain); err != nil {
+		if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0, 1}, 256, nil, chain); err != nil {
 			t.Fatal(err)
 		}
 		rel := sink.Relation()
@@ -282,7 +282,7 @@ func TestScalarAgg(t *testing.T) {
 				Next:  &ScalarAggOp{Specs: specs, Result: res},
 			}
 		}
-		if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0, 1}, 256, chain); err != nil {
+		if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0, 1}, 256, nil, chain); err != nil {
 			t.Fatal(err)
 		}
 		// v<10: 30 full hundreds -> 300 rows, sum v = 30*(0..9)=30*45=1350.
@@ -314,7 +314,7 @@ func TestGroupByLowNDV(t *testing.T) {
 				Merger:    merger,
 			}
 		}
-		if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0, 1, 2}, 256, chain); err != nil {
+		if err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0, 1, 2}, 256, nil, chain); err != nil {
 			t.Fatal(err)
 		}
 		if merger.NumGroups() != 7 {
@@ -348,7 +348,7 @@ func TestGroupByOverflowErrors(t *testing.T) {
 	chain := func() qef.Operator {
 		return &GroupByOp{GroupCols: []int{0}, MaxGroups: 4, Merger: merger}
 	}
-	err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0}, 256, chain)
+	err := TableScan(ctx, tbl.Snapshot(storage.LatestSCN), []int{0}, 256, nil, chain)
 	if err == nil {
 		t.Fatal("expected group overflow error (NDV 1000 vs table 4)")
 	}

@@ -180,17 +180,22 @@ func swPartitionRound(ctx *qef.Context, in *PartitionedRel, fanout int, shift ui
 		pi := pi
 		units = append(units, func(tc *qef.TaskCtx) error {
 			return swPartitionOne(tc, in.Cols[pi], in.Hashes[pi], fanout, shift, tileRows,
-				func(child int, cols []coltypes.Data, hv []uint32) {
+				func(child int, cols []coltypes.Data, hv []uint32) error {
 					slot := pi*fanout + child
 					if out.Cols[slot] == nil {
 						out.Cols[slot] = cols
 						out.Hashes[slot] = hv
-						return
+						return nil
 					}
 					for c := range cols {
-						out.Cols[slot][c] = appendData(out.Cols[slot][c], cols[c])
+						nd, err := appendData(out.Cols[slot][c], cols[c])
+						if err != nil {
+							return err
+						}
+						out.Cols[slot][c] = nd
 					}
 					out.Hashes[slot] = append(out.Hashes[slot], hv...)
+					return nil
 				})
 		})
 	}
@@ -210,8 +215,8 @@ func swPartitionRound(ctx *qef.Context, in *PartitionedRel, fanout int, shift ui
 // swPartitionOne is the software partitioning operator over one input
 // partition. flush is called per (child, buffered rows) as DMEM buffers
 // fill; each input partition is owned by one core, so flush needs no
-// locking.
-func swPartitionOne(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, fanout int, shift uint, tileRows int, flush func(int, []coltypes.Data, []uint32)) error {
+// locking. A flush error aborts the unit.
+func swPartitionOne(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, fanout int, shift uint, tileRows int, flush func(int, []coltypes.Data, []uint32) error) error {
 	if len(hv) == 0 {
 		return nil
 	}
@@ -264,10 +269,10 @@ func swPartitionOne(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, fanout i
 		}
 		bufHash[p] = make([]uint32, bufRows)
 	}
-	doFlush := func(p int) {
+	doFlush := func(p int) error {
 		n := bufN[p]
 		if n == 0 {
-			return
+			return nil
 		}
 		outCols := make([]coltypes.Data, len(cols))
 		for c := range cols {
@@ -284,8 +289,11 @@ func swPartitionOne(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, fanout i
 			}
 			tc.AddTransfer(tc.Ctx.DMS.StreamWrite(bytes))
 		}
-		flush(p, outCols, outHv)
+		if err := flush(p, outCols, outHv); err != nil {
+			return err
+		}
 		bufN[p] = 0
+		return nil
 	}
 
 	n := len(hv)
@@ -330,30 +338,52 @@ func swPartitionOne(tc *qef.TaskCtx, cols []coltypes.Data, hv []uint32, fanout i
 				bufN[p] += take
 				sel = sel[take:]
 				if bufN[p] == bufRows {
-					doFlush(p)
+					if err := doFlush(p); err != nil {
+						return err
+					}
 				}
 			}
 		}
 	}
 	for p := 0; p < fanout; p++ {
-		doFlush(p)
+		if err := doFlush(p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// appendData concatenates two same-width columns.
-func appendData(a, b coltypes.Data) coltypes.Data {
+// appendData concatenates two same-width columns. A width mismatch or an
+// unknown representation is a query error carried up through the work unit —
+// fuzzed plans must not crash the worker.
+func appendData(a, b coltypes.Data) (coltypes.Data, error) {
 	switch av := a.(type) {
 	case coltypes.I8:
-		return append(av, b.(coltypes.I8)...)
+		bv, ok := b.(coltypes.I8)
+		if !ok {
+			return nil, fmt.Errorf("ops: cannot append %T to %T", b, a)
+		}
+		return append(av, bv...), nil
 	case coltypes.I16:
-		return append(av, b.(coltypes.I16)...)
+		bv, ok := b.(coltypes.I16)
+		if !ok {
+			return nil, fmt.Errorf("ops: cannot append %T to %T", b, a)
+		}
+		return append(av, bv...), nil
 	case coltypes.I32:
-		return append(av, b.(coltypes.I32)...)
+		bv, ok := b.(coltypes.I32)
+		if !ok {
+			return nil, fmt.Errorf("ops: cannot append %T to %T", b, a)
+		}
+		return append(av, bv...), nil
 	case coltypes.I64:
-		return append(av, b.(coltypes.I64)...)
+		bv, ok := b.(coltypes.I64)
+		if !ok {
+			return nil, fmt.Errorf("ops: cannot append %T to %T", b, a)
+		}
+		return append(av, bv...), nil
 	}
-	panic(fmt.Sprintf("ops: unsupported data %T", a))
+	return nil, fmt.Errorf("ops: unsupported data %T", a)
 }
 
 func emptyLike(cols []coltypes.Data) []coltypes.Data {

@@ -1,0 +1,58 @@
+package ops
+
+import (
+	"errors"
+	"testing"
+
+	"rapid/internal/coltypes"
+	"rapid/internal/qef"
+)
+
+// fakeData is a Data representation the engine does not know how to append —
+// the stand-in for whatever a fuzzed plan smuggles into a partition flush.
+type fakeData struct{}
+
+func (fakeData) Len() int                     { return 1 }
+func (fakeData) Width() coltypes.Width        { return coltypes.W8 }
+func (fakeData) Get(int) int64                { return 0 }
+func (fakeData) Set(int, int64)               {}
+func (fakeData) Slice(int, int) coltypes.Data { return fakeData{} }
+func (fakeData) NewSame(int) coltypes.Data    { return fakeData{} }
+func (fakeData) SizeBytes() int               { return 8 }
+func (fakeData) CopyFrom(int, coltypes.Data)  {}
+
+// TestAppendDataMismatchIsError pins the partition-flush panic fix: a width
+// mismatch or an unknown representation must come back as a query error, not
+// crash the worker.
+func TestAppendDataMismatchIsError(t *testing.T) {
+	if _, err := appendData(coltypes.I32{1}, coltypes.I64{2}); err == nil {
+		t.Fatal("width mismatch must return an error")
+	}
+	if _, err := appendData(fakeData{}, fakeData{}); err == nil {
+		t.Fatal("unknown representation must return an error")
+	}
+	nd, err := appendData(coltypes.I16{1}, coltypes.I16{2, 3})
+	if err != nil || nd.Len() != 3 {
+		t.Fatalf("same-width append: err=%v len=%d", err, nd.Len())
+	}
+}
+
+// TestSWPartitionFlushErrorPropagates proves a flush failure aborts the work
+// unit and surfaces through the qef run instead of being swallowed (the
+// flush path used to have no error return at all).
+func TestSWPartitionFlushErrorPropagates(t *testing.T) {
+	ctx := qef.NewContext(qef.ModeX86)
+	cols := []coltypes.Data{coltypes.I64(seq(256, func(i int) int64 { return int64(i) }))}
+	hv := make([]uint32, 256)
+	for i := range hv {
+		hv[i] = uint32(i)
+	}
+	wantErr := errors.New("flush rejected")
+	err := ctx.RunSerial(func(tc *qef.TaskCtx) error {
+		return swPartitionOne(tc, cols, hv, 4, 0, 64,
+			func(int, []coltypes.Data, []uint32) error { return wantErr })
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the flush error", err)
+	}
+}

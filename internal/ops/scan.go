@@ -10,17 +10,32 @@ import (
 // chunk's columns tile by tile through the relation accessor. Deleted rows
 // (update-unit overlay) become the tile's initial selection vector.
 //
+// When prune is non-nil, chunks whose zone maps prove the predicate cannot
+// match are skipped BEFORE a work unit is created for them: a pruned chunk
+// is never admitted to DMEM, moved over the DMS, or charged cycles/energy —
+// the cheapest tile is the one the DPU never touches. Chunk-level
+// pruned/scanned/total counts land on the active span; the profile asserts
+// pruned+scanned == total.
+//
 // Each core owns ONE chain instance for the whole scan (operator state such
 // as group tables is per core, merged at Close — the paper's merge-operator
 // pattern); chainFor builds the instances, and the sinks/mergers they end
 // in are shared and thread-safe.
-func TableScan(ctx *qef.Context, snap *storage.Snapshot, cols []int, tileRows int, chainFor func() qef.Operator) error {
+func TableScan(ctx *qef.Context, snap *storage.Snapshot, cols []int, tileRows int, prune Predicate, chainFor func() qef.Operator) error {
 	chunks := snap.Chunks()
+	span := ctx.ActiveSpan()
+	span.AddTilesTotal(int64(len(chunks)))
 	units := make([]qef.WorkUnit, 0, len(chunks))
 	chains := make([]qef.Operator, ctx.Workers())
+	pruned := int64(0)
 	for _, cv := range chunks {
 		cv := cv
+		if prune != nil && !ctx.NoPrune && ZoneReject(prune, tileZone(&cv, cols)) {
+			pruned++
+			continue
+		}
 		units = append(units, func(tc *qef.TaskCtx) error {
+			tc.SpanTileChunk()
 			head, err := chainOf(tc, chains, chainFor)
 			if err != nil {
 				return err
@@ -51,10 +66,26 @@ func TableScan(ctx *qef.Context, snap *storage.Snapshot, cols []int, tileRows in
 			})
 		})
 	}
+	if pruned > 0 {
+		span.AddTilesPruned(pruned)
+		ctx.AddTilesPruned(pruned)
+		ctx.CountMetric("rapid_tiles_pruned_total", pruned)
+	}
 	if err := ctx.RunParallel(units); err != nil {
 		return err
 	}
 	return closeChains(ctx, chains)
+}
+
+// tileZone adapts a ChunkView's zone maps to the scanned tile layout: the
+// predicate's column indices address positions in cols, not table columns.
+func tileZone(cv *storage.ChunkView, cols []int) func(int) (storage.Zone, bool) {
+	return func(c int) (storage.Zone, bool) {
+		if c < 0 || c >= len(cols) {
+			return storage.Zone{}, false
+		}
+		return cv.Zone(cols[c])
+	}
 }
 
 // RelationScan streams a materialized relation through chains, splitting

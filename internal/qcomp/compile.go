@@ -170,6 +170,61 @@ func (p *pipelineNode) explain(sb *strings.Builder, depth int) {
 	}
 }
 
+// prunePredicate returns the conjunction of filter predicates that apply
+// directly to the scanned tile layout: every stepFilter before the first
+// projection (projections re-index columns, so predicates beyond one address
+// a different layout). The scan uses it to zone-reject whole chunks; nil
+// means no prunable predicate.
+func (p *pipelineNode) prunePredicate() ops.Predicate {
+	if p.snap == nil {
+		return nil
+	}
+	var preds []ops.Predicate
+	for _, s := range p.steps {
+		if s.kind != stepFilter {
+			break
+		}
+		preds = append(preds, s.preds...)
+	}
+	switch len(preds) {
+	case 0:
+		return nil
+	case 1:
+		return preds[0]
+	}
+	return &ops.And{Preds: preds}
+}
+
+// zoneSurvivingRows returns the number of rows in chunks the current prune
+// predicate cannot reject — an upper bound on the rows any downstream filter
+// can pass, which sharpens the selectivity-based cardinality estimate. ok is
+// false when the pipeline has no prunable base-table predicate.
+func (p *pipelineNode) zoneSurvivingRows() (int64, bool) {
+	prune := p.prunePredicate()
+	if prune == nil {
+		return 0, false
+	}
+	var rows int64
+	for _, cv := range p.snap.Chunks() {
+		cv := cv
+		zone := func(c int) (storage.Zone, bool) {
+			if c < 0 || c >= len(p.scanCols) {
+				return storage.Zone{}, false
+			}
+			return cv.Zone(p.scanCols[c])
+		}
+		if ops.ZoneReject(prune, zone) {
+			continue
+		}
+		n := int64(cv.Rows)
+		if cv.Deleted != nil {
+			n -= int64(cv.Deleted.Count())
+		}
+		rows += n
+	}
+	return rows, true
+}
+
 // stepInCols returns the column count entering each pipeline step: the
 // scanned width, narrowed by each projection as the walk proceeds. It sizes
 // the MaterializeOp the compiler inserts upstream of every projection.
@@ -337,7 +392,7 @@ func (p *pipelineNode) execute(ctx *qef.Context) (*ops.Relation, error) {
 	var err error
 	prevSpan := ctx.SetActiveSpan(srcSpan)
 	if p.snap != nil {
-		err = ops.TableScan(ctx, p.snap, p.scanCols, tileRows, chainFor)
+		err = ops.TableScan(ctx, p.snap, p.scanCols, tileRows, p.prunePredicate(), chainFor)
 	} else {
 		err = ops.RelationScan(ctx, inputRel, tileRows, chainFor)
 	}
@@ -572,6 +627,11 @@ func compileFilter(f *plan.Filter, in map[plan.Node]*ops.Relation) (physNode, er
 	}
 	p.steps = append(p.steps, pipeStep{kind: stepFilter, preds: []ops.Predicate{pred}})
 	est := int64(float64(p.est) * pred.EstSelectivity())
+	// Zone maps give a hard upper bound: rows in chunks the conjunction
+	// cannot reject. Take it when it is sharper than the selectivity guess.
+	if zr, ok := p.zoneSurvivingRows(); ok && zr < est {
+		est = zr
+	}
 	if est < 1 {
 		est = 1
 	}

@@ -274,7 +274,10 @@ func compileStringCmp(op primitives.CmpOp, lc *plan.ColRef, rc *plan.Const, ci c
 		case primitives.GE:
 			sym = ">="
 		}
-		set := dict.CompareCodes(sym, rc.Str)
+		set, err := dict.CompareCodes(sym, rc.Str)
+		if err != nil {
+			return nil, fmt.Errorf("qcomp: string comparison on %s: %w", lc.Name, err)
+		}
 		sel := float64(set.Count()) / float64(maxInt(dict.Len(), 1))
 		return &ops.InSet{Col: lc.Idx, Set: set.Bitmap(), Sel: sel, Name: lc.Name}, nil
 	}

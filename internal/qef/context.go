@@ -78,6 +78,16 @@ type Context struct {
 	// RunSerial) on a shared scheduler instead of context-owned goroutines.
 	Exec Executor
 
+	// NoPrune disables zone-map scan pruning for this query (the metamorphic
+	// test lanes compare pruned vs unpruned runs; EXPLAIN-level debugging uses
+	// it too). Set once before execution.
+	NoPrune bool
+
+	// tilesPruned counts storage chunks skipped by zone-map pruning across
+	// the whole query; atomic because distributed fragments may share-report
+	// through wrapper goroutines.
+	tilesPruned atomic.Int64
+
 	// goCtx carries the query's cancellation signal; nil means "never
 	// canceled". Set once before execution via SetGoContext.
 	goCtx context.Context
@@ -161,7 +171,19 @@ func (c *Context) Reset() {
 	}
 	c.busRead, c.busWrite = 0, 0
 	c.mu.Unlock()
+	c.tilesPruned.Store(0)
 }
+
+// AddTilesPruned accumulates zone-pruned chunk counts for the query.
+func (c *Context) AddTilesPruned(n int64) { c.tilesPruned.Add(n) }
+
+// TilesPruned returns the number of storage chunks zone-map pruning skipped.
+func (c *Context) TilesPruned() int64 { return c.tilesPruned.Load() }
+
+// ActiveSpan returns the operator span subsequently started work units
+// attribute to (nil when profiling is off). Task sources use it to record
+// orchestrator-side per-scan accounting such as tile totals.
+func (c *Context) ActiveSpan() *obs.OpSpan { return c.activeSpan }
 
 // addSimTime records simulated elapsed seconds on a core.
 func (c *Context) addSimTime(core int, sec float64) {
@@ -427,6 +449,13 @@ func (tc *TaskCtx) SwitchSpan(next *obs.OpSpan) *obs.OpSpan {
 // task sources, which have no upstream span wrapper to tick them).
 func (tc *TaskCtx) SpanTileIn(rows int) {
 	tc.span.TickIn(tc.CoreID, int64(rows))
+}
+
+// SpanTileChunk counts one storage chunk (zone-map tile) actually scanned
+// under the current span. Together with the orchestrator-side total/pruned
+// counts, the profile invariant pruned+scanned == total holds per scan.
+func (tc *TaskCtx) SpanTileChunk() {
+	tc.span.TickTileScanned(tc.CoreID)
 }
 
 // AddTransfer accumulates DMS transfer time for overlap accounting, and

@@ -106,6 +106,43 @@ func TestMetamorphicTautology(t *testing.T) {
 	t.Logf("tautology: %d queries checked", checked)
 }
 
+// TestMetamorphicPruning checks that zone-map pruning never changes an
+// answer: every generated query runs with pruning force-disabled and enabled
+// on every RAPID lane plus a 3-node tray, and the result bags must match.
+// The pruned runs keep profiling on, so the pruned+scanned == total-tiles
+// accounting invariant is soak-checked alongside.
+func TestMetamorphicPruning(t *testing.T) {
+	n := *flagN / 4
+	if n < 30 {
+		n = 30
+	}
+	checked := 0
+	for scen := 0; checked < n; scen++ {
+		g := New(*flagSeed + 555_001 + int64(scen)*1_000_003)
+		r, err := NewRunner(g.NewScenario())
+		if err != nil {
+			t.Fatalf("scenario %d: %v", scen, err)
+		}
+		if err := r.EnableTrays([]int{3}); err != nil {
+			r.Close()
+			t.Fatalf("scenario %d: %v", scen, err)
+		}
+		for i := 0; i < queriesPerScenario && checked < n; i++ {
+			q := g.NextQuery()
+			if m := r.CheckPruningMetamorphic(q.SQL()); m != nil {
+				m.Minimized = r.Minimize(m.SQL)
+				t.Fatalf("%s", m.Reproducer())
+			}
+			checked++
+		}
+		if m := r.CheckJournal(); m != nil {
+			t.Fatalf("%s", m.Reproducer())
+		}
+		r.Close()
+	}
+	t.Logf("pruning metamorphic: %d queries checked pruned-vs-unpruned", checked)
+}
+
 // TestConcurrentDifferential is the scheduler-facing lane of the soak: every
 // generated query additionally runs on 6 concurrent sessions sharing the two
 // databases (and therefore their shared-SoC schedulers), each compared

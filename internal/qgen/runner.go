@@ -469,6 +469,59 @@ func (r *Runner) CheckTLP(q *Query) *Mismatch {
 	return nil
 }
 
+// CheckPruningMetamorphic verifies zone-map pruning is result-invariant:
+// every RAPID lane — and every enabled tray lane — must return the identical
+// result bag with pruning force-disabled and enabled. A divergence means a
+// zone map rejected a tile (or a shard summary rejected a node fragment)
+// that still held qualifying rows. The pruned run keeps profiling on, so the
+// pruned+scanned == total-tiles accounting invariant is checked on every
+// generated query too (via profErr).
+func (r *Runner) CheckPruningMetamorphic(sql string) *Mismatch {
+	for _, e := range engines[1:] {
+		db := r.primary
+		if e.alt {
+			db = r.alt
+		}
+		offOpts := e.opts
+		offOpts.DisablePruning = true
+		off, offErr := db.Query(sql, offOpts)
+		on, onErr := db.Query(sql, e.opts)
+		r.Executed += 2
+		if offErr != nil || onErr != nil {
+			if (offErr == nil) != (onErr == nil) {
+				return r.mismatch("pruning", sql, fmt.Sprintf(
+					"%s: unpruned err=%v, pruned err=%v", e.name, offErr, onErr))
+			}
+			continue // consistently rejected
+		}
+		if perr := profErr(on); perr != nil {
+			return r.mismatch("pruning", sql, fmt.Sprintf("%s (pruned): %v", e.name, perr))
+		}
+		if d := diffBags(bag(off.Rel), bag(on.Rel)); d != "" {
+			return r.mismatch("pruning", sql, fmt.Sprintf(
+				"%s: unpruned vs pruned: %s", e.name, d))
+		}
+	}
+	for _, tl := range r.trays {
+		name := fmt.Sprintf("tray%d", tl.nodes)
+		off, offErr := tl.tray.Query(sql, cluster.QueryOptions{Mode: qef.ModeX86, DisablePruning: true})
+		on, onErr := tl.tray.Query(sql, cluster.QueryOptions{Mode: qef.ModeX86})
+		r.Executed += 2
+		if offErr != nil || onErr != nil {
+			if (offErr == nil) != (onErr == nil) {
+				return r.mismatch("pruning", sql, fmt.Sprintf(
+					"%s: unpruned err=%v, pruned err=%v", name, offErr, onErr))
+			}
+			continue
+		}
+		if d := diffBags(bag(off.Rel), bag(on.Rel)); d != "" {
+			return r.mismatch("pruning", sql, fmt.Sprintf(
+				"%s: unpruned vs pruned: %s", name, d))
+		}
+	}
+	return nil
+}
+
 // g0 derives a deterministic small index from the scenario seed.
 func g0(seed int64, n int) int {
 	if seed < 0 {

@@ -82,6 +82,10 @@ func (sb *statsBuilder) build() *TableStats {
 			cs.NDV = int64(len(c.seen))
 			cs.Exact = true
 		}
+		// The seen map has served its purpose; release it so a finished (or
+		// kept-around) builder does not pin up to ndvExactLimit entries per
+		// column for its remaining lifetime.
+		c.seen = nil
 		ts.Cols[i] = cs
 	}
 	return ts

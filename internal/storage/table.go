@@ -44,8 +44,14 @@ func (t *Table) Schema() *Schema { return t.schema }
 // Meta returns the physical metadata of column i.
 func (t *Table) Meta(i int) ColumnMeta { return t.meta[i] }
 
-// Stats returns the load-time statistics.
-func (t *Table) Stats() *TableStats { return t.stats }
+// Stats returns the current table statistics. The returned TableStats is
+// immutable: updates install a fresh copy under t.mu (see refreshStatsLocked),
+// so callers may keep reading it without holding the lock.
+func (t *Table) Stats() *TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats
+}
 
 // NumPartitions returns the partition count.
 func (t *Table) NumPartitions() int { return len(t.parts) }

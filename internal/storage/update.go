@@ -102,7 +102,68 @@ func (tr *Tracker) Apply(uu UpdateUnit) error {
 	}
 	tr.units = append(tr.units, a)
 	tr.t.currSCN = uu.SCN
+	tr.t.refreshStatsLocked(a)
 	return nil
+}
+
+// refreshStatsLocked maintains conservative table statistics across an
+// applied update unit (t.mu held). The contract the cost model and zone
+// pruning rely on is that [Min, Max] stays a superset of the live encoded
+// domain: patches and inserts widen the bounds to cover their values; the
+// row count tracks inserts and deletes; NDV becomes inexact (a mutation can
+// move it either way). Deletes never narrow bounds — a superset can only
+// under-prune, never produce a wrong result. Compact recomputes exact
+// statistics from scratch.
+func (t *Table) refreshStatsLocked(a appliedUU) {
+	if t.stats == nil {
+		return
+	}
+	if len(a.patches) == 0 && len(a.inserts) == 0 && len(a.deletes) == 0 {
+		return
+	}
+	// Copy-on-write: readers hold the pointer returned by Stats() without a
+	// lock on its contents, so mutations build a fresh TableStats.
+	ns := &TableStats{Rows: t.stats.Rows, Cols: append([]ColStats(nil), t.stats.Cols...)}
+	widen := func(col int, v int64) {
+		if col < 0 || col >= len(ns.Cols) {
+			return
+		}
+		cs := &ns.Cols[col]
+		if ns.Rows == 0 {
+			cs.Min, cs.Max = v, v
+		} else {
+			if v < cs.Min {
+				cs.Min = v
+			}
+			if v > cs.Max {
+				cs.Max = v
+			}
+		}
+		cs.Exact = false
+	}
+	for _, p := range a.patches {
+		widen(p.col, p.enc)
+	}
+	for _, row := range a.inserts {
+		for c, v := range row {
+			widen(c, v)
+		}
+	}
+	ns.Rows += int64(len(a.inserts)) - int64(len(a.deletes))
+	if ns.Rows < 0 {
+		ns.Rows = 0
+	}
+	if len(a.deletes) > 0 {
+		for c := range ns.Cols {
+			ns.Cols[c].Exact = false
+		}
+	}
+	for c := range ns.Cols {
+		if ns.Cols[c].NDV > ns.Rows && ns.Rows > 0 {
+			ns.Cols[c].NDV = ns.Rows
+		}
+	}
+	t.stats = ns
 }
 
 func (tr *Tracker) checkRef(r RowRef) error {
@@ -164,10 +225,22 @@ type ChunkView struct {
 	Deleted *bits.Vector
 	data    func(col int) coltypes.Data
 	vector  func(col int) *Vector
+	zone    func(col int) (Zone, bool)
 }
 
 // Data returns the (patched) column data of the view.
 func (cv *ChunkView) Data(col int) coltypes.Data { return cv.data(col) }
+
+// Zone returns the zone-map entry for a column of the view, when one is
+// known to still bound the visible data. Patched columns and delta chunks
+// report ok=false; views with deletions keep their base zones — a zone is
+// then a superset of the live values, which can only under-prune.
+func (cv *ChunkView) Zone(col int) (Zone, bool) {
+	if cv.zone == nil {
+		return Zone{}, false
+	}
+	return cv.zone(col)
+}
 
 // Vector returns the underlying base vector when the view is an unpatched
 // base chunk; nil for delta chunks or patched views. Scans use it to reach
@@ -238,7 +311,18 @@ func (s *Snapshot) baseChunkView(pi, ci int) ChunkView {
 	}
 	if len(patches) == 0 {
 		cv.data = func(col int) coltypes.Data { return chunk.Col(col).Data() }
+		cv.zone = chunk.Zone
 		return cv
+	}
+	patchedSet := make(map[int]bool, len(patches))
+	for _, p := range patches {
+		patchedSet[p.col] = true
+	}
+	cv.zone = func(col int) (Zone, bool) {
+		if patchedSet[col] {
+			return Zone{}, false
+		}
+		return chunk.Zone(col)
 	}
 	// Copy-on-patch: clone affected columns, widening if a patched value
 	// does not fit the base width.

@@ -76,13 +76,29 @@ func (v *Vector) StoredBytes() int {
 	return v.flat.SizeBytes()
 }
 
-// Chunk is a horizontal slice of a partition: one Vector per table column.
-type Chunk struct {
-	rows int
-	cols []*Vector
+// Zone is one column's zone-map entry for one chunk (tile): the inclusive
+// encoded min/max over the tile's rows plus the row count. Zones are computed
+// over the same encoded values predicates evaluate against, so a zone check
+// agrees with predicate evaluation by construction (DSB exception values are
+// approximated identically on both paths).
+type Zone struct {
+	Min, Max int64
+	Rows     int
 }
 
-// NewChunk builds a chunk from per-column vectors, all of the same length.
+// Contains reports whether v lies inside the zone's encoded range.
+func (z Zone) Contains(v int64) bool { return v >= z.Min && v <= z.Max }
+
+// Chunk is a horizontal slice of a partition: one Vector per table column,
+// with a per-column zone map computed at build time.
+type Chunk struct {
+	rows  int
+	cols  []*Vector
+	zones []Zone
+}
+
+// NewChunk builds a chunk from per-column vectors, all of the same length,
+// computing the per-column zone maps in the same pass.
 func NewChunk(cols []*Vector) *Chunk {
 	rows := 0
 	if len(cols) > 0 {
@@ -94,7 +110,34 @@ func NewChunk(cols []*Vector) *Chunk {
 			_ = i
 		}
 	}
-	return &Chunk{rows: rows, cols: cols}
+	zones := make([]Zone, len(cols))
+	for i, c := range cols {
+		z := Zone{Rows: rows}
+		if rows > 0 {
+			d := c.Data()
+			z.Min, z.Max = d.Get(0), d.Get(0)
+			for r := 1; r < rows; r++ {
+				v := d.Get(r)
+				if v < z.Min {
+					z.Min = v
+				}
+				if v > z.Max {
+					z.Max = v
+				}
+			}
+		}
+		zones[i] = z
+	}
+	return &Chunk{rows: rows, cols: cols, zones: zones}
+}
+
+// Zone returns the zone-map entry of column col; ok is false for empty
+// chunks, whose zones carry no information.
+func (c *Chunk) Zone(col int) (Zone, bool) {
+	if c.rows == 0 || col < 0 || col >= len(c.zones) {
+		return Zone{}, false
+	}
+	return c.zones[col], true
 }
 
 // Rows returns the chunk row count.
