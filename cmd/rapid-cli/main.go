@@ -9,7 +9,8 @@
 // Shell commands: \q quit, \tables, \engine <mode>, \explain <sql>,
 // \queries (list TPC-H queries), \run <name> (run one by name),
 // \ps (active queries), \kill <id> (cancel by QueryID), \journal [n]
-// (recent query-journal records).
+// (recent query-journal records), \cache (query-cache counters),
+// \nocache <sql> (run one statement bypassing the cache).
 // Prefix any query with EXPLAIN ANALYZE to get the per-operator profile
 // (cycles, DMS bytes, energy, rows/tiles) of the RAPID execution.
 // -metrics serves the observability endpoint on addr while the shell runs
@@ -30,6 +31,7 @@ import (
 
 	"rapid/internal/hostdb"
 	"rapid/internal/obs"
+	"rapid/internal/qcache"
 	"rapid/internal/qef"
 	"rapid/internal/tpch"
 )
@@ -40,6 +42,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
 	pprof := flag.Bool("pprof", false, "expose Go runtime profiles on /debug/pprof/* of the -metrics endpoint")
 	tracePath := flag.String("trace", "", "write profiled queries as Chrome trace-event JSON to this file on exit")
+	cacheOn := flag.Bool("cache", true, "enable the two-tier query cache (\\cache shows stats; \\nocache <sql> bypasses)")
 	flag.Parse()
 
 	fmt.Printf("loading TPC-H at SF %.3f...\n", *sf)
@@ -47,6 +50,10 @@ func main() {
 	if err := tpch.PopulateHostDB(db, tpch.Config{ScaleFactor: *sf, Seed: 2018}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var cache *qcache.Cache
+	if *cacheOn {
+		cache = db.EnableQueryCache(qcache.Config{})
 	}
 	if *metricsAddr != "" {
 		srv, err := db.ServeTelemetryWith(*metricsAddr, *pprof)
@@ -112,6 +119,12 @@ func main() {
 				}
 			case strings.HasPrefix(trimmed, `\explain `):
 				exec(db, strings.TrimPrefix(trimmed, `\explain `), opts, true)
+			case trimmed == `\cache`:
+				printCache(cache)
+			case strings.HasPrefix(trimmed, `\nocache `):
+				o := opts
+				o.NoCache = true
+				exec(db, strings.TrimPrefix(trimmed, `\nocache `), o, false)
 			case trimmed == `\ps`:
 				printActive(db)
 			case strings.HasPrefix(trimmed, `\kill `):
@@ -125,7 +138,7 @@ func main() {
 				}
 				printJournal(db, n)
 			default:
-				fmt.Println(`unknown command; \q \tables \queries \engine \run \explain \ps \kill \journal`)
+				fmt.Println(`unknown command; \q \tables \queries \engine \run \explain \ps \kill \journal \cache \nocache`)
 			}
 			prompt()
 			continue
@@ -179,6 +192,20 @@ func killQuery(db *hostdb.Database, arg string) {
 	} else {
 		fmt.Printf("no active query with id %d\n", id)
 	}
+}
+
+// printCache renders the \cache table: the shared query-cache counters.
+func printCache(cache *qcache.Cache) {
+	if cache == nil {
+		fmt.Println("query cache disabled (-cache=false)")
+		return
+	}
+	st := cache.Stats()
+	fmt.Printf("  result: hits=%d misses=%d stale=%d shared=%d bypasses=%d rejects=%d\n",
+		st.Hits, st.Misses, st.Stale, st.Shared, st.Bypasses, st.Rejects)
+	fmt.Printf("  plan:   hits=%d misses=%d drops=%d\n", st.PlanHits, st.PlanMisses, st.PlanDrops)
+	fmt.Printf("  space:  %d entries, %d bytes resident (evictions=%d invalidations=%d)\n",
+		st.ResidentEntries, st.ResidentBytes, st.Evictions, st.Invalidations)
 }
 
 // printJournal renders the newest n query-journal records, oldest first.
@@ -263,7 +290,13 @@ func exec(db *hostdb.Database, sql string, opts hostdb.QueryOptions, explainOnly
 	} else if res.FellBack {
 		where = "host (fell back)"
 	}
+	if res.Cache == "hit" {
+		where += " result cache"
+	}
 	fmt.Printf("%d rows in %.1f ms via %s", n, float64(time.Since(start))/1e6, where)
+	if res.Cache != "" && res.Cache != "hit" {
+		fmt.Printf(" [cache %s]", res.Cache)
+	}
 	if res.RapidSimSeconds > 0 {
 		fmt.Printf(" (simulated DPU time: %.3f ms)", res.RapidSimSeconds*1e3)
 	}

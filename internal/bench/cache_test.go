@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestCacheSpeedupFloor is the ISSUE acceptance bar for the query cache: on
+// SF 0.05 TPC-H, re-issuing Q1/Q6 against a warm cache must hit every time,
+// cut the p50 wall latency by at least 5x versus the producing run, and
+// bill zero marginal energy on the warm hits.
+func TestCacheSpeedupFloor(t *testing.T) {
+	db, err := SetupTPCHCached(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const warm = 32
+	runs, err := RunCache(db, []string{"Q1", "Q6"}, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.Hits != r.WarmRuns {
+			t.Errorf("%s: %d/%d warm runs hit, want all", r.Query, r.Hits, r.WarmRuns)
+		}
+		if s := r.P50Speedup(); s < 5 {
+			t.Errorf("%s: warm p50 speedup = %.1fx (cold %dns vs p50 %dns), want >= 5x",
+				r.Query, s, r.ColdNs, r.WarmP50Ns)
+		}
+		if r.WarmEnergyNJ != 0 {
+			t.Errorf("%s: warm hits billed %d nJ marginal energy, want 0", r.Query, r.WarmEnergyNJ)
+		}
+		if r.SavedNJ != r.ColdEnergyNJ*int64(r.Hits) {
+			t.Errorf("%s: saved %d nJ across %d hits, want %d (producing cost x hits)",
+				r.Query, r.SavedNJ, r.Hits, r.ColdEnergyNJ*int64(r.Hits))
+		}
+	}
+	tbl := RunCacheTable(runs, warm)
+	if len(tbl.Rows) != len(runs) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(runs))
+	}
+	t.Logf("\n%s", tbl)
+}

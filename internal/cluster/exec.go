@@ -13,6 +13,7 @@ import (
 	"rapid/internal/ops"
 	"rapid/internal/plan"
 	"rapid/internal/power"
+	"rapid/internal/qcache"
 	"rapid/internal/qcomp"
 	"rapid/internal/qef"
 	"rapid/internal/sched"
@@ -36,6 +37,9 @@ type QueryOptions struct {
 	// fragments at the coordinator, tiles inside each node). Metamorphic
 	// test lanes use it to assert pruning never changes results.
 	DisablePruning bool
+	// NoCache bypasses the shared query cache for this query: no lookup, no
+	// publication, and no singleflight participation.
+	NoCache bool
 }
 
 // NodeStats is one node's resource consumption for a query.
@@ -98,6 +102,15 @@ type Result struct {
 	// sums the tiles zone maps skipped inside the nodes that did run.
 	ShardsPruned int
 	TilesPruned  int64
+
+	// Cache reports the query's result-cache interaction: "hit", "miss",
+	// "stale" (entry found but invalidated by a version mismatch), "bypass"
+	// (NoCache or uncacheable), or "" when no cache is installed on the
+	// host. Hits carry the producing execution's cost in CyclesSaved /
+	// EnergySavedNJ and bill ~zero cycles, network traffic and energy.
+	Cache         string
+	CyclesSaved   int64
+	EnergySavedNJ int64
 
 	Explain string // logical plan (coordinator binding)
 	Analyze string // distributed EXPLAIN ANALYZE (when requested)
@@ -176,6 +189,10 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
+	if inner, ok := stripExplainAnalyze(sql); ok {
+		sql = inner
+		opts.Analyze = true
+	}
 	cctx, cancel := context.WithCancel(goCtx)
 	defer cancel()
 	start := time.Now()
@@ -184,12 +201,22 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 	h := active.Register(id, sql, opts.Mode.String(), t.NumNodes(), cancel)
 	defer h.Done()
 
-	res, err := t.queryCtx(cctx, sql, opts, h)
+	// Literal normalization feeds the shared cache keys and the journal
+	// fingerprint, exactly as on the host path: parameterized repeats of one
+	// template group together. Unlexable statements keep the raw-SQL
+	// fingerprint and bypass the cache.
+	norm, normOK := normalizeForCache(sql)
+	fp := obs.Fingerprint(sql)
+	if normOK {
+		fp = norm.TemplateFP
+	}
+
+	res, err := t.query(cctx, sql, norm, normOK, opts, h)
 	wall := time.Since(start)
 
 	rec := obs.QueryRecord{
 		ID:          id,
-		Fingerprint: obs.Fingerprint(sql),
+		Fingerprint: fp,
 		SQL:         sql,
 		Mode:        opts.Mode.String(),
 		Nodes:       t.NumNodes(),
@@ -210,6 +237,7 @@ func (t *Tray) QueryCtx(goCtx context.Context, sql string, opts QueryOptions) (*
 		rec.NetBytes = res.NetBytes
 		rec.QueueWaitNs = int64(res.QueueWait)
 		rec.DMEMHighNow = int64(res.DMEMHighWater)
+		rec.Cache = res.Cache
 	}
 	t.host.QueryJournal().Record(rec)
 	t.reg.Histogram("cluster_query_seconds", obs.DefLatencyBuckets...).Observe(wall.Seconds())
@@ -230,28 +258,57 @@ func trayOutcome(err error) obs.QueryOutcome {
 	return obs.OutcomeError
 }
 
-func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h obs.ActiveHandle) (*Result, error) {
+func (t *Tray) queryCtx(goCtx context.Context, sql string, norm sqlparse.Normalized, usePlanCache bool, opts QueryOptions, h obs.ActiveHandle) (*Result, []qcache.Version, error) {
 	h.SetPhase("planning")
-	if inner, ok := stripExplainAnalyze(sql); ok {
-		sql = inner
-		opts.Analyze = true
-	}
-	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	// Bind once against node 0's shards — one join order for all nodes even
-	// when per-shard statistics differ — then rewrite per node.
 	scn := t.host.CurrentSCN()
-	bound, err := sqlparse.Bind(stmt, nodeCatalog{t: t, id: 0}, scn)
-	if err != nil {
-		return nil, err
+	cache := t.host.QueryCache()
+	usePlanCache = usePlanCache && cache != nil
+	var bound plan.Node
+	var v0 []qcache.Version
+	planKey := qcache.PlanKey{Template: norm.TemplateFP, Params: norm.ParamsFP, Scope: t.planScope()}
+	if usePlanCache {
+		if pe := cache.GetPlan(planKey, t.cacheVersion); pe != nil {
+			if cloned, cerr := plan.CloneAtSCN(pe.Root, scn); cerr == nil {
+				// Parse and coordinator bind skipped. The skeleton's Scan
+				// leaves still point at bind-time shard replicas, but
+				// rewriteForNode re-resolves every Scan by table name below,
+				// so only names flow into execution — stale pointers can't.
+				bound = cloned
+				v0 = pe.Versions
+			}
+		}
+	}
+	if bound == nil {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		if usePlanCache {
+			v0, _ = t.cacheVersions(sqlparse.StmtTables(stmt))
+		}
+		// Bind once against node 0's shards — one join order for all nodes
+		// even when per-shard statistics differ — then rewrite per node.
+		bound, err = sqlparse.Bind(stmt, nodeCatalog{t: t, id: 0}, scn)
+		if err != nil {
+			return nil, nil, err
+		}
+		if usePlanCache && v0 != nil {
+			// Validate-before-publish, as on the host: binding may itself
+			// reload stale shards, so the skeleton is only sound when the
+			// vector captured before parse still holds after bind.
+			if cur, ok := t.cacheVersions(versionNames(v0)); ok && versionsEqual(v0, cur) {
+				cache.PutPlan(planKey, &qcache.Plan{Root: bound, Versions: v0})
+			} else {
+				v0 = nil
+			}
+		}
 	}
 	n := t.NumNodes()
 	plans := make([]plan.Node, n)
 	for i := 0; i < n; i++ {
+		var err error
 		if plans[i], err = t.rewriteForNode(bound, i); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -281,7 +338,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 		adm, aerr := t.nodes[i].sched.Admit(goCtx, sched.Request{Cores: ctx.Workers(), QueryID: h.ID()})
 		if aerr != nil {
 			release()
-			return nil, aerr
+			return nil, nil, aerr
 		}
 		adms = append(adms, adm)
 		ctx.SetGoContext(qctx)
@@ -298,9 +355,9 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 	rel, err := q.exec(plans)
 	if err != nil {
 		if cerr := goCtx.Err(); cerr != nil {
-			return nil, cerr
+			return nil, nil, cerr
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	res := &Result{
@@ -379,7 +436,7 @@ func (t *Tray) queryCtx(goCtx context.Context, sql string, opts QueryOptions, h 
 	if q.traceOn {
 		res.Trace = q.trace
 	}
-	return res, nil
+	return res, v0, nil
 }
 
 // exec runs lockstep plan trees and returns the combined (coordinator-side)

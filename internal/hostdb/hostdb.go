@@ -15,6 +15,7 @@ import (
 	"rapid/internal/coltypes"
 	"rapid/internal/encoding"
 	"rapid/internal/obs"
+	"rapid/internal/qcache"
 	"rapid/internal/sched"
 	"rapid/internal/storage"
 )
@@ -40,7 +41,35 @@ type Database struct {
 	// and work-unit-granular multiplexing across concurrent queries.
 	sched *sched.Scheduler
 
+	// qcache is the two-tier query cache (DESIGN.md §10), nil until
+	// EnableQueryCache. An attached cluster tray shares it, so host and
+	// distributed executions of the same template hit one store.
+	qcache *qcache.Cache
+
 	stopCheckpointer chan struct{}
+}
+
+// EnableQueryCache installs a two-tier query cache (plan + result) on the
+// database and returns it. Cache metrics land in the database registry
+// unless the config carries its own. Idempotent per database: a second
+// call replaces the cache (dropping all entries).
+func (db *Database) EnableQueryCache(cfg qcache.Config) *qcache.Cache {
+	if cfg.Metrics == nil {
+		cfg.Metrics = db.metrics
+	}
+	qcache.Describe(cfg.Metrics)
+	c := qcache.New(cfg)
+	db.mu.Lock()
+	db.qcache = c
+	db.mu.Unlock()
+	return c
+}
+
+// QueryCache returns the installed query cache, or nil when caching is off.
+func (db *Database) QueryCache() *qcache.Cache {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.qcache
 }
 
 // New creates an empty database with its own metrics registry.

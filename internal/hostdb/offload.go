@@ -12,6 +12,7 @@ import (
 	"rapid/internal/ops"
 	"rapid/internal/plan"
 	"rapid/internal/power"
+	"rapid/internal/qcache"
 	"rapid/internal/qcomp"
 	"rapid/internal/qef"
 	"rapid/internal/sched"
@@ -52,6 +53,9 @@ type QueryOptions struct {
 	// must be identical either way (the metamorphic test lanes assert it);
 	// the switch exists for those lanes and for isolating pruning effects.
 	DisablePruning bool
+	// NoCache bypasses the query cache for this query (when one is
+	// installed): no lookup, no singleflight, no admission of the result.
+	NoCache bool
 }
 
 // QueryResult is the outcome of one query.
@@ -104,6 +108,17 @@ type QueryResult struct {
 	// during the RAPID execution (zero on the host path or with pruning
 	// disabled).
 	TilesPruned int64
+	// Cache reports this query's result-cache interaction: "hit" (served
+	// without execution, ~zero marginal cycles/energy), "miss", "stale"
+	// (an entry existed but its version vector moved), "bypass" (cache
+	// installed but ineligible: NoCache, failure injection, unlexable
+	// statement), or "" when no cache is installed.
+	Cache string
+	// CyclesSaved/EnergySavedNJ carry the billed cost of the execution that
+	// produced a cached result — the estimate of what this hit avoided.
+	// Zero on anything but a hit.
+	CyclesSaved   int64
+	EnergySavedNJ int64
 }
 
 // RapidFraction returns the share of elapsed wall time spent in RAPID.
@@ -175,8 +190,18 @@ func (db *Database) QueryCtx(ctx context.Context, sql string, opts QueryOptions)
 	h := db.active.Register(id, sql, requestedMode(opts), 1, cancel)
 	defer h.Done()
 
+	// Literal normalization feeds both the cache keys and the journal
+	// fingerprint: repeated parameterized queries group under one template
+	// regardless of whitespace, case or literal values. Statements the
+	// lexer rejects keep the raw-SQL fingerprint and bypass the cache.
+	norm, normOK := normalizeForCache(sql)
+	fp := obs.Fingerprint(sql)
+	if normOK {
+		fp = norm.TemplateFP
+	}
+
 	start := time.Now()
-	res, err := db.query(qctx, sql, opts, h)
+	res, err := db.query(qctx, sql, norm, normOK, opts, h)
 	wall := time.Since(start)
 	m := db.metrics
 	m.Histogram("hostdb_query_seconds").Observe(wall.Seconds())
@@ -201,7 +226,7 @@ func (db *Database) QueryCtx(ctx context.Context, sql string, opts QueryOptions)
 	// Completion: one journal record per issued query, terminal outcome
 	// included, whether it succeeded, shed, canceled or failed.
 	rec := obs.QueryRecord{
-		ID: id, Fingerprint: obs.Fingerprint(sql), SQL: sql,
+		ID: id, Fingerprint: fp, SQL: sql,
 		Mode: "host", Nodes: 1,
 		Outcome: outcomeFor(err),
 		WallNs:  int64(wall),
@@ -221,6 +246,7 @@ func (db *Database) QueryCtx(ctx context.Context, sql string, opts QueryOptions)
 		rec.EnergyNJ = res.EnergyNJ
 		rec.QueueWaitNs = int64(res.QueueWait)
 		rec.DMEMHighNow = int64(res.DMEMHighWater)
+		rec.Cache = res.Cache
 		res.QueryID = id
 	}
 	db.qjournal.Record(rec)
@@ -264,20 +290,125 @@ func noFallback(err error) bool {
 		errors.Is(err, sched.ErrClosed)
 }
 
-func (db *Database) query(ctx context.Context, sql string, opts QueryOptions, h obs.ActiveHandle) (*QueryResult, error) {
-	if err := ctx.Err(); err != nil {
+// query orchestrates the cache tiers around queryExec (DESIGN.md §10):
+// result-cache lookup (hits return immediately, bypassing scheduler
+// admission), singleflight collapse of concurrent identical misses, the
+// actual execution, and validate-before-publish admission of the finished
+// result. With no cache installed it degenerates to a plain queryExec.
+func (db *Database) query(ctx context.Context, sql string, norm sqlparse.Normalized, normOK bool, opts QueryOptions, h obs.ActiveHandle) (*QueryResult, error) {
+	cache := db.QueryCache()
+	cacheable := cache != nil && normOK && !opts.NoCache && !opts.InjectRapidFailure
+	if !cacheable {
+		if cache != nil {
+			cache.NoteBypass()
+		}
+		res, _, err := db.queryExec(ctx, sql, norm, false, opts, h)
+		if err == nil && cache != nil {
+			res.Cache = "bypass"
+			annotateCacheStatus(res, opts, "bypass")
+		}
+		return res, err
+	}
+
+	key := qcache.Key{Template: norm.TemplateFP, Params: norm.ParamsFP, Mode: cacheModeKey(opts), Nodes: 1}
+	status := "miss"
+	var flight *qcache.Flight
+	for {
+		if r, st := cache.GetResult(key, db.cacheVersion); st == qcache.Hit {
+			return cachedHitResult(r, opts, "hit"), nil
+		} else if st == qcache.Stale {
+			status = "stale"
+		}
+		f, leader := cache.Begin(key)
+		if leader {
+			flight = f
+			break
+		}
+		// Another client is executing this exact key: wait for its result
+		// instead of re-executing (thundering-herd collapse). ok=false
+		// means the leader failed or produced an unshareable result — loop
+		// back and compete for leadership.
+		if r, ok := f.Wait(ctx); ok {
+			return cachedHitResult(r, opts, "hit"), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// Leader path: always settle the flight, success or not, so followers
+	// never block past this execution.
+	var entry *qcache.Result
+	defer func() { flight.Finish(entry) }()
+
+	execStart := time.Now()
+	res, v0, err := db.queryExec(ctx, sql, norm, true, opts, h)
+	if err != nil {
 		return nil, err
+	}
+	res.Cache = status
+	annotateCacheStatus(res, opts, status)
+	// Publish only when the version vector captured before parse/bind
+	// still holds after execution — an interleaved mutation voids the
+	// entry (it may mix old and new data). Fallback results are never
+	// published: they are transitional (pending journal) and would leak
+	// host-fallback answers into strict-offload keys after checkpointing.
+	if !res.FellBack && v0 != nil {
+		if cur, ok := db.cacheVersions(versionNames(v0)); ok && versionsEqual(v0, cur) {
+			e := buildCacheEntry(res, v0, int64(time.Since(execStart)))
+			entry = e // share with flight followers even if admission rejects
+			cache.PutResult(key, e)
+		}
+	}
+	return res, nil
+}
+
+// queryExec parses (or serves from the plan cache), binds, decides offload
+// and executes one query. When usePlanCache is set it also captures the
+// pre-bind version vector v0, later used for validate-before-publish.
+func (db *Database) queryExec(ctx context.Context, sql string, norm sqlparse.Normalized, usePlanCache bool, opts QueryOptions, h obs.ActiveHandle) (*QueryResult, []qcache.Version, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	h.SetPhase("planning")
 	hostStart := time.Now()
-	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
+	cache := db.QueryCache()
 	querySCN := db.CurrentSCN()
-	node, err := sqlparse.Bind(stmt, catalogAdapter{db}, querySCN)
-	if err != nil {
-		return nil, err
+	var node plan.Node
+	var v0 []qcache.Version
+	planKey := qcache.PlanKey{Template: norm.TemplateFP, Params: norm.ParamsFP, Scope: planScopeHost}
+	if usePlanCache && cache != nil {
+		if pe := cache.GetPlan(planKey, db.cacheVersion); pe != nil {
+			if cloned, cerr := plan.CloneAtSCN(pe.Root, querySCN); cerr == nil {
+				// Parse and bind skipped: the cached skeleton is re-stamped
+				// to this query's SCN. Costing, admissibility and zone
+				// pruning still run against the fresh snapshot below.
+				node = cloned
+				v0 = pe.Versions
+			}
+		}
+	}
+	if node == nil {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		if usePlanCache && cache != nil {
+			v0, _ = db.cacheVersions(sqlparse.StmtTables(stmt))
+		}
+		node, err = sqlparse.Bind(stmt, catalogAdapter{db}, querySCN)
+		if err != nil {
+			return nil, nil, err
+		}
+		if usePlanCache && cache != nil && v0 != nil {
+			// Same validate-before-publish discipline as results: literals
+			// were encoded against the dictionaries as of v0, so the
+			// skeleton is only sound if nothing moved during binding.
+			if cur, ok := db.cacheVersions(versionNames(v0)); ok && versionsEqual(v0, cur) {
+				cache.PutPlan(planKey, &qcache.Plan{Root: node, Versions: v0})
+			} else {
+				v0 = nil
+			}
+		}
 	}
 	res := &QueryResult{Explain: plan.Format(node)}
 	res.EstRapidSec, res.EstHostSec = qcomp.OffloadBenefit(node)
@@ -303,7 +434,7 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions, h 
 		// normally keeps this true.
 		admissible := db.admissible(node)
 		if !admissible && opts.FailOnInadmissible {
-			return nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
+			return nil, nil, fmt.Errorf("hostdb: query at SCN %d not admissible to RAPID", querySCN)
 		}
 		if admissible {
 			run, rerr := db.runRapid(ctx, node, opts, h)
@@ -322,10 +453,10 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions, h 
 				res.DMEMHighWater = run.dmemHigh
 				res.TilesPruned = run.tilesPruned
 				res.HostWall = time.Since(hostStart) - run.wall
-				return res, nil
+				return res, v0, nil
 			}
 			if noFallback(rerr) {
-				return nil, rerr
+				return nil, nil, rerr
 			}
 			// RAPID execution failed: fall back to the host plan (§3.2).
 			res.FellBack = true
@@ -343,11 +474,38 @@ func (db *Database) query(ctx context.Context, sql string, opts QueryOptions, h 
 	h.SetPhase("host-execute")
 	rel, err := db.runHost(ctx, node)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Rel = rel
 	res.HostWall = time.Since(hostStart) - res.RapidWall
-	return res, nil
+	return res, v0, nil
+}
+
+// versionNames extracts the table-name footprint of a version vector.
+func versionNames(vs []qcache.Version) []string {
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// annotateCacheStatus surfaces the cache interaction in EXPLAIN ANALYZE
+// output: profiled RAPID executions get a `cache:` line in the profile,
+// host-side runs get it appended to the profile note.
+func annotateCacheStatus(res *QueryResult, opts QueryOptions, status string) {
+	if !opts.Profile || status == "" {
+		return
+	}
+	if res.Profile != nil {
+		res.Profile.SetCacheNote(status)
+		return
+	}
+	if res.ProfileNote != "" {
+		res.ProfileNote += "; cache: " + status
+	} else {
+		res.ProfileNote = "cache: " + status
+	}
 }
 
 // admissible checks the SCN rule for every table the plan touches.

@@ -116,6 +116,9 @@ func (p *Profile) Format() string {
 		fmt.Fprintf(&b, "tiles_pruned %d/%d (%.1f%%) via zone maps, %d scanned\n",
 			pruned, tot, 100*float64(pruned)/float64(tot), p.TilesScanned())
 	}
+	if p.cacheNote != "" {
+		fmt.Fprintf(&b, "cache: %s\n", p.cacheNote)
+	}
 	if p.isDPU() {
 		fmt.Fprintf(&b, "energy %.6g J (core %.6g + dms %.6g + idle %.6g)  provisioned %.6g J",
 			rep.Query.TotalJoules(),

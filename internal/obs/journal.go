@@ -90,6 +90,7 @@ type QueryRecord struct {
 	QueueWaitNs int64        `json:"queue_wait_ns"`     // admission queue wait
 	WallNs      int64        `json:"wall_ns"`           // end-to-end wall time
 	DMEMHighNow int64        `json:"dmem_high_water"`   // max per-core DMEM bytes reserved
+	Cache       string       `json:"cache,omitempty"`   // result-cache interaction: hit|miss|stale|bypass ("" = no cache)
 	Slow        bool         `json:"slow"`              // WallNs exceeded the slow threshold
 	Start       int64        `json:"start_unix_nanos"`  // completion records carry issue time
 }

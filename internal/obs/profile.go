@@ -272,7 +272,16 @@ type Profile struct {
 
 	finalized bool
 	totals    Totals
+
+	// cacheNote is the query cache interaction ("miss", "stale", ...) for
+	// the EXPLAIN ANALYZE `cache:` line; hits never carry a profile (no
+	// execution happened), so hit notes ride on QueryResult.ProfileNote.
+	cacheNote string
 }
+
+// SetCacheNote records the result-cache interaction for Format's `cache:`
+// line. Safe to call after Finalize (display-only state).
+func (p *Profile) SetCacheNote(status string) { p.cacheNote = status }
 
 // NewProfile allocates a profile with one span per definition. Span slot
 // storage is preallocated here — the per-tile execution path only does

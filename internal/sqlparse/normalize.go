@@ -1,0 +1,150 @@
+package sqlparse
+
+import "strings"
+
+// Literal normalization for the query cache (DESIGN.md §10) and the query
+// journal. Normalize lexes a statement and replaces every number and string
+// literal with a `?` placeholder, yielding a canonical template (keywords
+// upper-cased, identifiers lower-cased, single-space separated) plus the
+// extracted parameter vector in occurrence order. Two invocations of the
+// same dashboard query that differ only in whitespace, letter case or
+// literal values therefore share a TemplateFP, while the (TemplateFP,
+// ParamsFP) pair still distinguishes distinct literal bindings — exactly
+// the two keying granularities the plan cache and result cache need.
+
+// ParamKind says which literal class a parameter replaced.
+type ParamKind uint8
+
+const (
+	ParamNumber ParamKind = iota
+	ParamString
+)
+
+// Param is one extracted literal, in template occurrence order.
+type Param struct {
+	Kind ParamKind
+	Text string // number spelling or decoded string body
+}
+
+// Normalized is the canonical form of one SQL statement.
+type Normalized struct {
+	Template   string  // literal-free canonical rendering
+	Params     []Param // literals in occurrence order
+	TemplateFP uint64  // FNV-1a over Template
+	ParamsFP   uint64  // FNV-1a over the parameter vector (kind + text)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// Normalize canonicalizes one SQL statement. It fails only when the lexer
+// does (unterminated string, stray character); callers fall back to raw-SQL
+// fingerprinting in that case so malformed input still journals.
+func Normalize(sql string) (Normalized, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return Normalized{}, err
+	}
+	var sb strings.Builder
+	sb.Grow(len(sql))
+	var params []Param
+	ph := uint64(fnvOffset64)
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokNumber:
+			sb.WriteByte('?')
+			params = append(params, Param{Kind: ParamNumber, Text: t.text})
+			ph = fnvByte(ph, byte(ParamNumber))
+			ph = fnvString(ph, t.text)
+			ph = fnvByte(ph, 0)
+		case tokString:
+			sb.WriteByte('?')
+			params = append(params, Param{Kind: ParamString, Text: t.text})
+			ph = fnvByte(ph, byte(ParamString))
+			ph = fnvString(ph, t.text)
+			ph = fnvByte(ph, 0)
+		default:
+			sb.WriteString(t.text)
+		}
+	}
+	n := Normalized{Template: sb.String(), Params: params, ParamsFP: ph}
+	n.TemplateFP = fnvString(fnvOffset64, n.Template)
+	return n, nil
+}
+
+// StmtTables lists every base table name a parsed statement touches (FROM
+// items, JOIN sides, IN-subquery FROM items), deduplicated in first-use
+// order. The cache uses it to capture per-table version vectors before the
+// statement is bound.
+func StmtTables(stmt *SelectStmt) []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkStmt func(*SelectStmt)
+	walkPred := func(p AstPred) {
+		walkPreds(p, func(pr AstPred) {
+			if in, ok := pr.(*InP); ok && in.Sub != nil {
+				walkStmt(in.Sub)
+			}
+		})
+	}
+	walkStmt = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, f := range s.From {
+			add(f.Name)
+		}
+		for _, j := range s.Joins {
+			add(j.Table.Name)
+			walkPred(j.On)
+		}
+		walkPred(s.Where)
+		walkPred(s.Having)
+		walkStmt(s.SetRight)
+	}
+	walkStmt(stmt)
+	return out
+}
+
+// walkPreds visits p and every nested predicate.
+func walkPreds(p AstPred, visit func(AstPred)) {
+	if p == nil {
+		return
+	}
+	visit(p)
+	switch pr := p.(type) {
+	case *AndP:
+		for _, s := range pr.Preds {
+			walkPreds(s, visit)
+		}
+	case *OrP:
+		for _, s := range pr.Preds {
+			walkPreds(s, visit)
+		}
+	case *NotP:
+		walkPreds(pr.P, visit)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rapid/internal/coltypes"
 	"rapid/internal/encoding"
@@ -33,7 +34,19 @@ type Table struct {
 	baseSCN uint64 // SCN up to which changes are merged into base data
 	currSCN uint64 // SCN of the newest applied update unit
 	tracker *Tracker
+
+	// epoch counts visible-data generations: Tracker.Apply and Compact bump
+	// it strictly BEFORE publishing the new data (DESIGN.md §10). A reader
+	// that captures the epoch, computes, and sees the same epoch afterwards
+	// is guaranteed its computation saw no concurrently published mutation;
+	// the converse spurious case (epoch moved, data unchanged yet) only
+	// causes a harmless cache invalidation.
+	epoch atomic.Uint64
 }
+
+// DataEpoch returns the table's visible-data generation counter. Lock-free;
+// see the epoch field contract.
+func (t *Table) DataEpoch() uint64 { return t.epoch.Load() }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }

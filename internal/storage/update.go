@@ -100,6 +100,11 @@ func (tr *Tracker) Apply(uu UpdateUnit) error {
 		}
 		a.inserts = append(a.inserts, enc)
 	}
+	// Epoch bump must precede unit publication: a cache validator that reads
+	// the epoch after its computation can then never pair pre-mutation data
+	// with a post-mutation epoch (the stale-hit direction). The reverse
+	// window — epoch bumped, data not yet visible — only over-invalidates.
+	tr.t.epoch.Add(1)
 	tr.units = append(tr.units, a)
 	tr.t.currSCN = uu.SCN
 	tr.t.refreshStatsLocked(a)
@@ -430,6 +435,9 @@ func (t *Table) Compact() error {
 	if err != nil {
 		return err
 	}
+	// Same ordering contract as Tracker.Apply: bump before the rebuilt base
+	// becomes visible so validators never certify mid-compaction reads.
+	t.epoch.Add(1)
 	t.mu.Lock()
 	t.meta = nt.meta
 	t.parts = nt.parts

@@ -31,6 +31,7 @@ import (
 	"rapid/internal/encoding"
 	"rapid/internal/hostdb"
 	"rapid/internal/obs"
+	"rapid/internal/qcache"
 	"rapid/internal/qef"
 	"rapid/internal/sched"
 	"rapid/internal/storage"
@@ -123,6 +124,9 @@ type Options struct {
 	// FailOnInadmissible errors instead of falling back when pending
 	// changes have not been propagated to RAPID (paper §3.3).
 	FailOnInadmissible bool
+	// NoCache bypasses the query cache for this query: no lookup, no
+	// publication, no singleflight participation.
+	NoCache bool
 }
 
 // SchedulerConfig tunes the shared-SoC scheduler every offloaded query of a
@@ -141,9 +145,28 @@ type SchedulerConfig struct {
 	DMEMBudgetBytes int64
 }
 
+// CacheConfig tunes the two-tier query cache: a plan cache over
+// literal-normalized SQL templates and an SCN-validated result cache with
+// singleflight collapse, shared by the host engine and the tray. The zero
+// value enables the cache with defaults.
+type CacheConfig struct {
+	// Disable turns the query cache off entirely.
+	Disable bool
+	// MaxResultBytes bounds the resident result-cache payload bytes
+	// (LRU-evicted beyond it). Default 64 MiB.
+	MaxResultBytes int64
+	// MinCostNs is the admission floor: results whose execution took less
+	// wall time than this are not worth the budget. Default 0 (admit all).
+	MinCostNs int64
+	// PlanEntries bounds the plan cache entry count. Default 256.
+	PlanEntries int
+}
+
 // Config tunes a database instance.
 type Config struct {
 	Scheduler SchedulerConfig
+	// Cache tunes the query cache, which is on by default.
+	Cache CacheConfig
 	// Nodes >= 1 attaches a multi-node RAPID tray (paper §7.4): offloaded
 	// queries execute sharded across that many SoC nodes, with exchange
 	// operators over a modeled interconnect and a coordinator merge. Load
@@ -176,6 +199,13 @@ func OpenWith(cfg Config) *DB {
 		DMEMBudgetBytes: sc.DMEMBudgetBytes,
 	}
 	db := &DB{host: hostdb.NewWithConfig(nil, scfg)}
+	if !cfg.Cache.Disable {
+		db.host.EnableQueryCache(qcache.Config{
+			MaxResultBytes: cfg.Cache.MaxResultBytes,
+			MinCostNs:      cfg.Cache.MinCostNs,
+			PlanEntries:    cfg.Cache.PlanEntries,
+		})
+	}
 	if cfg.Nodes >= 1 {
 		// cluster.New only fails on Nodes < 1, checked above. The tray
 		// shares the host's registry so /metrics exposes one fleet-wide
@@ -220,6 +250,19 @@ func (db *DB) QueryJournal() *obs.Journal { return db.host.QueryJournal() }
 // ActiveQueries returns a snapshot of the queries in flight right now —
 // single-node and tray executions alike — sorted by QueryID.
 func (db *DB) ActiveQueries() []ActiveQuery { return db.host.ActiveQueries() }
+
+// CacheStats is a point-in-time snapshot of the query-cache counters.
+type CacheStats = qcache.Snapshot
+
+// CacheStats returns the query-cache counters (hits, misses, stale
+// invalidations, singleflight shares, evictions, resident bytes, plan-tier
+// hits). The zero snapshot when the cache is disabled.
+func (db *DB) CacheStats() CacheStats {
+	if c := db.host.QueryCache(); c != nil {
+		return c.Stats()
+	}
+	return CacheStats{}
+}
 
 // CancelQuery cancels the in-flight query with the given ID (as shown by
 // ActiveQueries or a Result's QueryID). It returns false when no such
@@ -323,7 +366,7 @@ func (db *DB) queryTray(ctx context.Context, sql string, opts Options) (*Result,
 		mode = qef.ModeDPU
 	}
 	start := time.Now()
-	res, err := db.tray.QueryCtx(ctx, sql, cluster.QueryOptions{Mode: mode})
+	res, err := db.tray.QueryCtx(ctx, sql, cluster.QueryOptions{Mode: mode, NoCache: opts.NoCache})
 	if err != nil {
 		if opts.Engine == EngineAuto && !trayUnrecoverable(err) {
 			r, herr := db.host.QueryCtx(ctx, sql, hostdb.QueryOptions{Mode: hostdb.ForceHost})
@@ -347,6 +390,9 @@ func (db *DB) queryTray(ctx context.Context, sql string, opts Options) (*Result,
 		RapidSimSeconds: res.SimSeconds,
 		Explain:         explain,
 		QueueWait:       res.QueueWait,
+		Cache:           res.Cache,
+		CyclesSaved:     res.CyclesSaved,
+		EnergySavedNJ:   res.EnergySavedNJ,
 	}}, nil
 }
 
@@ -357,6 +403,7 @@ func (db *DB) QueryWithCtx(ctx context.Context, sql string, opts Options) (*Resu
 	}
 	qo := hostdb.QueryOptions{
 		FailOnInadmissible: opts.FailOnInadmissible,
+		NoCache:            opts.NoCache,
 		RapidMode:          qef.ModeDPU,
 	}
 	switch opts.Engine {
@@ -427,6 +474,20 @@ func (r *Result) QueueWait() time.Duration { return r.r.QueueWait }
 // QueryID returns the fleet-wide identifier the query was journaled under
 // (usable with CancelQuery while running, and to find its journal record).
 func (r *Result) QueryID() uint64 { return r.r.QueryID }
+
+// CacheStatus reports the query's result-cache interaction: "hit", "miss",
+// "stale" (an entry existed but was invalidated by intervening DML or
+// checkpointing), "bypass" (Options.NoCache or an uncacheable statement),
+// or "" when the cache is disabled.
+func (r *Result) CacheStatus() string { return r.r.Cache }
+
+// CyclesSaved returns the dpCore cycles a cache hit avoided re-spending
+// (the producing execution's cost; 0 on anything but a hit).
+func (r *Result) CyclesSaved() int64 { return r.r.CyclesSaved }
+
+// EnergySavedNJ returns the nanojoules a cache hit avoided re-spending
+// (0 on anything but a hit).
+func (r *Result) EnergySavedNJ() int64 { return r.r.EnergySavedNJ }
 
 // Explain returns the bound logical plan.
 func (r *Result) Explain() string { return r.r.Explain }

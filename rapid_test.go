@@ -257,3 +257,82 @@ func TestPublicAPITray(t *testing.T) {
 		db.Close()
 	}
 }
+
+func TestPublicAPIQueryCache(t *testing.T) {
+	db := exampleDB(t)
+	defer db.Close()
+	const q = `SELECT region, SUM(amount) FROM sales WHERE id < 1500 GROUP BY region`
+	cold, err := db.QueryWith(q, Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheStatus() != "miss" {
+		t.Fatalf("cold CacheStatus = %q, want miss (cache is on by default)", cold.CacheStatus())
+	}
+	// A literal-normalized variant of the same statement hits.
+	hot, err := db.QueryWith("select region, sum(amount)  from sales where id < 1500 group by region",
+		Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.CacheStatus() != "hit" {
+		t.Fatalf("hot CacheStatus = %q, want hit", hot.CacheStatus())
+	}
+	for r := 0; r < cold.Rows(); r++ {
+		for c := 0; c < cold.NumCols(); c++ {
+			if cold.Get(r, c) != hot.Get(r, c) {
+				t.Fatalf("cached cell (%d,%d) = %s, want %s", r, c, hot.Get(r, c), cold.Get(r, c))
+			}
+		}
+	}
+	// NoCache opts out per query.
+	bypass, err := db.QueryWith(q, Options{Engine: EngineRapidX86, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bypass.CacheStatus() != "bypass" {
+		t.Fatalf("NoCache CacheStatus = %q, want bypass", bypass.CacheStatus())
+	}
+	// DML invalidates; the refreshed answer is served and re-cached.
+	if err := db.Insert("sales", [][]Value{{
+		Int(1), String("east"), Date(2023, 7, 1), Decimal("100.00"), Bool(true),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint("sales"); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := db.QueryWith(q, Options{Engine: EngineRapidX86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.CacheStatus() != "stale" {
+		t.Fatalf("post-DML CacheStatus = %q, want stale", stale.CacheStatus())
+	}
+	st := db.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Stale == 0 || st.Bypasses == 0 {
+		t.Fatalf("cache stats incomplete: %+v", st)
+	}
+	// Disabling the cache yields empty statuses.
+	off := OpenWith(Config{Cache: CacheConfig{Disable: true}})
+	defer off.Close()
+	if err := off.CreateTable("t", IntCol("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Insert("t", [][]Value{{Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Load("t"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := off.Query(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheStatus() != "" {
+		t.Fatalf("disabled-cache CacheStatus = %q, want empty", res.CacheStatus())
+	}
+	if s := off.CacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("disabled cache reported stats %+v", s)
+	}
+}
